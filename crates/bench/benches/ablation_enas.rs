@@ -1,0 +1,137 @@
+//! Ablation study (beyond the paper's tables): which of eNAS's two design
+//! choices buys what?
+//!
+//! * **A1 — energy model**: replace the layer-wise-MACs estimator with the
+//!   µNAS total-MACs proxy *inside eNAS* (the sensing model is also blinded,
+//!   as the proxy does not model sensing at all).
+//! * **A2 — sensing mutations**: disable `GRIDMUTATE` (R → ∞), so the
+//!   sensing configuration is frozen at whatever phase 1 found per lineage.
+//!
+//! Each variant runs at λ = 0.5 with the same budget and seed; the reported
+//! quality of a run is its winner's objective recomputed against *true*
+//! energies over a common envelope, plus the winner's (accuracy, E_true).
+
+use solarml::nas::{run_enas, EnasConfig, EnergyProxy, TaskContext};
+use solarml::nn::TrainConfig;
+use solarml::Energy;
+use solarml_bench::{full_scale, header};
+
+struct Variant {
+    name: &'static str,
+    config: EnasConfig,
+}
+
+fn variants(base: EnasConfig) -> Vec<Variant> {
+    vec![
+        Variant {
+            name: "full eNAS (layer-wise model + grid mutations)",
+            config: base,
+        },
+        Variant {
+            name: "A1: total-MACs proxy instead of layer-wise model",
+            config: EnasConfig {
+                energy_proxy: EnergyProxy::TotalMacs,
+                ..base
+            },
+        },
+        Variant {
+            name: "A2: no sensing grid mutations (model-only phase 2)",
+            config: EnasConfig {
+                grid_period: 0,
+                ..base
+            },
+        },
+        Variant {
+            name: "A1+A2: both ablated (µNAS-with-random-sensing-init)",
+            config: EnasConfig {
+                energy_proxy: EnergyProxy::TotalMacs,
+                grid_period: 0,
+                ..base
+            },
+        },
+    ]
+}
+
+fn main() {
+    header(
+        "Ablation",
+        "eNAS design choices knocked out one at a time (λ = 0.5)",
+    );
+    let base = if full_scale() {
+        EnasConfig::paper(0.5)
+    } else {
+        EnasConfig {
+            population: 10,
+            sample_size: 5,
+            cycles: 20,
+            grid_period: 7,
+            ..EnasConfig::quick(0.5)
+        }
+    };
+
+    let mut ctx = TaskContext::gesture(if full_scale() { 20 } else { 10 }, 0xD161);
+    ctx.train_config = TrainConfig {
+        epochs: if full_scale() { 15 } else { 8 },
+        ..TrainConfig::default()
+    };
+
+    // Common true-energy envelope for cross-variant objective comparison.
+    let mut results = Vec::new();
+    for v in variants(base) {
+        let out = run_enas(&ctx, &v.config);
+        results.push((v.name, out));
+    }
+    let e_min = results
+        .iter()
+        .flat_map(|(_, o)| o.history.iter())
+        .map(|e| e.true_energy)
+        .fold(Energy::new(f64::INFINITY), Energy::min);
+    let e_max = results
+        .iter()
+        .flat_map(|(_, o)| o.history.iter())
+        .map(|e| e.true_energy)
+        .fold(Energy::ZERO, Energy::max);
+    let span = (e_max - e_min).as_joules().max(1e-15);
+
+    println!(
+        "{:<52} {:>7} {:>12} {:>10}",
+        "variant", "acc", "E_true", "objective"
+    );
+    let mut full_objective = None;
+    for (name, out) in &results {
+        // Winner by true objective within each run's history.
+        let best = out
+            .history
+            .iter()
+            .filter(|e| e.meets_accuracy)
+            .map(|e| {
+                let norm = ((e.true_energy - e_min).as_joules() / span).clamp(0.0, 1.0);
+                (e, e.accuracy - 0.5 * norm)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .or_else(|| {
+                out.history
+                    .iter()
+                    .map(|e| {
+                        let norm =
+                            ((e.true_energy - e_min).as_joules() / span).clamp(0.0, 1.0);
+                        (e, e.accuracy - 0.5 * norm)
+                    })
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            })
+            .expect("history is non-empty");
+        println!(
+            "{:<52} {:>7.3} {:>12} {:>10.3}",
+            name,
+            best.0.accuracy,
+            best.0.true_energy.to_string(),
+            best.1
+        );
+        if full_objective.is_none() {
+            full_objective = Some(best.1);
+        }
+    }
+    println!();
+    println!("Reading: a lower objective for an ablated variant is the measured");
+    println!("value of the removed design choice at this search budget.");
+}

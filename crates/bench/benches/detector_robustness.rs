@@ -1,0 +1,109 @@
+//! Extension: operating envelope of the passive event detector.
+//!
+//! The Fig. 5 circuit must (a) wake on a hover across the realistic range of
+//! ambient light and supercap voltages, (b) never wake while lit, and
+//! (c) stay locked out in near-darkness. This bench maps the envelope and
+//! reports response times across it.
+
+use solarml::circuit::env::Illumination;
+use solarml::circuit::EventDetector;
+use solarml::units::{Lux, Volts};
+use solarml::Seconds;
+use solarml_bench::header;
+
+/// Outcome of probing one (lux, v_cap) grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Outcome {
+    /// Hover wakes the detector within 100 ms; value = response in ms.
+    Wakes(f64),
+    /// Hover never wakes it (lockout or insufficient swing).
+    Blocked,
+    /// The detector is already conducting while *lit* — a false trigger.
+    FalseTrigger,
+}
+
+fn probe(lux: f64, v_cap: f64) -> Outcome {
+    let mut det = EventDetector::default();
+    let dt = Seconds::from_micros(200.0);
+    let lit = Illumination {
+        ambient: Lux::new(lux),
+        event_cell_shading: 0.0,
+    };
+    det.settle(lit, Volts::new(v_cap));
+    // Settle and check for false triggers while lit.
+    let mut lit_conducts = false;
+    for _ in 0..500 {
+        let out = det.step(dt, lit, 0.0, false, Volts::new(v_cap));
+        lit_conducts = out.mcu_connected;
+    }
+    if lit_conducts {
+        return Outcome::FalseTrigger;
+    }
+    // Hover and time the wake.
+    let hovered = Illumination {
+        ambient: Lux::new(lux),
+        event_cell_shading: 1.0,
+    };
+    let mut elapsed = 0.0;
+    while elapsed < 100.0 {
+        let out = det.step(dt, hovered, 0.0, true, Volts::new(v_cap));
+        elapsed += dt.as_millis();
+        if out.mcu_connected {
+            return Outcome::Wakes(elapsed);
+        }
+    }
+    Outcome::Blocked
+}
+
+fn main() {
+    header(
+        "Detector robustness",
+        "wake/blocked/false-trigger map over (lux, V_cap)",
+    );
+    let lux_grid = [3.0, 10.0, 50.0, 150.0, 250.0, 500.0, 1000.0, 2000.0];
+    let vcap_grid = [2.2, 2.6, 3.0, 3.4, 3.8];
+
+    println!("rows = V_cap, cols = lux; cell = response ms, '--' blocked, '!!' false trigger\n");
+    print!("{:>6}", "");
+    for lux in lux_grid {
+        print!("{:>9}", format!("{lux:.0}lx"));
+    }
+    println!();
+    let mut false_triggers = 0;
+    let mut wakes_in_working_range = 0;
+    let mut working_points = 0;
+    for v in vcap_grid {
+        print!("{v:>5.1}V");
+        for lux in lux_grid {
+            let outcome = probe(lux, v);
+            let cell = match outcome {
+                Outcome::Wakes(ms) => format!("{ms:.1}ms"),
+                Outcome::Blocked => "--".to_string(),
+                Outcome::FalseTrigger => {
+                    false_triggers += 1;
+                    "!!".to_string()
+                }
+            };
+            // Office-to-window light with a usable supercap is the
+            // specified working range.
+            if (150.0..=2000.0).contains(&lux) && (2.2..=3.8).contains(&v) {
+                working_points += 1;
+                if matches!(outcome, Outcome::Wakes(_)) {
+                    wakes_in_working_range += 1;
+                }
+            }
+            print!("{cell:>9}");
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "working-range wake coverage: {wakes_in_working_range}/{working_points}; false triggers anywhere: {false_triggers}"
+    );
+    println!("dark columns (≤10 lx) must be blocked — the paper's weak-light lockout.");
+    assert_eq!(false_triggers, 0, "lit detector must never conduct");
+    assert!(
+        wakes_in_working_range as f64 >= 0.9 * working_points as f64,
+        "detector must wake across the working range"
+    );
+}

@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks for the simulation hot paths: circuit stepping,
+//! MFCC extraction, NN training steps, energy-model fitting and one GA
+//! selection round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use solarml::circuit::env::LightEnvironment;
+use solarml::circuit::{CircuitSim, SimConfig};
+use solarml::dsp::{AudioFrontendParams, MfccExtractor};
+use solarml::energy::corpus::inference_corpus;
+use solarml::energy::device::InferenceGround;
+use solarml::energy::models::LayerwiseMacModel;
+use solarml::nn::{
+    arch::{LayerSpec, ModelSpec, Padding},
+    fit, ArchSampler, ClassDataset, Model, Tensor, TrainConfig,
+};
+use solarml::units::Lux;
+use solarml::Power;
+
+fn bench_circuit_step(c: &mut Criterion) {
+    c.bench_function("circuit_step_1ms", |b| {
+        let mut sim = CircuitSim::new(
+            SimConfig::default(),
+            LightEnvironment::constant(Lux::new(500.0)),
+        );
+        b.iter(|| {
+            black_box(sim.step(Power::from_milli_watts(1.0), 3.3, |_| 0.0));
+        });
+    });
+}
+
+fn bench_mfcc(c: &mut Criterion) {
+    c.bench_function("mfcc_1s_clip", |b| {
+        let extractor = MfccExtractor::new(AudioFrontendParams::standard(), 16_000.0);
+        let clip: Vec<f32> = (0..16_000)
+            .map(|i| ((i as f32) * 0.01).sin())
+            .collect();
+        b.iter(|| black_box(extractor.extract(&clip)));
+    });
+}
+
+fn tiny_dataset() -> ClassDataset {
+    let inputs: Vec<Tensor> = (0..32)
+        .map(|i| {
+            let v: Vec<f32> = (0..80)
+                .map(|t| ((t + i) as f32 * 0.1).sin() * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            Tensor::from_vec([20, 4, 1], v)
+        })
+        .collect();
+    let labels = (0..32).map(|i| i % 2).collect();
+    ClassDataset::new(inputs, labels, 2)
+}
+
+fn bench_training(c: &mut Criterion) {
+    c.bench_function("train_tiny_cnn_3_epochs", |b| {
+        let spec = ModelSpec::new(
+            [20, 4, 1],
+            vec![
+                LayerSpec::conv(6, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(2),
+            ],
+        )
+        .expect("valid");
+        let data = tiny_dataset();
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let mut model = Model::from_spec(&spec, &mut rng);
+            fit(
+                &mut model,
+                &data,
+                &TrainConfig {
+                    epochs: 3,
+                    ..TrainConfig::default()
+                },
+                &mut rng,
+            );
+            black_box(model);
+        });
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    c.bench_function("infer_tiny_cnn", |b| {
+        let spec = ModelSpec::new(
+            [20, 4, 1],
+            vec![
+                LayerSpec::conv(6, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(2),
+            ],
+        )
+        .expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Model::from_spec(&spec, &mut rng);
+        let x = Tensor::zeros([20, 4, 1]);
+        b.iter(|| black_box(model.infer(&x)));
+    });
+}
+
+fn bench_energy_fit(c: &mut Criterion) {
+    c.bench_function("fit_layerwise_model_300", |b| {
+        let sampler = ArchSampler::for_measurement([20, 9, 1], 10);
+        let ground = InferenceGround::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (corpus, _) = inference_corpus(300, &ground, &sampler, &mut rng);
+        b.iter(|| {
+            let mut model = LayerwiseMacModel::new();
+            model.fit(&corpus);
+            black_box(model);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_circuit_step,
+    bench_mfcc,
+    bench_training,
+    bench_inference,
+    bench_energy_fit
+);
+criterion_main!(benches);

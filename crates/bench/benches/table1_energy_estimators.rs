@@ -1,0 +1,137 @@
+//! Table I — R² comparison of energy estimation methods: total-MACs LR
+//! (the µNAS/HarvNet proxy) vs layer-wise MACs under linear / logistic /
+//! neural regression, plus the solar sampling model on (n, r, b, q).
+
+use rand::SeedableRng;
+use solarml::energy::corpus::{gesture_sensing_corpus, inference_corpus_banded};
+use solarml::energy::device::{GestureSensingGround, InferenceGround};
+use solarml::energy::regress::{
+    LinearRegression, LogisticRegression, NeuralRegression, Regressor,
+};
+use solarml::nn::ArchSampler;
+use solarml::trace::r_squared;
+use solarml_bench::header;
+
+fn fit_and_score(
+    reg: &mut dyn Regressor,
+    train_x: &[Vec<f64>],
+    train_y: &[f64],
+    test_x: &[Vec<f64>],
+    test_y: &[f64],
+) -> f64 {
+    reg.fit(train_x, train_y);
+    let preds = reg.predict_all(test_x);
+    r_squared(test_y, &preds)
+}
+
+fn main() {
+    header(
+        "Table I",
+        "R² of energy estimators (inference and solar sampling models)",
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7AB1E);
+
+    // ---- Inference corpus: 300 train + 60 held-out random models. ----
+    let sampler = ArchSampler::for_measurement([20, 9, 1], 10);
+    let ground = InferenceGround::default();
+    let band = Some((20_000, 400_000));
+    let (train, _) = inference_corpus_banded(300, &ground, &sampler, band, &mut rng);
+    let (test, _) = inference_corpus_banded(60, &ground, &sampler, band, &mut rng);
+
+    // Total-MACs encoding (the SOTA proxy).
+    let sum_features = |xs: &[Vec<f64>]| -> Vec<Vec<f64>> {
+        xs.iter().map(|f| vec![f.iter().sum::<f64>()]).collect()
+    };
+    let total_train = sum_features(&train.features);
+    let total_test = sum_features(&test.features);
+    let r2_total_lr = fit_and_score(
+        &mut LinearRegression::new(),
+        &total_train,
+        &train.measured_uj,
+        &total_test,
+        &test.true_uj,
+    );
+
+    // Layer-wise encoding under the three regressors.
+    let r2_lw_lr = fit_and_score(
+        &mut LinearRegression::new(),
+        &train.features,
+        &train.measured_uj,
+        &test.features,
+        &test.true_uj,
+    );
+    let r2_lw_log = fit_and_score(
+        &mut LogisticRegression::new(),
+        &train.features,
+        &train.measured_uj,
+        &test.features,
+        &test.true_uj,
+    );
+    let r2_lw_nr = fit_and_score(
+        &mut NeuralRegression::new(),
+        &train.features,
+        &train.measured_uj,
+        &test.features,
+        &test.true_uj,
+    );
+
+    // Extension row: the MCUNet/Micronets-style lookup table.
+    let mut lut = solarml::energy::LookupTableModel::new();
+    lut.fit(&train);
+    let lut_rng = rand::rngs::StdRng::seed_from_u64(0x7AB1E + 1);
+    let _ = lut_rng;
+    let (lut_test, lut_specs) = inference_corpus_banded(60, &ground, &sampler, band, &mut rng);
+    let lut_preds: Vec<f64> = lut_specs
+        .iter()
+        .map(|s| lut.estimate(s).as_micro_joules())
+        .collect();
+    let r2_lut = r_squared(&lut_test.true_uj, &lut_preds);
+
+    // ---- Solar sampling corpus: (n, r, b, q) features. ----
+    let sground = GestureSensingGround::default();
+    let (strain, _) = gesture_sensing_corpus(300, &sground, &mut rng);
+    let (stest, _) = gesture_sensing_corpus(60, &sground, &mut rng);
+    let r2_s_lr = fit_and_score(
+        &mut LinearRegression::new(),
+        &strain.features,
+        &strain.measured_uj,
+        &stest.features,
+        &stest.true_uj,
+    );
+    let r2_s_log = fit_and_score(
+        &mut LogisticRegression::new(),
+        &strain.features,
+        &strain.measured_uj,
+        &stest.features,
+        &stest.true_uj,
+    );
+    let r2_s_nr = fit_and_score(
+        &mut NeuralRegression::new(),
+        &strain.features,
+        &strain.measured_uj,
+        &stest.features,
+        &stest.true_uj,
+    );
+
+    println!("Inference model:");
+    println!("  {:<34} {:>7}", "proxy / method", "R²");
+    println!("  {:<34} {:>7.3}", "total MACs (SOTA) + LR", r2_total_lr);
+    println!("  {:<34} {:>7.3}", "layer-wise MACs (eNAS) + LR", r2_lw_lr);
+    println!("  {:<34} {:>7.3}", "layer-wise MACs + LogR", r2_lw_log);
+    println!("  {:<34} {:>7.3}", "layer-wise MACs + NR", r2_lw_nr);
+    println!(
+        "  {:<34} {:>7.3}   (extension: MCUNet-style table)",
+        "per-class MAC-bucket lookup", r2_lut
+    );
+    println!();
+    println!("Solar sampling model (n, r, b, q):");
+    println!("  {:<34} {:>7.3}", "LR", r2_s_lr);
+    println!("  {:<34} {:>7.3}", "LogR", r2_s_log);
+    println!("  {:<34} {:>7.3}", "NR", r2_s_nr);
+    println!();
+    println!("Paper: 0.46 | 0.96 / 0.018 / 0.75 | 0.92 / 0.48 / 0.70.");
+
+    assert!(r2_lw_lr > r2_total_lr, "layer-wise LR must beat total-MACs LR");
+    assert!(r2_lw_lr > r2_lw_log, "LR must beat logistic on linear targets");
+    assert!(r2_s_lr > 0.85, "sensing LR should be near the paper's 0.92");
+}

@@ -1,0 +1,63 @@
+//! Table II — the eNAS search space: sensing parameters, ranges and
+//! morphisms, printed from the types that enforce them.
+
+use rand::SeedableRng;
+use solarml::dsp::{AudioFrontendParams, GestureSensingParams};
+use solarml::nas::{TaskContext, TaskKind};
+use solarml_bench::header;
+
+fn main() {
+    header("Table II", "eNAS search space (enforced by the parameter types)");
+    println!(
+        "{:<22} {:<22} {:<28} {:<12}",
+        "task", "sensing parameter", "range", "morphism"
+    );
+    println!(
+        "{:<22} {:<22} {:<28} {:<12}",
+        "Gesture recognition",
+        "channels n",
+        format!("{:?}", GestureSensingParams::CHANNEL_RANGE),
+        "n ± 1"
+    );
+    println!(
+        "{:<22} {:<22} {:<28} {:<12}",
+        "", "rate r (Hz)", format!("{:?}", GestureSensingParams::RATE_RANGE), "r ± 2"
+    );
+    println!(
+        "{:<22} {:<22} {:<28} {:<12}",
+        "", "resolution b", "{int, float}", "replace"
+    );
+    println!(
+        "{:<22} {:<22} {:<28} {:<12}",
+        "", "quantization q", "int 1..=8, float 9..=32", "q ± 1"
+    );
+    println!(
+        "{:<22} {:<22} {:<28} {:<12}",
+        "KWS",
+        "window stripe s (ms)",
+        format!("{:?}", AudioFrontendParams::STRIPE_RANGE),
+        "s ± 1"
+    );
+    println!(
+        "{:<22} {:<22} {:<28} {:<12}",
+        "", "window duration d (ms)", format!("{:?}", AudioFrontendParams::DURATION_RANGE), "d ± 1"
+    );
+    println!(
+        "{:<22} {:<22} {:<28} {:<12}",
+        "", "features f", format!("{:?}", AudioFrontendParams::FEATURE_RANGE), "f ± 1"
+    );
+    println!();
+    println!("Model hyperparameter space: µNAS-style conv/pool/dense stacks");
+    println!("(see solarml_nn::ArchSampler::for_task).");
+
+    // Demonstrate the morphisms on live contexts.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let gesture = TaskContext::gesture(2, 0);
+    assert_eq!(gesture.kind(), TaskKind::GestureDigits);
+    let s = gesture.random_sensing(&mut rng);
+    println!();
+    println!("Example gesture config {s} has sensing morphisms:");
+    for n in gesture.sensing_neighbors(s) {
+        println!("  -> {n}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal flag parsing (no external dependencies).
+
+/// Parsed command options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    /// `--task gesture|kws`
+    pub task: Option<String>,
+    /// `--lambda <f64>`
+    pub lambda: Option<f64>,
+    /// `--sleep <seconds>`
+    pub sleep: Option<f64>,
+    /// `--budget-uj <f64>`
+    pub budget_uj: Option<f64>,
+    /// `--budget-mj <f64>`
+    pub budget_mj: Option<f64>,
+    /// `--csv <path>`
+    pub csv: Option<String>,
+    /// `--seed <u64>`
+    pub seed: Option<u64>,
+    /// `--full`
+    pub full: bool,
+}
+
+impl Options {
+    /// Parses `--flag value` pairs and boolean flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, missing values or unparsable
+    /// numbers.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--full" => opts.full = true,
+                "--task" => opts.task = Some(take(&mut it, flag)?),
+                "--csv" => opts.csv = Some(take(&mut it, flag)?),
+                "--lambda" => opts.lambda = Some(take_num(&mut it, flag)?),
+                "--sleep" => opts.sleep = Some(take_num(&mut it, flag)?),
+                "--budget-uj" => opts.budget_uj = Some(take_num(&mut it, flag)?),
+                "--budget-mj" => opts.budget_mj = Some(take_num(&mut it, flag)?),
+                "--seed" => {
+                    let raw: String = take(&mut it, flag)?;
+                    opts.seed = Some(
+                        raw.parse()
+                            .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?,
+                    );
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if let Some(task) = &opts.task {
+            if task != "gesture" && task != "kws" {
+                return Err(format!("--task must be `gesture` or `kws`, got `{task}`"));
+            }
+        }
+        if let Some(l) = opts.lambda {
+            if !(0.0..=1.0).contains(&l) {
+                return Err(format!("--lambda must be in [0,1], got {l}"));
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn take_num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<f64, String> {
+    let raw = take(it, flag)?;
+    raw.parse()
+        .map_err(|e| format!("{flag}: invalid number `{raw}` ({e})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn parses_mixed_flags() {
+        let opts = parse(&["--task", "kws", "--lambda", "0.5", "--full"]).expect("valid");
+        assert_eq!(opts.task.as_deref(), Some("kws"));
+        assert_eq!(opts.lambda, Some(0.5));
+        assert!(opts.full);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--lambda"]).is_err());
+        assert!(parse(&["--lambda", "nope"]).is_err());
+        assert!(parse(&["--lambda", "2.0"]).is_err());
+        assert!(parse(&["--task", "audio"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_are_defaults() {
+        let opts = parse(&[]).expect("valid");
+        assert_eq!(opts, Options::default());
+    }
+}

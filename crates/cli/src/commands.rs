@@ -1,0 +1,194 @@
+//! The CLI subcommands.
+
+use solarml::dsp::{AudioFrontendParams, GestureSensingParams, Resolution};
+use solarml::mcu::McuPowerModel;
+use solarml::nas::{run_enas, EnasConfig, TaskContext};
+use solarml::nn::{LayerSpec, ModelSpec, Padding, TrainConfig};
+use solarml::platform::lifecycle::{DutyCycleConfig, TaskProfile};
+use solarml::platform::{
+    harvesting_time, simulate_day, solarml_detector_spec, DaySimConfig, HarvestScenario,
+    REFERENCE_DETECTORS,
+};
+use solarml::{Energy, Seconds};
+
+use crate::args::Options;
+
+/// Prints usage.
+pub fn help() {
+    println!("solarml — SolarML (DATE'25) reproduction toolkit");
+    println!();
+    println!("USAGE: solarml <command> [flags]");
+    println!();
+    println!("COMMANDS:");
+    println!("  detector                Table III event-detector comparison");
+    println!("  trace                   duty-cycle E_E/E_S/E_M decomposition");
+    println!("      --task gesture|kws  application profile   [gesture]");
+    println!("      --sleep <s>         sleep period          [60]");
+    println!("      --csv <file>        write the power trace as CSV");
+    println!("  search                  run eNAS on a task");
+    println!("      --task gesture|kws  application           [gesture]");
+    println!("      --lambda <0..1>     accuracy/energy knob  [0.5]");
+    println!("      --seed <n>          RNG seed              [0xE7A5]");
+    println!("      --full              paper-scale 50/20/150 settings");
+    println!("      --csv <file>        write the search history as CSV");
+    println!("  harvest                 harvesting time vs illuminance");
+    println!("      --budget-uj <e>     per-inference energy  [6660]");
+    println!("  day                     24-hour interaction simulation");
+    println!("      --budget-mj <e>     per-inference energy  [2.5]");
+}
+
+/// `solarml detector`.
+pub fn detector() -> Result<(), String> {
+    let wait = Seconds::new(5.0);
+    let mut rows = REFERENCE_DETECTORS.to_vec();
+    rows.push(solarml_detector_spec());
+    println!(
+        "{:<10} {:>12} {:>16} {:>12} {:>14}",
+        "method", "range (mm)", "response (ms)", "standby", "5-s energy"
+    );
+    for d in &rows {
+        println!(
+            "{:<10} {:>12} {:>16} {:>12} {:>14}",
+            d.name,
+            format!("{:.0}-{:.0}", d.sensing_range_mm.0, d.sensing_range_mm.1),
+            format!("{:.1}-{:.1}", d.response_time_ms.0, d.response_time_ms.1),
+            d.standby.to_string(),
+            d.wait_and_detect_energy(wait).to_string()
+        );
+    }
+    Ok(())
+}
+
+fn reference_profile(task: &str) -> TaskProfile {
+    match task {
+        "kws" => TaskProfile::Kws {
+            params: AudioFrontendParams::standard(),
+            spec: ModelSpec::new(
+                [49, 13, 1],
+                vec![
+                    LayerSpec::conv(12, 3, 1, Padding::Same),
+                    LayerSpec::relu(),
+                    LayerSpec::max_pool(2),
+                    LayerSpec::conv(16, 3, 1, Padding::Same),
+                    LayerSpec::relu(),
+                    LayerSpec::flatten(),
+                    LayerSpec::dense(10),
+                ],
+            )
+            .expect("reference KWS model is valid"),
+        },
+        _ => TaskProfile::Gesture {
+            params: GestureSensingParams::new(9, 100, Resolution::Int, 8)
+                .expect("reference params are valid"),
+            spec: ModelSpec::new(
+                [200, 9, 1],
+                vec![
+                    LayerSpec::conv(8, 3, 1, Padding::Same),
+                    LayerSpec::relu(),
+                    LayerSpec::max_pool(2),
+                    LayerSpec::conv(8, 3, 1, Padding::Same),
+                    LayerSpec::relu(),
+                    LayerSpec::max_pool(2),
+                    LayerSpec::flatten(),
+                    LayerSpec::dense(10),
+                ],
+            )
+            .expect("reference gesture model is valid"),
+        },
+    }
+}
+
+/// `solarml trace`.
+pub fn trace(opts: &Options) -> Result<(), String> {
+    let task = opts.task.as_deref().unwrap_or("gesture");
+    let sleep = Seconds::new(opts.sleep.unwrap_or(60.0));
+    let (trace, breakdown) = DutyCycleConfig {
+        sleep,
+        task: reference_profile(task),
+        mcu: McuPowerModel::default(),
+        trace_rate_hz: 1000.0,
+    }
+    .run();
+    let (fe, fs, fm) = breakdown.fractions();
+    println!("{task} duty cycle with {sleep} sleep: total {}", breakdown.total());
+    println!("  E_E {:>10}  ({:.1}%)", breakdown.event.to_string(), 100.0 * fe);
+    println!("  E_S {:>10}  ({:.1}%)", breakdown.sensing.to_string(), 100.0 * fs);
+    println!("  E_M {:>10}  ({:.1}%)", breakdown.inference.to_string(), 100.0 * fm);
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written to {path} ({} samples)", trace.len());
+    }
+    Ok(())
+}
+
+/// `solarml search`.
+pub fn search(opts: &Options) -> Result<(), String> {
+    let task = opts.task.as_deref().unwrap_or("gesture");
+    let lambda = opts.lambda.unwrap_or(0.5);
+    let mut ctx = match task {
+        "kws" => TaskContext::kws(if opts.full { 20 } else { 8 }, 0xA0D10),
+        _ => TaskContext::gesture(if opts.full { 20 } else { 8 }, 0xD161),
+    };
+    ctx.train_config = TrainConfig {
+        epochs: if opts.full { 15 } else { 8 },
+        ..TrainConfig::default()
+    };
+    let mut config = if opts.full {
+        EnasConfig::paper(lambda)
+    } else {
+        EnasConfig::quick(lambda)
+    };
+    if let Some(seed) = opts.seed {
+        config.seed = seed;
+    }
+    println!(
+        "running eNAS on {task} (λ={lambda}, {} settings)...",
+        if opts.full { "paper" } else { "quick" }
+    );
+    let outcome = run_enas(&ctx, &config);
+    println!("evaluated {} candidates", outcome.history.len());
+    println!("winner: {}", outcome.best.candidate);
+    println!(
+        "  accuracy {:.1}%  estimated {}  true {}",
+        100.0 * outcome.best.accuracy,
+        outcome.best.estimated_energy,
+        outcome.best.true_energy
+    );
+    print!("{}", solarml::nas::render_report(&outcome));
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, outcome.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("history written to {path}");
+    }
+    Ok(())
+}
+
+/// `solarml harvest`.
+pub fn harvest(opts: &Options) -> Result<(), String> {
+    let budget = Energy::from_micro_joules(opts.budget_uj.unwrap_or(6660.0));
+    println!("harvesting time for a {budget} inference:");
+    for scenario in HarvestScenario::paper_conditions() {
+        println!(
+            "  {:>8}: {:>10} at {}",
+            scenario.lux.to_string(),
+            harvesting_time(budget, &scenario).to_string(),
+            scenario.harvest_power()
+        );
+    }
+    Ok(())
+}
+
+/// `solarml day`.
+pub fn day(opts: &Options) -> Result<(), String> {
+    let budget = Energy::from_milli_joules(opts.budget_mj.unwrap_or(2.5));
+    let report = simulate_day(&DaySimConfig::office_day(budget));
+    println!("office day, {budget} per inference, hourly interactions:");
+    println!(
+        "  served {}/{} ({} rejected)",
+        report.completed, report.attempted, report.rejected
+    );
+    println!(
+        "  harvested {}; supercap {} at midnight (min {})",
+        report.harvested, report.final_voltage, report.min_voltage
+    );
+    Ok(())
+}

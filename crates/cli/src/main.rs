@@ -1,0 +1,52 @@
+//! The `solarml` command-line tool.
+//!
+//! ```text
+//! solarml detector                      Table III event-detector comparison
+//! solarml trace [--task T] [--sleep S]  duty-cycle energy decomposition
+//! solarml search [--task T] [--lambda L] [--full] [--csv FILE]
+//!                                       run eNAS and report the winner
+//! solarml harvest [--budget-uj E]       harvesting times at 250/500/1000 lux
+//! solarml day [--budget-mj E]           24-hour interaction simulation
+//! solarml help                          this text
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        commands::help();
+        return ExitCode::SUCCESS;
+    };
+    let opts = match args::Options::parse(rest) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            commands::help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "detector" => commands::detector(),
+        "trace" => commands::trace(&opts),
+        "search" => commands::search(&opts),
+        "harvest" => commands::harvest(&opts),
+        "day" => commands::day(&opts),
+        "help" | "--help" | "-h" => {
+            commands::help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

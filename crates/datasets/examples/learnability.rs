@@ -1,0 +1,66 @@
+//! Sanity check: can tiny CNNs learn the synthetic corpora, and does
+//! accuracy degrade with cheaper sensing parameters?
+use rand::SeedableRng;
+use solarml_datasets::{GestureDatasetBuilder, KwsDatasetBuilder};
+use solarml_dsp::{AudioFrontendParams, GestureSensingParams, Resolution};
+use solarml_nn::arch::{LayerSpec, ModelSpec, Padding};
+use solarml_nn::{evaluate, fit, Model, TrainConfig};
+
+fn main() {
+    let gestures = GestureDatasetBuilder { samples_per_class: 20, ..Default::default() }.build();
+    let (gtrain, gtest) = gestures.split(0.25);
+    for (n, r, q) in [(9u8, 50u16, 8u8), (4, 25, 4), (1, 10, 2)] {
+        let res = if q <= 8 { Resolution::Int } else { Resolution::Float };
+        let params = GestureSensingParams::new(n, r, res, q).unwrap();
+        let train = gtrain.to_class_dataset(&params);
+        let test = gtest.to_class_dataset(&params);
+        let shape = train.input_shape();
+        let spec = ModelSpec::new(
+            [shape[0], shape[1], shape[2]],
+            vec![
+                LayerSpec::conv(8, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::conv(12, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(10),
+            ],
+        ).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Model::from_spec(&spec, &mut rng);
+        let t0 = std::time::Instant::now();
+        fit(&mut model, &train, &TrainConfig { epochs: 15, batch_size: 16, learning_rate: 0.01, ..Default::default() }, &mut rng);
+        let acc = evaluate(&mut model, &test);
+        println!("gesture n={n} r={r} q={q}: test acc {acc:.2} ({:?})", t0.elapsed());
+    }
+
+    let kws = KwsDatasetBuilder { samples_per_class: 20, ..Default::default() }.build();
+    let (ktrain, ktest) = kws.split(0.25);
+    for (s, d, f) in [(20u8, 25u8, 13u8), (30, 18, 10)] {
+        let params = AudioFrontendParams::new(s, d, f).unwrap();
+        let train = ktrain.to_class_dataset(&params);
+        let test = ktest.to_class_dataset(&params);
+        let shape = train.input_shape();
+        let spec = ModelSpec::new(
+            [shape[0], shape[1], shape[2]],
+            vec![
+                LayerSpec::conv(8, 3, 2, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::conv(12, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(10),
+            ],
+        ).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Model::from_spec(&spec, &mut rng);
+        let t0 = std::time::Instant::now();
+        fit(&mut model, &train, &TrainConfig { epochs: 15, batch_size: 16, learning_rate: 0.01, ..Default::default() }, &mut rng);
+        let acc = evaluate(&mut model, &test);
+        println!("kws s={s} d={d} f={f}: test acc {acc:.2} ({:?})", t0.elapsed());
+    }
+}

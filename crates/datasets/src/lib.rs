@@ -1,0 +1,24 @@
+//! Synthetic datasets standing in for the paper's recorded corpora.
+//!
+//! The paper trains on real recordings: digit gestures captured by the
+//! 3×3 solar-cell sensing block, and spoken keywords captured by the PDM
+//! microphone. Neither corpus is available here, so this crate generates
+//! synthetic equivalents that preserve the property the NAS depends on —
+//! *accuracy degrades smoothly as the sensing parameters get cheaper* —
+//! while remaining perfectly reproducible (seeded).
+//!
+//! * [`gesture`] — a simulated hand traces digit glyphs 0–9 over the 3×3
+//!   array; each cell reports its shading-modulated photovoltage. Raw
+//!   recordings are 9-channel, 200 Hz.
+//! * [`kws`] — spoken keywords are synthesized as per-class formant
+//!   trajectories (two "phonemes" per word) with pitch/timing jitter and
+//!   noise, 16 kHz PCM.
+//!
+//! Both expose `to_class_dataset` adapters that apply the searchable
+//! front-end (`solarml-dsp`) and produce `solarml-nn` training sets.
+
+pub mod gesture;
+pub mod kws;
+
+pub use gesture::{GestureDataset, GestureDatasetBuilder};
+pub use kws::{KwsDataset, KwsDatasetBuilder, KEYWORDS};

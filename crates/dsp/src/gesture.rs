@@ -1,0 +1,191 @@
+//! Gesture-signal preprocessing: channel selection, resampling and
+//! quantization of the 9-channel solar-cell recordings, parameterized by the
+//! Table II gesture sensing parameters.
+
+use crate::params::GestureSensingParams;
+use crate::quantize::quantize_value;
+
+/// Output of gesture preprocessing: a `[time][channel]` matrix plus the CPU
+/// cycle estimate for producing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GesturePreprocessOutput {
+    /// Normalized, quantized samples, `samples[t][c]`.
+    pub samples: Vec<Vec<f32>>,
+    /// Estimated CPU cycles spent (normalization + copies).
+    pub cycles: f64,
+}
+
+/// Preprocesses a raw multi-channel recording for the given sensing
+/// parameters:
+///
+/// 1. keep the first `n` channels (the paper's prototype wires channels in a
+///    fixed scan order, so "use n channels" means the first n taps);
+/// 2. decimate from `raw_rate_hz` to the configured rate (nearest-sample);
+/// 3. min-max normalize each channel to `[0, 1]` over the recording;
+/// 4. quantize to the configured depth.
+///
+/// `raw[c][t]` is channel-major; output is time-major (the NN input layout).
+///
+/// # Panics
+///
+/// Panics if `raw` has fewer channels than `params.channels()`, if channels
+/// have unequal lengths, or if `raw_rate_hz` is below the configured rate.
+pub fn preprocess_gesture(
+    raw: &[Vec<f32>],
+    raw_rate_hz: f64,
+    params: &GestureSensingParams,
+) -> GesturePreprocessOutput {
+    let n = params.channels() as usize;
+    assert!(
+        raw.len() >= n,
+        "recording has {} channels, need {}",
+        raw.len(),
+        n
+    );
+    let len = raw[0].len();
+    assert!(
+        raw.iter().all(|c| c.len() == len),
+        "all channels must have equal length"
+    );
+    let target_rate = params.rate().as_hertz();
+    assert!(
+        raw_rate_hz + 1e-9 >= target_rate,
+        "cannot upsample: raw {raw_rate_hz} Hz below target {target_rate} Hz"
+    );
+
+    let duration_s = len as f64 / raw_rate_hz;
+    let out_len = (duration_s * target_rate).round().max(1.0) as usize;
+
+    // Per-channel min/max for normalization.
+    let ranges: Vec<(f32, f32)> = raw[..n]
+        .iter()
+        .map(|ch| {
+            let lo = ch.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = ch.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            (lo, hi)
+        })
+        .collect();
+
+    let mut samples = Vec::with_capacity(out_len);
+    for t in 0..out_len {
+        // Nearest-neighbour decimation, the cheapest embedded resampler.
+        let src = ((t as f64 / target_rate) * raw_rate_hz).round() as usize;
+        let src = src.min(len - 1);
+        let row: Vec<f32> = (0..n)
+            .map(|c| {
+                let (lo, hi) = ranges[c];
+                let x = if hi > lo {
+                    (raw[c][src] - lo) / (hi - lo)
+                } else {
+                    0.0
+                };
+                quantize_value(x, params.quant_bits())
+            })
+            .collect();
+        samples.push(row);
+    }
+
+    // Cycle estimate: one pass for min/max (≈4 cycles/sample over the raw
+    // span of the selected channels) plus normalize+quantize+store
+    // (≈20 cycles/output sample).
+    let cycles = 4.0 * (n * len) as f64 + 20.0 * (n * out_len) as f64;
+
+    GesturePreprocessOutput { samples, cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Resolution;
+    use proptest::prelude::*;
+
+    fn ramp_recording(channels: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..channels)
+            .map(|c| (0..len).map(|t| (t + c) as f32).collect())
+            .collect()
+    }
+
+    fn params(n: u8, r: u16, q: u8) -> GestureSensingParams {
+        let res = if q <= 8 { Resolution::Int } else { Resolution::Float };
+        GestureSensingParams::new(n, r, res, q).expect("valid")
+    }
+
+    #[test]
+    fn output_shape_follows_params() {
+        let raw = ramp_recording(9, 400); // 2 s at 200 Hz
+        let out = preprocess_gesture(&raw, 200.0, &params(5, 50, 8));
+        assert_eq!(out.samples.len(), 100); // 2 s × 50 Hz
+        assert_eq!(out.samples[0].len(), 5);
+    }
+
+    #[test]
+    fn full_rate_keeps_every_sample() {
+        let raw = ramp_recording(9, 400);
+        let out = preprocess_gesture(&raw, 200.0, &params(9, 200, 12));
+        assert_eq!(out.samples.len(), 400);
+    }
+
+    #[test]
+    fn normalization_bounds_output() {
+        let raw = vec![vec![-5.0, 0.0, 5.0, 10.0]];
+        let out = preprocess_gesture(&raw, 10.0, &params(1, 10, 12));
+        for row in &out.samples {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_channel_normalizes_to_zero() {
+        let raw = vec![vec![3.3f32; 100]];
+        let out = preprocess_gesture(&raw, 100.0, &params(1, 50, 8));
+        assert!(out.samples.iter().all(|row| row[0] == 0.0));
+    }
+
+    #[test]
+    fn one_bit_quantization_is_binary() {
+        let raw = ramp_recording(1, 100);
+        let out = preprocess_gesture(&raw, 100.0, &params(1, 100, 1));
+        for row in &out.samples {
+            assert!(row[0] == 0.0 || row[0] == 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot upsample")]
+    fn upsampling_rejected() {
+        let raw = ramp_recording(9, 100);
+        let _ = preprocess_gesture(&raw, 50.0, &params(9, 100, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 9")]
+    fn too_few_channels_rejected() {
+        let raw = ramp_recording(4, 100);
+        let _ = preprocess_gesture(&raw, 200.0, &params(9, 100, 8));
+    }
+
+    #[test]
+    fn cycles_scale_with_work() {
+        let raw = ramp_recording(9, 400);
+        let cheap = preprocess_gesture(&raw, 200.0, &params(1, 10, 1));
+        let costly = preprocess_gesture(&raw, 200.0, &params(9, 200, 12));
+        assert!(costly.cycles > cheap.cycles);
+    }
+
+    proptest! {
+        #[test]
+        fn never_panics_on_valid_params(
+            n in 1u8..=9,
+            r in 10u16..=200,
+            q in 1u8..=8,
+            len in 50usize..500,
+        ) {
+            let raw = ramp_recording(9, len);
+            let out = preprocess_gesture(&raw, 200.0, &params(n, r, q));
+            prop_assert_eq!(out.samples[0].len(), n as usize);
+            prop_assert!(out.samples.iter().flatten().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+}

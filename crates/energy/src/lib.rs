@@ -1,0 +1,37 @@
+//! Energy modelling for SolarML.
+//!
+//! Three pieces cooperate here, mirroring the paper's §IV-A:
+//!
+//! 1. **Ground truth** ([`device`]) — the simulated hardware's actual energy
+//!    behaviour: per-layer-class inference costs on the MCU (Fig. 7: a Dense
+//!    MAC is ≈3.5× cheaper than a Conv MAC) and acquisition costs for the
+//!    gesture/audio front-ends. "Measuring" a candidate means evaluating
+//!    these with realistic measurement noise — the simulated stand-in for
+//!    the Qoitech OTII corpus.
+//! 2. **Regressors** ([`regress`]) — linear least squares, logistic-shaped
+//!    regression and a tiny neural regressor, the three methods Table I
+//!    compares.
+//! 3. **Estimators** ([`models`]) — what the NAS actually consults:
+//!    the paper's layer-wise-MAC linear model (eNAS), the single-total-MACs
+//!    baseline (µNAS/HarvNet), and the sensing energy models for both tasks.
+//!
+//! The estimators are *fit from measurements* of the ground truth, so their
+//! errors are real, reproducing Table I's R² ordering and Fig. 9's error
+//! CDFs.
+
+pub mod corpus;
+pub mod device;
+pub mod lookup;
+pub mod models;
+pub mod regress;
+
+pub use corpus::{
+    audio_sensing_corpus, gesture_sensing_corpus, inference_corpus, inference_corpus_banded,
+    Corpus,
+};
+pub use device::{AudioSensingGround, GestureSensingGround, InferenceGround};
+pub use lookup::LookupTableModel;
+pub use models::{
+    AudioSensingModel, GestureSensingModel, LayerwiseMacModel, TotalMacModel,
+};
+pub use regress::{cross_validate_r2, LinearRegression, LogisticRegression, NeuralRegression, Regressor};

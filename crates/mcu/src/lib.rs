@@ -1,0 +1,61 @@
+//! MCU power modelling for the SolarML platform.
+//!
+//! The paper's prototype runs on a Xiao nRF52840 under MbedOS, with a 3.3 V
+//! rail supplied by a TPS61099 boost converter. What the energy optimization
+//! cares about is *when the MCU is in which power state and what each state
+//! draws*:
+//!
+//! * **off** — the event detector has physically disconnected the rail;
+//! * **deep sleep** — the wait state of conventional systems (RAM retained,
+//!   RTC running, regulator quiescent included);
+//! * **standby** — SolarML's between-inferences pause (Fig. 6): system
+//!   configuration retained in RAM, main CPU clock gated;
+//! * **wake transition** — boot/restore burst when leaving a sleep state;
+//! * **tickless sampling** — an external clock peripheral drives the ADC or
+//!   PDM microphone while the CPU idles (the paper's `E_S` phase);
+//! * **active** — CPU crunching at 64 MHz (the `E_M` phase).
+//!
+//! [`Mcu`] is a small state machine stepping through these states and
+//! reporting instantaneous power; [`McuPowerModel`] holds the calibrated
+//! draws; [`AdcConfig`]/[`PdmConfig`] model the two acquisition peripherals.
+
+mod peripherals;
+mod power;
+mod state;
+
+pub use peripherals::{AdcConfig, PdmConfig};
+pub use power::McuPowerModel;
+pub use state::{Mcu, PowerState, TransitionError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarml_units::Seconds;
+
+    #[test]
+    fn full_lifecycle_energy_decomposes() {
+        // Reproduce the shape of the paper's Fig. 2 accounting: one minute of
+        // deep sleep, a wake-up, two seconds of sampling, an inference burst.
+        let model = McuPowerModel::default();
+        let mut mcu = Mcu::new(model);
+        mcu.power_on().expect("rail connects");
+        mcu.advance(Seconds::from_millis(25.0)); // cold boot completes
+        mcu.enter(PowerState::DeepSleep).expect("sleep");
+        mcu.advance(Seconds::from_minutes(1.0));
+        mcu.enter(PowerState::Active).expect("wake");
+        mcu.advance(Seconds::new(1.0)); // includes the wake transition
+        let adc = AdcConfig::new(9, solarml_units::Hertz::new(100.0), 12);
+        mcu.begin_sampling(model.adc_power(&adc)).expect("sample");
+        mcu.advance(Seconds::new(2.0));
+        mcu.enter(PowerState::Active).expect("compute");
+        mcu.advance(Seconds::new(0.06));
+        mcu.power_off();
+
+        let sleep = mcu.energy_in(PowerState::DeepSleep);
+        let sampling = mcu.energy_in(PowerState::Tickless);
+        let active = mcu.energy_in(PowerState::Active);
+        assert!(sleep.as_milli_joules() > 1.5, "60 s sleep is millijoules");
+        assert!(sampling.as_milli_joules() > 1.0);
+        assert!(active.as_milli_joules() > 1.0);
+    }
+}

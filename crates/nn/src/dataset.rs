@@ -1,0 +1,141 @@
+//! Labelled classification datasets.
+
+use crate::tensor::Tensor;
+
+/// A labelled classification dataset: one input tensor per sample.
+#[derive(Debug, Clone)]
+pub struct ClassDataset {
+    inputs: Vec<Tensor>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl ClassDataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs/labels lengths differ, the dataset is empty, or a
+    /// label is out of range.
+    pub fn new(inputs: Vec<Tensor>, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        assert!(!inputs.is_empty(), "dataset must be non-empty");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range for {num_classes} classes"
+        );
+        Self {
+            inputs,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The sample inputs.
+    pub fn inputs(&self) -> &[Tensor] {
+        &self.inputs
+    }
+
+    /// The sample labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// One `(input, label)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> (&Tensor, usize) {
+        (&self.inputs[i], self.labels[i])
+    }
+
+    /// Shape of the input tensors (all samples share it by convention).
+    pub fn input_shape(&self) -> &[usize] {
+        self.inputs[0].shape()
+    }
+
+    /// Splits into `(first, second)` with `first` holding `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not strictly less than the length (both
+    /// halves must be non-empty).
+    pub fn split_at(&self, n: usize) -> (ClassDataset, ClassDataset) {
+        assert!(n > 0 && n < self.len(), "split must leave both halves non-empty");
+        let first = ClassDataset::new(
+            self.inputs[..n].to_vec(),
+            self.labels[..n].to_vec(),
+            self.num_classes,
+        );
+        let second = ClassDataset::new(
+            self.inputs[n..].to_vec(),
+            self.labels[n..].to_vec(),
+            self.num_classes,
+        );
+        (first, second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ClassDataset {
+        let inputs = (0..6).map(|_| Tensor::zeros([2, 2, 1])).collect();
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        ClassDataset::new(inputs, labels, 3)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.input_shape(), &[2, 2, 1]);
+        assert_eq!(d.sample(1).1, 1);
+    }
+
+    #[test]
+    fn split_preserves_order() {
+        let d = tiny();
+        let (a, b) = d.split_at(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.labels(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_rejected() {
+        let _ = ClassDataset::new(vec![Tensor::zeros([1])], vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = ClassDataset::new(vec![Tensor::zeros([1])], vec![0, 1], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_split_rejected() {
+        let d = tiny();
+        let _ = d.split_at(6);
+    }
+}

@@ -1,0 +1,951 @@
+//! Instantiated layers with forward and backward passes.
+//!
+//! Each layer caches whatever it needs from the forward pass (inputs, masks)
+//! and produces input gradients plus parameter gradients on the backward
+//! pass. Gradients accumulate across samples until the optimizer consumes
+//! them, enabling simple minibatch training.
+
+use rand::Rng;
+
+use crate::arch::{LayerSpec, Padding, PoolKind};
+use crate::tensor::Tensor;
+
+/// An instantiated layer.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// 2-D convolution.
+    Conv(Conv2d),
+    /// Depthwise 2-D convolution.
+    DwConv(DwConv2d),
+    /// Max/avg pooling.
+    Pool(Pool2d),
+    /// Per-channel normalization with learned affine.
+    Norm(ChannelNorm),
+    /// ReLU.
+    Relu(Relu),
+    /// Flatten.
+    Flatten(Flatten),
+    /// Fully connected.
+    Dense(Dense),
+    /// Dropout (training-time regularization).
+    Dropout(Dropout),
+}
+
+impl Layer {
+    /// Instantiates a layer for `spec` with the input shape known from the
+    /// spec's shape inference.
+    pub(crate) fn instantiate(
+        spec: &LayerSpec,
+        before: crate::arch::Shape,
+        rng: &mut impl Rng,
+    ) -> Layer {
+        use crate::arch::Shape;
+        match (spec, before) {
+            (
+                LayerSpec::Conv {
+                    filters,
+                    kernel,
+                    stride,
+                    padding,
+                },
+                Shape::Map([_, w, cin]),
+            ) => Layer::Conv(Conv2d::new(
+                cin,
+                *filters,
+                *kernel,
+                (*kernel).min(w),
+                *stride,
+                *padding,
+                rng,
+            )),
+            (
+                LayerSpec::DwConv {
+                    kernel,
+                    stride,
+                    padding,
+                },
+                Shape::Map([_, w, c]),
+            ) => Layer::DwConv(DwConv2d::new(c, *kernel, (*kernel).min(w), *stride, *padding, rng)),
+            (LayerSpec::Pool { kind, size }, Shape::Map([_, w, _])) => {
+                Layer::Pool(Pool2d::new(*kind, *size, (*size).min(w)))
+            }
+            (LayerSpec::Norm, shape) => {
+                let channels = match shape {
+                    Shape::Map([_, _, c]) => c,
+                    Shape::Flat(n) => n,
+                };
+                Layer::Norm(ChannelNorm::new(channels))
+            }
+            (LayerSpec::Relu, _) => Layer::Relu(Relu::default()),
+            (LayerSpec::Flatten, _) => Layer::Flatten(Flatten::default()),
+            (LayerSpec::Dense { units }, Shape::Flat(n)) => {
+                Layer::Dense(Dense::new(n, *units, rng))
+            }
+            (LayerSpec::Dropout { permille }, _) => {
+                Layer::Dropout(Dropout::new(*permille as f32 / 1000.0, rng.gen()))
+            }
+            _ => unreachable!("spec validated before instantiation"),
+        }
+    }
+
+    /// Forward pass, caching state for backward.
+    pub fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        match self {
+            Layer::Conv(l) => l.forward(input),
+            Layer::DwConv(l) => l.forward(input),
+            Layer::Pool(l) => l.forward(input),
+            Layer::Norm(l) => l.forward(input, training),
+            Layer::Relu(l) => l.forward(input),
+            Layer::Flatten(l) => l.forward(input),
+            Layer::Dense(l) => l.forward(input),
+            Layer::Dropout(l) => l.forward(input, training),
+        }
+    }
+
+    /// Backward pass: gradient w.r.t. the layer input, accumulating
+    /// parameter gradients internally.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv(l) => l.backward(grad_out),
+            Layer::DwConv(l) => l.backward(grad_out),
+            Layer::Pool(l) => l.backward(grad_out),
+            Layer::Norm(l) => l.backward(grad_out),
+            Layer::Relu(l) => l.backward(grad_out),
+            Layer::Flatten(l) => l.backward(grad_out),
+            Layer::Dense(l) => l.backward(grad_out),
+            Layer::Dropout(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Mutable views of `(parameter, gradient)` vectors, empty for
+    /// parameterless layers.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Vec<f32>, &mut Vec<f32>)> {
+        match self {
+            Layer::Conv(l) => vec![(&mut l.weights, &mut l.grad_weights), (&mut l.bias, &mut l.grad_bias)],
+            Layer::DwConv(l) => vec![(&mut l.weights, &mut l.grad_weights), (&mut l.bias, &mut l.grad_bias)],
+            Layer::Dense(l) => vec![(&mut l.weights, &mut l.grad_weights), (&mut l.bias, &mut l.grad_bias)],
+            Layer::Norm(l) => vec![(&mut l.scale, &mut l.grad_scale), (&mut l.shift, &mut l.grad_shift)],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for (_, g) in self.params_and_grads() {
+            g.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+}
+
+fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+fn init_weights(rng: &mut impl Rng, n: usize, fan_in: usize) -> Vec<f32> {
+    let std = he_std(fan_in);
+    (0..n).map(|_| rng.gen_range(-2.0f32..2.0) * std / 2.0).collect()
+}
+
+/// 2-D convolution over `[h, w, c]` maps. Kernels may be rectangular when
+/// the input is narrower than the requested square kernel.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    filters: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: Padding,
+    /// `[kh][kw][cin][cout]`, flattened row-major.
+    pub(crate) weights: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) grad_weights: Vec<f32>,
+    pub(crate) grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    fn new(
+        in_channels: usize,
+        filters: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: Padding,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let n = kh * kw * in_channels * filters;
+        Self {
+            in_channels,
+            filters,
+            kh,
+            kw,
+            stride,
+            padding,
+            weights: init_weights(rng, n, kh * kw * in_channels),
+            bias: vec![0.0; filters],
+            grad_weights: vec![0.0; n],
+            grad_bias: vec![0.0; filters],
+            cached_input: None,
+        }
+    }
+
+    #[inline]
+    fn w_at(&self, i: usize, j: usize, ci: usize, co: usize) -> f32 {
+        self.weights[((i * self.kw + j) * self.in_channels + ci) * self.filters + co]
+    }
+
+    fn out_dims(&self, h: usize, w: usize) -> (usize, usize, isize, isize) {
+        match self.padding {
+            Padding::Valid => ((h - self.kh) / self.stride + 1, (w - self.kw) / self.stride + 1, 0, 0),
+            Padding::Same => {
+                let oh = h.div_ceil(self.stride);
+                let ow = w.div_ceil(self.stride);
+                let pad_h = (((oh - 1) * self.stride + self.kh).saturating_sub(h)) / 2;
+                let pad_w = (((ow - 1) * self.stride + self.kw).saturating_sub(w)) / 2;
+                (oh, ow, pad_h as isize, pad_w as isize)
+            }
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [h, w, _c]: [usize; 3] = input.shape().try_into().expect("conv input is rank 3");
+        let (oh, ow, ph, pw) = self.out_dims(h, w);
+        let mut out = Tensor::zeros([oh, ow, self.filters]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for co in 0..self.filters {
+                    let mut acc = self.bias[co];
+                    for i in 0..self.kh {
+                        for j in 0..self.kw {
+                            let iy = (oy * self.stride + i) as isize - ph;
+                            let ix = (ox * self.stride + j) as isize - pw;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            for ci in 0..self.in_channels {
+                                acc += input.at3(iy as usize, ix as usize, ci)
+                                    * self.w_at(i, j, ci, co);
+                            }
+                        }
+                    }
+                    *out.at3_mut(oy, ox, co) = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("forward before backward");
+        let [h, w, _]: [usize; 3] = input.shape().try_into().expect("rank 3");
+        let [oh, ow, _]: [usize; 3] = grad_out.shape().try_into().expect("rank 3");
+        let (_, _, ph, pw) = self.out_dims(h, w);
+        let mut grad_in = Tensor::zeros([h, w, self.in_channels]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for co in 0..self.filters {
+                    let g = grad_out.at3(oy, ox, co);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_bias[co] += g;
+                    for i in 0..self.kh {
+                        for j in 0..self.kw {
+                            let iy = (oy * self.stride + i) as isize - ph;
+                            let ix = (ox * self.stride + j) as isize - pw;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            let (iy, ix) = (iy as usize, ix as usize);
+                            for ci in 0..self.in_channels {
+                                let widx = ((i * self.kw + j) * self.in_channels + ci)
+                                    * self.filters
+                                    + co;
+                                self.grad_weights[widx] += g * input.at3(iy, ix, ci);
+                                *grad_in.at3_mut(iy, ix, ci) += g * self.weights[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Depthwise 2-D convolution: one spatial filter per input channel.
+#[derive(Debug, Clone)]
+pub struct DwConv2d {
+    channels: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: Padding,
+    /// `[kh][kw][c]`, flattened.
+    pub(crate) weights: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) grad_weights: Vec<f32>,
+    pub(crate) grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl DwConv2d {
+    fn new(
+        channels: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: Padding,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let n = kh * kw * channels;
+        Self {
+            channels,
+            kh,
+            kw,
+            stride,
+            padding,
+            weights: init_weights(rng, n, kh * kw),
+            bias: vec![0.0; channels],
+            grad_weights: vec![0.0; n],
+            grad_bias: vec![0.0; channels],
+            cached_input: None,
+        }
+    }
+
+    fn out_dims(&self, h: usize, w: usize) -> (usize, usize, isize, isize) {
+        match self.padding {
+            Padding::Valid => ((h - self.kh) / self.stride + 1, (w - self.kw) / self.stride + 1, 0, 0),
+            Padding::Same => {
+                let oh = h.div_ceil(self.stride);
+                let ow = w.div_ceil(self.stride);
+                let pad_h = (((oh - 1) * self.stride + self.kh).saturating_sub(h)) / 2;
+                let pad_w = (((ow - 1) * self.stride + self.kw).saturating_sub(w)) / 2;
+                (oh, ow, pad_h as isize, pad_w as isize)
+            }
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [h, w, _]: [usize; 3] = input.shape().try_into().expect("rank 3");
+        let (oh, ow, ph, pw) = self.out_dims(h, w);
+        let mut out = Tensor::zeros([oh, ow, self.channels]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for c in 0..self.channels {
+                    let mut acc = self.bias[c];
+                    for i in 0..self.kh {
+                        for j in 0..self.kw {
+                            let iy = (oy * self.stride + i) as isize - ph;
+                            let ix = (ox * self.stride + j) as isize - pw;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            acc += input.at3(iy as usize, ix as usize, c)
+                                * self.weights[(i * self.kw + j) * self.channels + c];
+                        }
+                    }
+                    *out.at3_mut(oy, ox, c) = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("forward before backward");
+        let [h, w, _]: [usize; 3] = input.shape().try_into().expect("rank 3");
+        let [oh, ow, _]: [usize; 3] = grad_out.shape().try_into().expect("rank 3");
+        let (_, _, ph, pw) = self.out_dims(h, w);
+        let mut grad_in = Tensor::zeros([h, w, self.channels]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for c in 0..self.channels {
+                    let g = grad_out.at3(oy, ox, c);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_bias[c] += g;
+                    for i in 0..self.kh {
+                        for j in 0..self.kw {
+                            let iy = (oy * self.stride + i) as isize - ph;
+                            let ix = (ox * self.stride + j) as isize - pw;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            let (iy, ix) = (iy as usize, ix as usize);
+                            let widx = (i * self.kw + j) * self.channels + c;
+                            self.grad_weights[widx] += g * input.at3(iy, ix, c);
+                            *grad_in.at3_mut(iy, ix, c) += g * self.weights[widx];
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Max/avg pooling with non-overlapping windows.
+#[derive(Debug, Clone)]
+pub struct Pool2d {
+    kind: PoolKind,
+    sh: usize,
+    sw: usize,
+    cached_input_shape: Vec<usize>,
+    /// For max pooling: flat input index chosen per output element.
+    argmax: Vec<usize>,
+}
+
+impl Pool2d {
+    fn new(kind: PoolKind, sh: usize, sw: usize) -> Self {
+        Self {
+            kind,
+            sh,
+            sw,
+            cached_input_shape: Vec::new(),
+            argmax: Vec::new(),
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [h, w, c]: [usize; 3] = input.shape().try_into().expect("rank 3");
+        let oh = h / self.sh;
+        let ow = (w / self.sw).max(1);
+        let sw = self.sw.min(w);
+        let mut out = Tensor::zeros([oh, ow, c]);
+        self.cached_input_shape = input.shape().to_vec();
+        self.argmax = vec![0; oh * ow * c];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ch in 0..c {
+                    match self.kind {
+                        PoolKind::Max => {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0;
+                            for i in 0..self.sh {
+                                for j in 0..sw {
+                                    let (iy, ix) = (oy * self.sh + i, ox * sw + j);
+                                    if iy >= h || ix >= w {
+                                        continue;
+                                    }
+                                    let v = input.at3(iy, ix, ch);
+                                    if v > best {
+                                        best = v;
+                                        best_idx = (iy * w + ix) * c + ch;
+                                    }
+                                }
+                            }
+                            *out.at3_mut(oy, ox, ch) = best;
+                            self.argmax[(oy * ow + ox) * c + ch] = best_idx;
+                        }
+                        PoolKind::Avg => {
+                            let mut acc = 0.0;
+                            let mut n = 0;
+                            for i in 0..self.sh {
+                                for j in 0..sw {
+                                    let (iy, ix) = (oy * self.sh + i, ox * sw + j);
+                                    if iy >= h || ix >= w {
+                                        continue;
+                                    }
+                                    acc += input.at3(iy, ix, ch);
+                                    n += 1;
+                                }
+                            }
+                            *out.at3_mut(oy, ox, ch) = acc / n.max(1) as f32;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_input_shape.clone();
+        let [h, w, c]: [usize; 3] = shape.as_slice().try_into().expect("rank 3");
+        let [oh, ow, _]: [usize; 3] = grad_out.shape().try_into().expect("rank 3");
+        let sw = self.sw.min(w);
+        let mut grad_in = Tensor::zeros([h, w, c]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ch in 0..c {
+                    let g = grad_out.at3(oy, ox, ch);
+                    match self.kind {
+                        PoolKind::Max => {
+                            let idx = self.argmax[(oy * ow + ox) * c + ch];
+                            grad_in.data_mut()[idx] += g;
+                        }
+                        PoolKind::Avg => {
+                            let mut cells = Vec::new();
+                            for i in 0..self.sh {
+                                for j in 0..sw {
+                                    let (iy, ix) = (oy * self.sh + i, ox * sw + j);
+                                    if iy < h && ix < w {
+                                        cells.push((iy, ix));
+                                    }
+                                }
+                            }
+                            let share = g / cells.len().max(1) as f32;
+                            for (iy, ix) in cells {
+                                *grad_in.at3_mut(iy, ix, ch) += share;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Per-channel normalization with a learned affine, using running statistics
+/// (inference-mode batch norm semantics; the running stats update during
+/// training with fixed momentum and are treated as constants for gradients).
+#[derive(Debug, Clone)]
+pub struct ChannelNorm {
+    channels: usize,
+    pub(crate) scale: Vec<f32>,
+    pub(crate) shift: Vec<f32>,
+    pub(crate) grad_scale: Vec<f32>,
+    pub(crate) grad_shift: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cached_xhat: Option<Tensor>,
+}
+
+impl ChannelNorm {
+    const MOMENTUM: f32 = 0.05;
+    const EPS: f32 = 1e-5;
+
+    fn new(channels: usize) -> Self {
+        Self {
+            channels,
+            scale: vec![1.0; channels],
+            shift: vec![0.0; channels],
+            grad_scale: vec![0.0; channels],
+            grad_shift: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cached_xhat: None,
+        }
+    }
+
+    fn channel_of(&self, flat_idx: usize, shape: &[usize]) -> usize {
+        if shape.len() == 3 {
+            flat_idx % shape[2]
+        } else {
+            flat_idx % self.channels
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if training {
+            // Update running stats from this sample.
+            let mut sums = vec![0.0f64; self.channels];
+            let mut sqs = vec![0.0f64; self.channels];
+            let mut counts = vec![0usize; self.channels];
+            for (i, &v) in input.data().iter().enumerate() {
+                let c = self.channel_of(i, input.shape());
+                sums[c] += v as f64;
+                sqs[c] += (v * v) as f64;
+                counts[c] += 1;
+            }
+            for c in 0..self.channels {
+                if counts[c] == 0 {
+                    continue;
+                }
+                let mean = (sums[c] / counts[c] as f64) as f32;
+                let var = (sqs[c] / counts[c] as f64) as f32 - mean * mean;
+                self.running_mean[c] =
+                    (1.0 - Self::MOMENTUM) * self.running_mean[c] + Self::MOMENTUM * mean;
+                self.running_var[c] = (1.0 - Self::MOMENTUM) * self.running_var[c]
+                    + Self::MOMENTUM * var.max(0.0);
+            }
+        }
+        let mut xhat = input.clone();
+        let shape = input.shape().to_vec();
+        for (i, v) in xhat.data_mut().iter_mut().enumerate() {
+            let c = self.channel_of(i, &shape);
+            *v = (*v - self.running_mean[c]) / (self.running_var[c] + Self::EPS).sqrt();
+        }
+        let mut out = xhat.clone();
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            let c = self.channel_of(i, &shape);
+            *v = *v * self.scale[c] + self.shift[c];
+        }
+        self.cached_xhat = Some(xhat);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self.cached_xhat.as_ref().expect("forward before backward");
+        let shape = grad_out.shape().to_vec();
+        let mut grad_in = grad_out.clone();
+        for (i, g) in grad_out.data().iter().enumerate() {
+            let c = self.channel_of(i, &shape);
+            self.grad_scale[c] += g * xhat.data()[i];
+            self.grad_shift[c] += g;
+        }
+        for (i, v) in grad_in.data_mut().iter_mut().enumerate() {
+            let c = self.channel_of(i, &shape);
+            *v *= self.scale[c] / (self.running_var[c] + Self::EPS).sqrt();
+        }
+        grad_in
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = grad_out.clone();
+        for (v, &keep) in grad_in.data_mut().iter_mut().zip(&self.mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        grad_in
+    }
+}
+
+/// Flattens a feature map to a vector.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_shape = input.shape().to_vec();
+        input.reshaped([input.len()])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshaped(self.cached_shape.clone())
+    }
+}
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `rate` and scales survivors by `1/(1-rate)`; identity at
+/// inference. Carries its own xorshift state so the layer API stays
+/// RNG-free (seeded at instantiation, so runs remain deterministic).
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    rate: f32,
+    state: u64,
+    mask: Vec<bool>,
+}
+
+impl Dropout {
+    fn new(rate: f32, seed: u64) -> Self {
+        Self {
+            rate,
+            state: seed | 1,
+            mask: Vec::new(),
+        }
+    }
+
+    fn next_unit(&mut self) -> f32 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state >> 11) as f32 / (1u64 << 53) as f32
+    }
+
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if !training || self.rate <= 0.0 {
+            self.mask = vec![true; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        self.mask = (0..input.len()).map(|_| self.next_unit() < keep).collect();
+        let mut out = input.clone();
+        for (v, &k) in out.data_mut().iter_mut().zip(&self.mask) {
+            *v = if k { *v * scale } else { 0.0 };
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let keep = 1.0 - self.rate;
+        let scale = if self.rate > 0.0 { 1.0 / keep } else { 1.0 };
+        let mut grad_in = grad_out.clone();
+        for (v, &k) in grad_in.data_mut().iter_mut().zip(&self.mask) {
+            *v = if k { *v * scale } else { 0.0 };
+        }
+        grad_in
+    }
+}
+
+/// Fully connected layer.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    inputs: usize,
+    units: usize,
+    /// `[inputs][units]`, flattened.
+    pub(crate) weights: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) grad_weights: Vec<f32>,
+    pub(crate) grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    fn new(inputs: usize, units: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            inputs,
+            units,
+            weights: init_weights(rng, inputs * units, inputs),
+            bias: vec![0.0; units],
+            grad_weights: vec![0.0; inputs * units],
+            grad_bias: vec![0.0; units],
+            cached_input: None,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        debug_assert_eq!(input.len(), self.inputs, "dense input size mismatch");
+        let mut out = Tensor::zeros([self.units]);
+        let out_data = out.data_mut();
+        out_data.copy_from_slice(&self.bias);
+        for (i, &x) in input.data().iter().enumerate() {
+            if x == 0.0 {
+                continue;
+            }
+            let row = &self.weights[i * self.units..(i + 1) * self.units];
+            for (o, &w) in out_data.iter_mut().zip(row) {
+                *o += x * w;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("forward before backward");
+        let mut grad_in = Tensor::zeros([self.inputs]);
+        for (j, &g) in grad_out.data().iter().enumerate() {
+            self.grad_bias[j] += g;
+        }
+        let grad_in_data = grad_in.data_mut();
+        for (i, &x) in input.data().iter().enumerate() {
+            let row_start = i * self.units;
+            let mut acc = 0.0;
+            for (j, &g) in grad_out.data().iter().enumerate() {
+                self.grad_weights[row_start + j] += g * x;
+                acc += g * self.weights[row_start + j];
+            }
+            grad_in_data[i] = acc;
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{LayerSpec, ModelSpec};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn make(spec: LayerSpec, input_shape: [usize; 3]) -> Layer {
+        // Build a one-layer spec to get shape checking, then instantiate.
+        let full = ModelSpec::new(
+            input_shape,
+            vec![spec, LayerSpec::flatten(), LayerSpec::dense(2)],
+        )
+        .expect("valid layer under test");
+        Layer::instantiate(&full.layers()[0], full.shape_before(0), &mut rng())
+    }
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let mut relu = Relu::default();
+        let x = Tensor::from_vec([4], vec![-1.0, 0.5, -0.2, 2.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.5, 0.0, 2.0]);
+        let g = relu.backward(&Tensor::from_vec([4], vec![1.0; 4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrips_shape() {
+        let mut f = Flatten::default();
+        let x = Tensor::zeros([2, 3, 4]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[24]);
+        let g = f.backward(&Tensor::zeros([24]));
+        assert_eq!(g.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn dense_forward_is_affine() {
+        let mut d = Dense::new(2, 2, &mut rng());
+        d.weights = vec![1.0, 2.0, 3.0, 4.0]; // [in][out]
+        d.bias = vec![0.5, -0.5];
+        let y = d.forward(&Tensor::from_vec([2], vec![1.0, 1.0]));
+        assert_eq!(y.data(), &[1.0 + 3.0 + 0.5, 2.0 + 4.0 - 0.5]);
+    }
+
+    #[test]
+    fn dense_backward_matches_manual() {
+        let mut d = Dense::new(2, 1, &mut rng());
+        d.weights = vec![2.0, -3.0];
+        d.bias = vec![0.0];
+        let x = Tensor::from_vec([2], vec![0.5, 1.5]);
+        let _ = d.forward(&x);
+        let gin = d.backward(&Tensor::from_vec([1], vec![2.0]));
+        // dL/dx = g * W
+        assert_eq!(gin.data(), &[4.0, -6.0]);
+        // dL/dW = g * x
+        assert_eq!(d.grad_weights, vec![1.0, 3.0]);
+        assert_eq!(d.grad_bias, vec![2.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut p = Pool2d::new(PoolKind::Max, 2, 2);
+        let x = Tensor::from_vec([2, 2, 1], vec![1.0, 5.0, 2.0, 3.0]);
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[5.0]);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1], vec![7.0]));
+        assert_eq!(g.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_distributes_gradient() {
+        let mut p = Pool2d::new(PoolKind::Avg, 2, 2);
+        let x = Tensor::from_vec([2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[2.5]);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1], vec![4.0]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_signal() {
+        let mut layer = make(LayerSpec::conv(1, 1, 1, Padding::Valid), [3, 3, 1]);
+        if let Layer::Conv(c) = &mut layer {
+            c.weights = vec![1.0];
+            c.bias = vec![0.0];
+        }
+        let x = Tensor::from_vec([3, 3, 1], (0..9).map(|i| i as f32).collect());
+        let y = layer.forward(&x, true);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        // Numerical gradient check on a small conv.
+        let mut layer = make(LayerSpec::conv(2, 2, 1, Padding::Valid), [3, 3, 1]);
+        let x = Tensor::from_vec([3, 3, 1], (0..9).map(|i| (i as f32) / 9.0 - 0.4).collect());
+        let y = layer.forward(&x, true);
+        // Loss = sum of outputs → grad_out = ones.
+        let ones = Tensor::from_vec(y.shape().to_vec(), vec![1.0; y.len()]);
+        let gin = layer.backward(&ones);
+        // Numerically perturb each input element.
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let yp: f32 = layer.forward(&xp, true).data().iter().sum();
+            let ym: f32 = layer.forward(&xm, true).data().iter().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = gin.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "conv grad mismatch at {idx}: numeric {num}, analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn dwconv_gradient_check() {
+        let mut layer = make(LayerSpec::dw_conv(2, 1, Padding::Valid), [3, 3, 2]);
+        let x = Tensor::from_vec(
+            [3, 3, 2],
+            (0..18).map(|i| (i as f32) / 18.0 - 0.3).collect(),
+        );
+        let y = layer.forward(&x, true);
+        let ones = Tensor::from_vec(y.shape().to_vec(), vec![1.0; y.len()]);
+        let gin = layer.backward(&ones);
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let yp: f32 = layer.forward(&xp, true).data().iter().sum();
+            let ym: f32 = layer.forward(&xm, true).data().iter().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - gin.data()[idx]).abs() < 1e-2,
+                "dwconv grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_padding_conv_keeps_spatial_dims() {
+        let mut layer = make(LayerSpec::conv(3, 3, 1, Padding::Same), [5, 4, 2]);
+        let x = Tensor::zeros([5, 4, 2]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.shape(), &[5, 4, 3]);
+    }
+
+    #[test]
+    fn norm_standardizes_and_learns_affine() {
+        let mut n = ChannelNorm::new(1);
+        let x = Tensor::from_vec([4, 1, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        // Train a few passes so running stats adapt.
+        for _ in 0..200 {
+            let _ = n.forward(&x, true);
+        }
+        let y = n.forward(&x, false);
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 0.2, "normalized mean near zero, got {mean}");
+        // Backward accumulates affine gradients.
+        let _ = n.forward(&x, true);
+        let _ = n.backward(&Tensor::from_vec([4, 1, 1], vec![1.0; 4]));
+        assert!(n.grad_shift[0] == 4.0);
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulation() {
+        let mut d = Dense::new(4, 3, &mut rng());
+        let x = Tensor::from_vec([4], vec![1.0; 4]);
+        let _ = d.forward(&x);
+        let _ = d.backward(&Tensor::from_vec([3], vec![1.0; 3]));
+        assert!(d.grad_weights.iter().any(|&g| g != 0.0));
+        let mut wrapped = Layer::Dense(d);
+        wrapped.zero_grads();
+        if let Layer::Dense(d) = &wrapped {
+            assert!(d.grad_weights.iter().all(|&g| g == 0.0));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Computes softmax cross-entropy against an integer label.
+///
+/// Returns `(loss, gradient)` where the gradient is w.r.t. the raw scores
+/// (`softmax(x) − onehot(label)`), ready to feed into
+/// [`Model::backward`](crate::Model::backward).
+///
+/// # Panics
+///
+/// Panics if `label` is out of range for the score vector.
+pub fn softmax_cross_entropy(scores: &Tensor, label: usize) -> (f32, Tensor) {
+    let n = scores.len();
+    assert!(label < n, "label {label} out of range for {n} classes");
+    let max = scores
+        .data()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scores.data().iter().map(|&s| (s - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -(probs[label].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[label] -= 1.0;
+    (loss, Tensor::from_vec(scores.shape().to_vec(), grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_scores_give_log_n() {
+        let scores = Tensor::from_vec([4], vec![0.0; 4]);
+        let (loss, _) = softmax_cross_entropy(&scores, 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let scores = Tensor::from_vec([3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&scores, 0);
+        assert!(loss < 0.01);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_high_loss() {
+        let scores = Tensor::from_vec([3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&scores, 1);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let scores = Tensor::from_vec([5], vec![1.0, -2.0, 0.5, 3.0, 0.0]);
+        let (_, grad) = softmax_cross_entropy(&scores, 3);
+        let sum: f32 = grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_negative_only_at_label() {
+        let scores = Tensor::from_vec([3], vec![0.3, 0.1, -0.4]);
+        let (_, grad) = softmax_cross_entropy(&scores, 1);
+        assert!(grad.data()[1] < 0.0);
+        assert!(grad.data()[0] > 0.0);
+        assert!(grad.data()[2] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let scores = Tensor::from_vec([3], vec![0.0; 3]);
+        let _ = softmax_cross_entropy(&scores, 3);
+    }
+
+    #[test]
+    fn large_scores_are_numerically_stable() {
+        let scores = Tensor::from_vec([3], vec![1000.0, 999.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&scores, 0);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    proptest! {
+        #[test]
+        fn numeric_gradient_check(
+            scores in proptest::collection::vec(-3.0f32..3.0, 4),
+            label in 0usize..4,
+        ) {
+            let t = Tensor::from_vec([4], scores.clone());
+            let (_, grad) = softmax_cross_entropy(&t, label);
+            let eps = 1e-3;
+            for i in 0..4 {
+                let mut plus = scores.clone();
+                plus[i] += eps;
+                let mut minus = scores.clone();
+                minus[i] -= eps;
+                let (lp, _) = softmax_cross_entropy(&Tensor::from_vec([4], plus), label);
+                let (lm, _) = softmax_cross_entropy(&Tensor::from_vec([4], minus), label);
+                let num = (lp - lm) / (2.0 * eps);
+                prop_assert!((num - grad.data()[i]).abs() < 1e-2);
+            }
+        }
+    }
+}

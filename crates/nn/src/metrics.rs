@@ -1,0 +1,211 @@
+//! Classification metrics beyond plain accuracy.
+
+use crate::dataset::ClassDataset;
+use crate::model::Model;
+
+/// A square confusion matrix: `counts[true_class][predicted_class]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix by running `model` over `data`.
+    pub fn compute(model: &mut Model, data: &ClassDataset) -> Self {
+        let k = data.num_classes();
+        let mut counts = vec![vec![0usize; k]; k];
+        for i in 0..data.len() {
+            let (x, label) = data.sample(i);
+            let pred = model.predict(x);
+            counts[label][pred.min(k - 1)] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of samples with true class `t` predicted as `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.num_classes()).map(|i| self.counts[i][i]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Per-class recall (`None` for classes with no samples).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = self.counts[class].iter().sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / row as f64)
+        }
+    }
+
+    /// Per-class precision (`None` for classes never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: usize = self.counts.iter().map(|r| r[class]).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / col as f64)
+        }
+    }
+
+    /// Macro-averaged F1 over classes with defined precision and recall.
+    pub fn macro_f1(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.num_classes() {
+            if let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) {
+                if p + r > 0.0 {
+                    total += 2.0 * p * r / (p + r);
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// The most confused pair `(true, predicted, count)` off the diagonal,
+    /// or `None` if the model never errs.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut worst = None;
+        for t in 0..self.num_classes() {
+            for p in 0..self.num_classes() {
+                if t != p && self.counts[t][p] > 0 {
+                    let better = worst
+                        .map(|(_, _, c)| self.counts[t][p] > c)
+                        .unwrap_or(true);
+                    if better {
+                        worst = Some((t, p, self.counts[t][p]));
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// Top-`k` accuracy: the fraction of samples whose true class is among the
+/// `k` highest scores.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn top_k_accuracy(model: &mut Model, data: &ClassDataset, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let mut hits = 0usize;
+    for i in 0..data.len() {
+        let (x, label) = data.sample(i);
+        let scores = model.infer(x);
+        let mut ranked: Vec<usize> = (0..scores.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            scores.data()[b]
+                .partial_cmp(&scores.data()[a])
+                .expect("finite scores")
+        });
+        if ranked[..k.min(ranked.len())].contains(&label) {
+            hits += 1;
+        }
+    }
+    hits as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{LayerSpec, ModelSpec};
+    use crate::tensor::Tensor;
+    use crate::train::{fit, TrainConfig};
+    use rand::SeedableRng;
+
+    fn trained_setup() -> (Model, ClassDataset) {
+        let spec = ModelSpec::new(
+            [4, 1, 1],
+            vec![LayerSpec::flatten(), LayerSpec::dense(8), LayerSpec::relu(), LayerSpec::dense(2)],
+        )
+        .expect("valid");
+        let inputs: Vec<Tensor> = (0..40)
+            .map(|i| {
+                let level = if i % 2 == 0 { 0.2 } else { 0.8 };
+                Tensor::from_vec([4, 1, 1], vec![level; 4])
+            })
+            .collect();
+        let labels = (0..40).map(|i| i % 2).collect();
+        let data = ClassDataset::new(inputs, labels, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut model = Model::from_spec(&spec, &mut rng);
+        fit(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 25,
+                ..TrainConfig::default()
+            },
+            &mut rng,
+        );
+        (model, data)
+    }
+
+    #[test]
+    fn confusion_matrix_matches_accuracy() {
+        let (mut model, data) = trained_setup();
+        let cm = ConfusionMatrix::compute(&mut model, &data);
+        let acc = crate::train::evaluate(&mut model, &data);
+        assert!((cm.accuracy() - acc).abs() < 1e-12);
+        assert_eq!(cm.num_classes(), 2);
+        let total: usize = (0..2).flat_map(|t| (0..2).map(move |p| (t, p)))
+            .map(|(t, p)| cm.count(t, p))
+            .sum();
+        assert_eq!(total, data.len());
+    }
+
+    #[test]
+    fn perfect_model_has_no_worst_confusion() {
+        let (mut model, data) = trained_setup();
+        let cm = ConfusionMatrix::compute(&mut model, &data);
+        if cm.accuracy() == 1.0 {
+            assert!(cm.worst_confusion().is_none());
+            assert_eq!(cm.recall(0), Some(1.0));
+            assert_eq!(cm.precision(1), Some(1.0));
+            assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_k_is_monotone_in_k() {
+        let (mut model, data) = trained_setup();
+        let t1 = top_k_accuracy(&mut model, &data, 1);
+        let t2 = top_k_accuracy(&mut model, &data, 2);
+        assert!(t2 >= t1);
+        // k = num_classes is always 1.0.
+        assert!((t2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn top_zero_panics() {
+        let (mut model, data) = trained_setup();
+        let _ = top_k_accuracy(&mut model, &data, 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! An instantiated, trainable model.
+
+use rand::Rng;
+
+use crate::arch::ModelSpec;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A sequential model instantiated from a [`ModelSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use solarml_nn::{arch::{LayerSpec, ModelSpec}, Model, Tensor};
+///
+/// # fn main() -> Result<(), solarml_nn::ArchError> {
+/// let spec = ModelSpec::new(
+///     [4, 4, 1],
+///     vec![LayerSpec::flatten(), LayerSpec::dense(3)],
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut model = Model::from_spec(&spec, &mut rng);
+/// let scores = model.infer(&Tensor::zeros([4, 4, 1]));
+/// assert_eq!(scores.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    spec: ModelSpec,
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Instantiates random weights for a validated spec.
+    pub fn from_spec(spec: &ModelSpec, rng: &mut impl Rng) -> Self {
+        let layers = spec
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Layer::instantiate(l, spec.shape_before(i), rng))
+            .collect();
+        Self {
+            spec: spec.clone(),
+            layers,
+        }
+    }
+
+    /// The architecture this model was built from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Forward pass in training mode (caches activations, updates norm
+    /// statistics).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.pass(input, true)
+    }
+
+    /// Forward pass in inference mode (class scores, no caching effects on
+    /// statistics).
+    pub fn infer(&mut self, input: &Tensor) -> Tensor {
+        self.pass(input, false)
+    }
+
+    fn pass(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, training);
+        }
+        x
+    }
+
+    /// Backpropagates `grad_out` through the whole network, accumulating
+    /// parameter gradients.
+    pub fn backward(&mut self, grad_out: &Tensor) {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Iterates over `(params, grads)` pairs for every trainable tensor.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Vec<f32>, &mut Vec<f32>)> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads())
+            .collect()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.params_and_grads().iter().map(|(p, _)| p.len()).sum()
+    }
+
+    /// Predicted class for an input.
+    pub fn predict(&mut self, input: &Tensor) -> usize {
+        self.infer(input).argmax()
+    }
+
+    /// Snapshots all trainable parameters in a stable order (for
+    /// checkpointing or transferring weights between models of the same
+    /// spec).
+    pub fn export_weights(&mut self) -> Vec<Vec<f32>> {
+        self.params_and_grads()
+            .into_iter()
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// Restores parameters from a snapshot taken by [`Model::export_weights`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the snapshot's tensor count or any tensor length
+    /// does not match this model.
+    pub fn import_weights(&mut self, weights: &[Vec<f32>]) -> Result<(), String> {
+        let mut pairs = self.params_and_grads();
+        if pairs.len() != weights.len() {
+            return Err(format!(
+                "snapshot has {} tensors, model has {}",
+                weights.len(),
+                pairs.len()
+            ));
+        }
+        for (i, ((p, _), w)) in pairs.iter_mut().zip(weights).enumerate() {
+            if p.len() != w.len() {
+                return Err(format!(
+                    "tensor {i} length mismatch: snapshot {} vs model {}",
+                    w.len(),
+                    p.len()
+                ));
+            }
+        }
+        for ((p, _), w) in pairs.iter_mut().zip(weights) {
+            p.copy_from_slice(w);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{LayerSpec, Padding};
+    use rand::SeedableRng;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new(
+            [6, 6, 1],
+            vec![
+                LayerSpec::conv(4, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(3),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn param_count_matches_spec() {
+        let s = spec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Model::from_spec(&s, &mut rng);
+        assert_eq!(model.num_params(), s.param_count());
+    }
+
+    #[test]
+    fn forward_shape_matches_output_units() {
+        let s = spec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Model::from_spec(&s, &mut rng);
+        let y = model.infer(&Tensor::zeros([6, 6, 1]));
+        assert_eq!(y.len(), s.output_units());
+    }
+
+    #[test]
+    fn backward_fills_gradients() {
+        let s = spec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Model::from_spec(&s, &mut rng);
+        let x = Tensor::from_vec([6, 6, 1], (0..36).map(|i| i as f32 / 36.0).collect());
+        let y = model.forward(&x);
+        model.backward(&Tensor::from_vec([3], vec![1.0; 3]));
+        let has_grads = model
+            .params_and_grads()
+            .iter()
+            .any(|(_, g)| g.iter().any(|&v| v != 0.0));
+        assert!(has_grads);
+        let _ = y;
+        model.zero_grads();
+        let all_zero = model
+            .params_and_grads()
+            .iter()
+            .all(|(_, g)| g.iter().all(|&v| v == 0.0));
+        assert!(all_zero);
+    }
+
+    #[test]
+    fn weight_snapshot_roundtrips() {
+        let s = spec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut a = Model::from_spec(&s, &mut rng);
+        let mut b = Model::from_spec(&s, &mut rng);
+        let x = Tensor::from_vec([6, 6, 1], (0..36).map(|i| i as f32 / 36.0).collect());
+        assert_ne!(a.infer(&x).data(), b.infer(&x).data());
+        let snap = a.export_weights();
+        b.import_weights(&snap).expect("shapes match");
+        assert_eq!(a.infer(&x).data(), b.infer(&x).data());
+    }
+
+    #[test]
+    fn import_rejects_wrong_shapes() {
+        let s = spec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Model::from_spec(&s, &mut rng);
+        let err = model.import_weights(&[vec![0.0; 3]]).expect_err("count mismatch");
+        assert!(err.contains("tensors"));
+        let mut snap = model.export_weights();
+        snap[0].push(0.0);
+        let err = model.import_weights(&snap).expect_err("length mismatch");
+        assert!(err.contains("length mismatch"));
+    }
+
+    #[test]
+    fn different_seeds_give_different_weights() {
+        let s = spec();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(2);
+        let mut m1 = Model::from_spec(&s, &mut r1);
+        let mut m2 = Model::from_spec(&s, &mut r2);
+        let x = Tensor::from_vec([6, 6, 1], (0..36).map(|i| i as f32 / 36.0).collect());
+        assert_ne!(m1.infer(&x).data(), m2.infer(&x).data());
+    }
+}

@@ -1,0 +1,540 @@
+//! Multi-exit networks with confidence-based early exit — the mechanism
+//! behind HarvNet (MobiSys '23), one of the energy-aware NAS systems the
+//! paper compares against.
+//!
+//! A [`MultiExitModel`] attaches small classifier heads at intermediate
+//! depths of a backbone. At inference, the input flows through the backbone
+//! until some head's softmax confidence clears a threshold; the remaining
+//! layers (and their energy) are skipped. On energy-harvesting devices this
+//! trades accuracy for a *data-dependent* energy saving: easy inputs exit
+//! early and cheap.
+
+use rand::Rng;
+
+use crate::arch::{ArchError, LayerSpec, MacSummary, ModelSpec};
+use crate::dataset::ClassDataset;
+use crate::layers::Layer;
+use crate::loss::softmax_cross_entropy;
+use crate::model::Model;
+use crate::tensor::Tensor;
+
+/// A backbone with exit heads after selected layers.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use solarml_nn::arch::{LayerSpec, ModelSpec, Padding};
+/// use solarml_nn::multi_exit::MultiExitModel;
+///
+/// # fn main() -> Result<(), solarml_nn::ArchError> {
+/// let backbone = ModelSpec::new(
+///     [8, 8, 1],
+///     vec![
+///         LayerSpec::conv(4, 3, 1, Padding::Same),
+///         LayerSpec::relu(),
+///         LayerSpec::conv(8, 3, 1, Padding::Same),
+///         LayerSpec::relu(),
+///         LayerSpec::flatten(),
+///         LayerSpec::dense(4),
+///     ],
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// // One early exit after layer 1 (the first relu).
+/// let model = MultiExitModel::new(&backbone, &[2], 4, &mut rng)?;
+/// assert_eq!(model.num_exits(), 2); // the early head + the final output
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiExitModel {
+    backbone_spec: ModelSpec,
+    backbone: Vec<Layer>,
+    /// `(position, head)` pairs: the head consumes the activation *after*
+    /// backbone layer `position − 1` (i.e. `position` layers have run).
+    heads: Vec<(usize, Vec<Layer>)>,
+    num_classes: usize,
+}
+
+/// The result of an early-exit inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitDecision {
+    /// Class scores of the exit taken.
+    pub scores: Tensor,
+    /// Which exit fired (0 = earliest head, `num_exits()-1` = final output).
+    pub exit_index: usize,
+    /// MACs actually executed (backbone prefix + heads evaluated).
+    pub macs_spent: u64,
+    /// Peak softmax confidence at the taken exit.
+    pub confidence: f32,
+}
+
+impl MultiExitModel {
+    /// Builds a backbone with dense exit heads after the given layer
+    /// positions. Positions index into the backbone's layer sequence; an
+    /// exit at position `p` sees the activation after the first `p` layers.
+    /// The backbone's own output acts as the final exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchError`] if a position is out of range or if a head
+    /// cannot be attached at it.
+    pub fn new(
+        backbone: &ModelSpec,
+        exit_positions: &[usize],
+        num_classes: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, ArchError> {
+        let n_layers = backbone.layers().len();
+        let mut heads = Vec::new();
+        for &pos in exit_positions {
+            if pos == 0 || pos >= n_layers {
+                return Err(ArchError {
+                    layer: pos,
+                    reason: format!("exit position must be in 1..{n_layers}"),
+                });
+            }
+            // Head = flatten + dense(num_classes) attached at the prefix
+            // output shape; validate by building a prefix+head spec.
+            let mut layers: Vec<LayerSpec> = backbone.layers()[..pos].to_vec();
+            layers.push(LayerSpec::flatten());
+            layers.push(LayerSpec::dense(num_classes));
+            let head_spec = ModelSpec::new(backbone.input_shape(), layers)?;
+            // Instantiate only the two head layers (the last two).
+            let total = head_spec.layers().len();
+            let head: Vec<Layer> = (total - 2..total)
+                .map(|i| {
+                    Layer::instantiate(
+                        &head_spec.layers()[i],
+                        head_spec.shape_before(i),
+                        rng,
+                    )
+                })
+                .collect();
+            heads.push((pos, head));
+        }
+        heads.sort_by_key(|(p, _)| *p);
+        let backbone_layers = backbone
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Layer::instantiate(l, backbone.shape_before(i), rng))
+            .collect();
+        Ok(Self {
+            backbone_spec: backbone.clone(),
+            backbone: backbone_layers,
+            heads,
+            num_classes,
+        })
+    }
+
+    /// Number of exits, counting the backbone's final output.
+    pub fn num_exits(&self) -> usize {
+        self.heads.len() + 1
+    }
+
+    /// The backbone architecture.
+    pub fn backbone_spec(&self) -> &ModelSpec {
+        &self.backbone_spec
+    }
+
+    /// MACs of the backbone prefix up to (exclusive) layer `pos`, plus the
+    /// MACs of the head attached there.
+    fn macs_at_exit(&self, exit_index: usize) -> u64 {
+        let cumulative = self.cumulative_backbone_macs();
+        if exit_index < self.heads.len() {
+            let (pos, _) = &self.heads[exit_index];
+            let head_macs = self.head_macs(exit_index);
+            cumulative[*pos] + head_macs
+        } else {
+            *cumulative.last().expect("non-empty backbone")
+        }
+    }
+
+    fn cumulative_backbone_macs(&self) -> Vec<u64> {
+        // Per-layer MACs from successive prefix summaries.
+        let mut out = vec![0u64];
+        for pos in 1..=self.backbone_spec.layers().len() {
+            let summary = prefix_macs(&self.backbone_spec, pos);
+            out.push(summary.total());
+        }
+        out
+    }
+
+    fn head_macs(&self, exit_index: usize) -> u64 {
+        let (pos, _) = &self.heads[exit_index];
+        let mut layers: Vec<LayerSpec> = self.backbone_spec.layers()[..*pos].to_vec();
+        layers.push(LayerSpec::flatten());
+        layers.push(LayerSpec::dense(self.num_classes));
+        let spec = ModelSpec::new(self.backbone_spec.input_shape(), layers)
+            .expect("validated at construction");
+        let full = spec.mac_summary().total();
+        full - prefix_macs(&self.backbone_spec, *pos).total()
+    }
+
+    /// Runs inference with confidence-threshold early exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 1]`.
+    pub fn infer_early_exit(&mut self, input: &Tensor, threshold: f32) -> ExitDecision {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0,1], got {threshold}"
+        );
+        let mut x = input.clone();
+        let mut layer_idx = 0usize;
+        let mut macs = 0u64;
+        let cumulative = self.cumulative_backbone_macs();
+        for (exit_index, (pos, head)) in self.heads.iter_mut().enumerate() {
+            // Advance the backbone to this exit's position.
+            while layer_idx < *pos {
+                x = self.backbone[layer_idx].forward(&x, false);
+                layer_idx += 1;
+            }
+            macs = cumulative[*pos];
+            // Evaluate the head.
+            let mut h = x.clone();
+            for layer in head.iter_mut() {
+                h = layer.forward(&h, false);
+            }
+            let confidence = softmax_peak(&h);
+            if confidence >= threshold {
+                return ExitDecision {
+                    scores: h,
+                    exit_index,
+                    macs_spent: macs + head_macs_static(&self.backbone_spec, *pos, self.num_classes),
+                    confidence,
+                };
+            }
+        }
+        // Fall through to the final output.
+        while layer_idx < self.backbone.len() {
+            x = self.backbone[layer_idx].forward(&x, false);
+            layer_idx += 1;
+        }
+        let confidence = softmax_peak(&x);
+        let _ = macs;
+        ExitDecision {
+            scores: x,
+            exit_index: self.num_exits() - 1,
+            macs_spent: *cumulative.last().expect("non-empty"),
+            confidence,
+        }
+    }
+
+    /// Trains backbone and heads jointly: each sample backpropagates the
+    /// summed loss of every exit (the standard multi-exit recipe).
+    pub fn fit(
+        &mut self,
+        data: &ClassDataset,
+        epochs: usize,
+        learning_rate: f32,
+        rng: &mut impl Rng,
+    ) {
+        use crate::optimizer::{Adam, Optimizer};
+        use rand::seq::SliceRandom;
+        let mut opt = Adam::new(learning_rate);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let (input, label) = data.sample(i);
+                self.zero_grads();
+                self.train_step(input, label);
+                let mut pairs = self.params_and_grads();
+                opt.step(&mut pairs);
+            }
+        }
+    }
+
+    fn train_step(&mut self, input: &Tensor, label: usize) {
+        // Forward through the backbone, caching activations at exit points.
+        let mut x = input.clone();
+        let mut taps: Vec<Tensor> = Vec::new();
+        let mut next_exit = 0usize;
+        for (i, layer) in self.backbone.iter_mut().enumerate() {
+            x = layer.forward(&x, true);
+            while next_exit < self.heads.len() && self.heads[next_exit].0 == i + 1 {
+                taps.push(x.clone());
+                next_exit += 1;
+            }
+        }
+        // Final-exit loss gradient through the whole backbone; head losses
+        // join the backbone gradient at their tap points.
+        let (_, grad) = softmax_cross_entropy(&x, label);
+        let mut g = grad;
+        for i in (0..self.backbone.len()).rev() {
+            g = self.backbone[i].backward(&g);
+            let head_indices: Vec<usize> = self
+                .heads
+                .iter()
+                .enumerate()
+                .filter(|(_, (pos, _))| *pos == i)
+                .map(|(idx, _)| idx)
+                .collect();
+            for exit_index in head_indices {
+                let tap = taps[exit_index].clone();
+                let head_grad = self.head_backward(exit_index, &tap, label);
+                g.add_scaled(&head_grad, 1.0);
+            }
+        }
+    }
+
+    fn head_backward(&mut self, exit_index: usize, tap: &Tensor, label: usize) -> Tensor {
+        let head = &mut self.heads[exit_index].1;
+        let mut h = tap.clone();
+        for layer in head.iter_mut() {
+            h = layer.forward(&h, true);
+        }
+        let (_, grad) = softmax_cross_entropy(&h, label);
+        let mut g = grad;
+        for layer in head.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn zero_grads(&mut self) {
+        for layer in &mut self.backbone {
+            layer.zero_grads();
+        }
+        for (_, head) in &mut self.heads {
+            for layer in head {
+                layer.zero_grads();
+            }
+        }
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Vec<f32>, &mut Vec<f32>)> {
+        let mut out = Vec::new();
+        for layer in &mut self.backbone {
+            out.extend(layer.params_and_grads());
+        }
+        for (_, head) in &mut self.heads {
+            for layer in head {
+                out.extend(layer.params_and_grads());
+            }
+        }
+        out
+    }
+
+    /// Evaluates early-exit accuracy and average MACs on a dataset.
+    pub fn evaluate_early_exit(
+        &mut self,
+        data: &ClassDataset,
+        threshold: f32,
+    ) -> (f64, f64) {
+        let mut correct = 0usize;
+        let mut total_macs = 0u64;
+        for i in 0..data.len() {
+            let (x, label) = data.sample(i);
+            let decision = self.infer_early_exit(x, threshold);
+            if decision.scores.argmax() == label {
+                correct += 1;
+            }
+            total_macs += decision.macs_spent;
+        }
+        (
+            correct as f64 / data.len() as f64,
+            total_macs as f64 / data.len() as f64,
+        )
+    }
+
+    /// The MAC budget of each exit, earliest to final.
+    pub fn exit_macs(&self) -> Vec<u64> {
+        (0..self.num_exits()).map(|e| self.macs_at_exit(e)).collect()
+    }
+}
+
+/// MACs of the first `pos` layers of `spec` — computed by capping the
+/// prefix with `flatten + dense(1)` (so it validates as a model) and
+/// subtracting the cap's dense MACs.
+fn prefix_macs(spec: &ModelSpec, pos: usize) -> MacSummary {
+    let mut layers: Vec<LayerSpec> = spec.layers()[..pos].to_vec();
+    layers.push(LayerSpec::flatten());
+    layers.push(LayerSpec::dense(1));
+    let capped = ModelSpec::new(spec.input_shape(), layers).expect("prefix of a valid spec");
+    let summary = capped.mac_summary();
+    let cap = dense_cap_macs(spec, pos);
+    let mut out = MacSummary::default();
+    for class in crate::arch::LayerClass::ALL {
+        let macs = summary.class(class);
+        if class == crate::arch::LayerClass::Dense {
+            out.add(class, macs - cap);
+        } else {
+            out.add(class, macs);
+        }
+    }
+    out
+}
+
+/// MACs of a `flatten + dense(1)` cap at prefix position `pos`.
+fn dense_cap_macs(spec: &ModelSpec, pos: usize) -> u64 {
+    let mut one = spec.layers()[..pos].to_vec();
+    one.push(LayerSpec::flatten());
+    one.push(LayerSpec::dense(1));
+    let s1 = ModelSpec::new(spec.input_shape(), one).expect("valid prefix");
+    let mut two = spec.layers()[..pos].to_vec();
+    two.push(LayerSpec::flatten());
+    two.push(LayerSpec::dense(2));
+    let s2 = ModelSpec::new(spec.input_shape(), two).expect("valid prefix");
+    // dense(2) − dense(1) = flattened size; dense(1) = flattened size × 1.
+    s2.mac_summary().class(crate::arch::LayerClass::Dense)
+        - s1.mac_summary().class(crate::arch::LayerClass::Dense)
+}
+
+/// MACs of the dense head (flatten + dense(classes)) at `pos`.
+fn head_macs_static(spec: &ModelSpec, pos: usize, classes: usize) -> u64 {
+    dense_cap_macs(spec, pos) * classes as u64
+}
+
+fn softmax_peak(scores: &Tensor) -> f32 {
+    let max = scores
+        .data()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scores.data().iter().map(|&s| (s - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().copied().fold(0.0, f32::max) / sum
+}
+
+/// Convenience: the full-model accuracy of a plain [`Model`] with the same
+/// backbone, for comparing against early-exit accuracy.
+pub fn backbone_accuracy(
+    spec: &ModelSpec,
+    data: &ClassDataset,
+    epochs: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let mut model = Model::from_spec(spec, rng);
+    crate::train::fit(
+        &mut model,
+        data,
+        &crate::train::TrainConfig {
+            epochs,
+            ..crate::train::TrainConfig::default()
+        },
+        rng,
+    );
+    crate::train::evaluate(&mut model, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Padding;
+    use rand::SeedableRng;
+
+    fn backbone() -> ModelSpec {
+        ModelSpec::new(
+            [8, 8, 1],
+            vec![
+                LayerSpec::conv(6, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::conv(12, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(4),
+            ],
+        )
+        .expect("valid backbone")
+    }
+
+    /// Four-class corner dataset on an 8×8 grid.
+    fn corners(n: usize, noise: f32) -> ClassDataset {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+        use rand::Rng as _;
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| {
+                let class = i % 4;
+                let (r0, c0) = [(0, 0), (0, 4), (4, 0), (4, 4)][class];
+                let mut t = Tensor::zeros([8, 8, 1]);
+                for r in 0..8 {
+                    for c in 0..8 {
+                        let inside = r >= r0 && r < r0 + 4 && c >= c0 && c < c0 + 4;
+                        let v = if inside { 0.9 } else { 0.1 };
+                        *t.at3_mut(r, c, 0) = v + rng.gen_range(-noise..noise.max(1e-6));
+                    }
+                }
+                t
+            })
+            .collect();
+        ClassDataset::new(inputs, (0..n).map(|i| i % 4).collect(), 4)
+    }
+
+    #[test]
+    fn construction_validates_positions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(MultiExitModel::new(&backbone(), &[0], 4, &mut rng).is_err());
+        assert!(MultiExitModel::new(&backbone(), &[99], 4, &mut rng).is_err());
+        let m = MultiExitModel::new(&backbone(), &[2, 5], 4, &mut rng).expect("valid");
+        assert_eq!(m.num_exits(), 3);
+    }
+
+    #[test]
+    fn exit_macs_increase_with_depth() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = MultiExitModel::new(&backbone(), &[2, 5], 4, &mut rng).expect("valid");
+        let macs = m.exit_macs();
+        assert_eq!(macs.len(), 3);
+        assert!(macs[0] < macs[1], "deeper exits cost more: {macs:?}");
+        assert!(macs[1] < macs[2] + macs[1], "final exit carries the full backbone");
+        assert!(macs[0] > 0);
+    }
+
+    #[test]
+    fn threshold_one_never_exits_early_and_zero_point_two_often_does() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut m = MultiExitModel::new(&backbone(), &[2], 4, &mut rng).expect("valid");
+        let data = corners(32, 0.02);
+        m.fit(&data, 10, 0.01, &mut rng);
+        // threshold 1.0 is (almost) unreachable → final exit.
+        let x = data.sample(0).0;
+        let final_exit = m.infer_early_exit(x, 1.0);
+        assert_eq!(final_exit.exit_index, m.num_exits() - 1);
+        // A loose threshold exits at the head for easy data.
+        let (acc, avg_macs) = m.evaluate_early_exit(&data, 0.6);
+        let (_, full_macs) = m.evaluate_early_exit(&data, 1.0);
+        assert!(acc > 0.7, "early-exit accuracy {acc}");
+        assert!(
+            avg_macs < full_macs,
+            "early exits must save MACs: {avg_macs} vs {full_macs}"
+        );
+    }
+
+    #[test]
+    fn early_exit_saves_energy_with_modest_accuracy_cost() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut m = MultiExitModel::new(&backbone(), &[2], 4, &mut rng).expect("valid");
+        let data = corners(48, 0.05);
+        m.fit(&data, 12, 0.01, &mut rng);
+        let (acc_full, macs_full) = m.evaluate_early_exit(&data, 1.0);
+        let (acc_early, macs_early) = m.evaluate_early_exit(&data, 0.5);
+        assert!(macs_early < 0.9 * macs_full, "{macs_early} vs {macs_full}");
+        assert!(
+            acc_early >= acc_full - 0.2,
+            "early exit shouldn't collapse accuracy: {acc_early} vs {acc_full}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0,1]")]
+    fn bad_threshold_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut m = MultiExitModel::new(&backbone(), &[2], 4, &mut rng).expect("valid");
+        let _ = m.infer_early_exit(&Tensor::zeros([8, 8, 1]), 0.0);
+    }
+
+    #[test]
+    fn decision_reports_confidence_and_exit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut m = MultiExitModel::new(&backbone(), &[2], 4, &mut rng).expect("valid");
+        let d = m.infer_early_exit(&Tensor::zeros([8, 8, 1]), 0.01);
+        assert!(d.confidence >= 0.01);
+        assert_eq!(d.exit_index, 0, "threshold 0.01 exits at the first head");
+        assert_eq!(d.scores.len(), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Post-training int8 weight quantization.
+//!
+//! TinyML deployments ship int8 weights (the paper's 100 KB memory
+//! constraint assumes as much for larger models). This module simulates
+//! symmetric per-tensor quantization: each weight tensor is snapped onto a
+//! 255-level grid scaled to its absolute maximum. Inference then runs on
+//! the dequantized values, which reproduces the accuracy effect of int8
+//! deployment without an integer kernel implementation.
+
+use crate::model::Model;
+
+/// Report of a quantization pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizationReport {
+    /// Scalar parameters quantized.
+    pub parameters: usize,
+    /// Weight bytes at f32.
+    pub float_bytes: usize,
+    /// Weight bytes at int8 (plus one f32 scale per tensor).
+    pub int8_bytes: usize,
+    /// Largest per-tensor round-trip error relative to the tensor's scale.
+    pub max_quantization_step: f32,
+}
+
+/// Quantizes every weight tensor of `model` to int8 in place (symmetric,
+/// per-tensor) and reports the memory effect.
+///
+/// Weights become exactly representable on their int8 grid, so a second
+/// call is a no-op.
+pub fn quantize_weights_int8(model: &mut Model) -> QuantizationReport {
+    let mut parameters = 0usize;
+    let mut tensors = 0usize;
+    let mut max_step = 0.0f32;
+    for (params, _) in model.params_and_grads() {
+        tensors += 1;
+        parameters += params.len();
+        let max_abs = params.iter().fold(0.0f32, |m, w| m.max(w.abs()));
+        if max_abs == 0.0 {
+            continue;
+        }
+        let scale = max_abs / 127.0;
+        max_step = max_step.max(scale);
+        for w in params.iter_mut() {
+            let q = (*w / scale).round().clamp(-127.0, 127.0);
+            *w = q * scale;
+        }
+    }
+    QuantizationReport {
+        parameters,
+        float_bytes: parameters * 4,
+        int8_bytes: parameters + tensors * 4,
+        max_quantization_step: max_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{LayerSpec, ModelSpec, Padding};
+    use crate::dataset::ClassDataset;
+    use crate::tensor::Tensor;
+    use crate::train::{evaluate, fit, TrainConfig};
+    use rand::SeedableRng;
+
+    fn trained() -> (Model, ClassDataset) {
+        let spec = ModelSpec::new(
+            [6, 6, 1],
+            vec![
+                LayerSpec::conv(4, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(4),
+            ],
+        )
+        .expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        use rand::Rng as _;
+        let inputs: Vec<Tensor> = (0..48)
+            .map(|i| {
+                let class = i % 4;
+                let (r0, c0) = [(0, 0), (0, 3), (3, 0), (3, 3)][class];
+                let mut t = Tensor::zeros([6, 6, 1]);
+                for r in 0..6 {
+                    for c in 0..6 {
+                        let inside = r >= r0 && r < r0 + 3 && c >= c0 && c < c0 + 3;
+                        *t.at3_mut(r, c, 0) =
+                            if inside { 0.9 } else { 0.1 } + rng.gen_range(-0.05f32..0.05);
+                    }
+                }
+                t
+            })
+            .collect();
+        let data = ClassDataset::new(inputs, (0..48).map(|i| i % 4).collect(), 4);
+        let mut model = Model::from_spec(&spec, &mut rng);
+        fit(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 20,
+                ..TrainConfig::default()
+            },
+            &mut rng,
+        );
+        (model, data)
+    }
+
+    #[test]
+    fn quantization_keeps_accuracy() {
+        let (mut model, data) = trained();
+        let before = evaluate(&mut model, &data);
+        let report = quantize_weights_int8(&mut model);
+        let after = evaluate(&mut model, &data);
+        assert!(
+            after >= before - 0.1,
+            "int8 should cost little accuracy: {before} -> {after}"
+        );
+        assert!(report.int8_bytes * 3 < report.float_bytes, "~4x smaller");
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let (mut model, _) = trained();
+        quantize_weights_int8(&mut model);
+        let snapshot = model.export_weights();
+        quantize_weights_int8(&mut model);
+        assert_eq!(model.export_weights(), snapshot);
+    }
+
+    #[test]
+    fn weights_land_on_the_int8_grid() {
+        let (mut model, _) = trained();
+        quantize_weights_int8(&mut model);
+        for (params, _) in model.params_and_grads() {
+            let max_abs = params.iter().fold(0.0f32, |m, w| m.max(w.abs()));
+            if max_abs == 0.0 {
+                continue;
+            }
+            let scale = max_abs / 127.0;
+            for &w in params.iter() {
+                let q = w / scale;
+                assert!(
+                    (q - q.round()).abs() < 1e-3,
+                    "weight {w} is off-grid (q={q})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_model_is_handled() {
+        let spec = ModelSpec::new(
+            [2, 2, 1],
+            vec![LayerSpec::flatten(), LayerSpec::dense(2)],
+        )
+        .expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Model::from_spec(&spec, &mut rng);
+        for (p, _) in model.params_and_grads() {
+            p.iter_mut().for_each(|w| *w = 0.0);
+        }
+        let report = quantize_weights_int8(&mut model);
+        assert_eq!(report.max_quantization_step, 0.0);
+    }
+}

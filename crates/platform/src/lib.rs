@@ -1,0 +1,26 @@
+//! The end-to-end SolarML platform: circuit, MCU, front-end and model
+//! composed into the lifecycles the paper measures.
+//!
+//! * [`lifecycle`] — the two trace-producing runs: a conventional
+//!   duty-cycled inference (Fig. 2's energy decomposition) and the SolarML
+//!   event-driven interaction (Fig. 6's sleep mechanism);
+//! * [`detectors`] — the four event-detection approaches of Table III,
+//!   with SolarML's numbers *measured* from the circuit simulation;
+//! * [`sota`] — the six end-to-end systems of Fig. 1 and their
+//!   `E_E`/`E_S`/`E_M` splits;
+//! * [`endtoend`] — §V-D: end-to-end energy per inference and harvesting
+//!   time under 250/500/1000 lux.
+
+pub mod detectors;
+pub mod endtoend;
+pub mod lifecycle;
+pub mod replay;
+pub mod sota;
+pub mod streaming;
+
+pub use detectors::{solarml_detector_spec, DetectorSpec, REFERENCE_DETECTORS};
+pub use endtoend::{harvesting_time, simulate_day, DayProfile, DayReport, DaySimConfig, EndToEndBudget, HarvestScenario};
+pub use lifecycle::{DutyCycleConfig, EnergyBreakdown, InteractionConfig, TaskProfile};
+pub use replay::{replay_gesture, GestureReplay, ReplayOutput};
+pub use streaming::{Detection, StreamingKws, StreamingKwsConfig, StreamingReport};
+pub use sota::{sota_systems, SotaSystem, WaitStrategy};

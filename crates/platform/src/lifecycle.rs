@@ -1,0 +1,582 @@
+//! Lifecycle simulations producing labelled power traces.
+//!
+//! Two runs matter to the paper:
+//!
+//! * **Duty-cycled** (Fig. 2) — a conventional system sleeps, wakes on a
+//!   timer/sensor, samples, infers, sleeps again. Decomposing its trace
+//!   yields the `E_E`/`E_S`/`E_M` fractions that motivate SolarML (`E_M`
+//!   is only 15–18 % of the total at one-minute sleep periods).
+//! * **Event-driven** (Fig. 6) — the SolarML platform is *off* until the
+//!   detector closes `P1`; it then boots, samples until the end-of-gesture
+//!   hover, infers, lingers in standby for a possible second interaction,
+//!   and powers down.
+
+use serde::{Deserialize, Serialize};
+use solarml_circuit::env::{HoverSchedule, LightEnvironment};
+use solarml_circuit::harvest::HarvestMode;
+use solarml_circuit::{CircuitSim, SimConfig};
+use solarml_dsp::{AudioFrontendParams, GestureSensingParams};
+use solarml_energy::device::{AudioSensingGround, GestureSensingGround, InferenceGround};
+use solarml_mcu::{AdcConfig, Mcu, McuPowerModel, PdmConfig, PowerState};
+use solarml_nn::ModelSpec;
+use solarml_trace::PowerTrace;
+use solarml_units::{Energy, Lux, Power, Seconds};
+
+/// Which application drives the sampling/inference phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskProfile {
+    /// Gesture recognition with the given front-end and model.
+    Gesture {
+        /// Sensing parameters.
+        params: GestureSensingParams,
+        /// Trained model architecture.
+        spec: ModelSpec,
+    },
+    /// KWS with the given front-end and model.
+    Kws {
+        /// Front-end parameters.
+        params: AudioFrontendParams,
+        /// Trained model architecture.
+        spec: ModelSpec,
+    },
+}
+
+impl TaskProfile {
+    /// Tickless sampling power for this task.
+    pub fn sampling_power(&self, mcu: &McuPowerModel) -> Power {
+        match self {
+            TaskProfile::Gesture { params, .. } => mcu.adc_power(&AdcConfig::new(
+                params.channels(),
+                params.rate(),
+                params.quant_bits(),
+            )),
+            TaskProfile::Kws { .. } => mcu.pdm_power(&PdmConfig::default()),
+        }
+    }
+
+    /// Sampling phase duration.
+    pub fn sampling_duration(&self) -> Seconds {
+        match self {
+            TaskProfile::Gesture { .. } => GestureSensingGround::default().window,
+            TaskProfile::Kws { .. } => {
+                Seconds::from_millis(AudioSensingGround::default().clip_ms as f64)
+            }
+        }
+    }
+
+    /// Post-capture processing duration (preprocessing compute).
+    pub fn processing_duration(&self, mcu: &McuPowerModel) -> Seconds {
+        match self {
+            TaskProfile::Gesture { params, .. } => {
+                let g = GestureSensingGround {
+                    mcu: *mcu,
+                    ..GestureSensingGround::default()
+                };
+                g.duration(params) - g.window
+            }
+            TaskProfile::Kws { params, .. } => {
+                let a = AudioSensingGround {
+                    mcu: *mcu,
+                    ..AudioSensingGround::default()
+                };
+                a.duration(params) - Seconds::from_millis(a.clip_ms as f64)
+            }
+        }
+    }
+
+    /// Inference duration on the MCU.
+    pub fn inference_duration(&self, mcu: &McuPowerModel) -> Seconds {
+        let ground = InferenceGround {
+            mcu: *mcu,
+            ..InferenceGround::default()
+        };
+        match self {
+            TaskProfile::Gesture { spec, .. } | TaskProfile::Kws { spec, .. } => {
+                ground.latency(spec)
+            }
+        }
+    }
+}
+
+/// `E_E`/`E_S`/`E_M` decomposition of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Event-detection energy (sleep/standby + wake).
+    pub event: Energy,
+    /// Sensing energy (sampling + preprocessing).
+    pub sensing: Energy,
+    /// Model inference energy.
+    pub inference: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> Energy {
+        self.event + self.sensing + self.inference
+    }
+
+    /// `(E_E, E_S, E_M)` as fractions of the total.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total().as_joules().max(1e-18);
+        (
+            self.event.as_joules() / t,
+            self.sensing.as_joules() / t,
+            self.inference.as_joules() / t,
+        )
+    }
+}
+
+/// Configuration of a conventional duty-cycled run (Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DutyCycleConfig {
+    /// Sleep period before the wake-up.
+    pub sleep: Seconds,
+    /// The application profile.
+    pub task: TaskProfile,
+    /// MCU power model.
+    pub mcu: McuPowerModel,
+    /// Trace sample rate (the simulated power analyzer).
+    pub trace_rate_hz: f64,
+}
+
+impl DutyCycleConfig {
+    /// Runs the duty cycle, returning the labelled trace and breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal state-machine misuse (a bug).
+    pub fn run(&self) -> (PowerTrace, EnergyBreakdown) {
+        let mut mcu = Mcu::new(self.mcu);
+        let mut trace = PowerTrace::with_sample_rate(self.trace_rate_hz);
+        let dt = Seconds::new(1.0 / self.trace_rate_hz);
+
+        mcu.power_on().expect("mcu starts off");
+        // Treat the initial boot as part of event overhead, then sleep.
+        advance(&mut mcu, &mut trace, "wake", self.mcu.cold_boot_duration, dt);
+        mcu.enter(PowerState::DeepSleep).expect("boot done");
+        advance(&mut mcu, &mut trace, "sleep", self.sleep, dt);
+        // Wake for sampling.
+        mcu.enter(PowerState::Tickless).expect("sleeping");
+        advance(&mut mcu, &mut trace, "wake", self.mcu.wake_duration, dt);
+        // Now in tickless; use task sampling power.
+        mcu.begin_sampling(self.task.sampling_power(&self.mcu))
+            .expect("tickless reachable");
+        advance(&mut mcu, &mut trace, "sampling", self.task.sampling_duration(), dt);
+        // Preprocessing compute.
+        mcu.enter(PowerState::Active).expect("sampling done");
+        advance(
+            &mut mcu,
+            &mut trace,
+            "processing",
+            self.task.processing_duration(&self.mcu),
+            dt,
+        );
+        // Inference.
+        advance(
+            &mut mcu,
+            &mut trace,
+            "inference",
+            self.task.inference_duration(&self.mcu),
+            dt,
+        );
+        mcu.enter(PowerState::DeepSleep).expect("inference done");
+
+        let event = trace.labelled_energy("sleep") + trace.labelled_energy("wake");
+        let sensing = trace.labelled_energy("sampling") + trace.labelled_energy("processing");
+        let inference = trace.labelled_energy("inference");
+        (
+            trace,
+            EnergyBreakdown {
+                event,
+                sensing,
+                inference,
+            },
+        )
+    }
+}
+
+fn advance(mcu: &mut Mcu, trace: &mut PowerTrace, label: &str, span: Seconds, dt: Seconds) {
+    trace.begin_segment(label);
+    let steps = (span.as_seconds() / dt.as_seconds()).round().max(0.0) as usize;
+    for _ in 0..steps {
+        trace.push(mcu.power());
+        mcu.advance(dt);
+    }
+}
+
+/// Configuration of a SolarML event-driven interaction (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionConfig {
+    /// Ambient light.
+    pub ambient: Lux,
+    /// Idle time before the user's first hover.
+    pub wait_before: Seconds,
+    /// Gesture duration between start and end hovers.
+    pub gesture: Seconds,
+    /// Standby window kept after the inference for a repeat interaction.
+    pub standby_window: Seconds,
+    /// Whether the user returns during the standby window (second
+    /// inference, as in Fig. 6's right half).
+    pub second_interaction: bool,
+    /// The application profile.
+    pub task: TaskProfile,
+    /// MCU power model.
+    pub mcu: McuPowerModel,
+    /// Trace sample rate.
+    pub trace_rate_hz: f64,
+}
+
+impl InteractionConfig {
+    /// A representative gesture interaction at 500 lux.
+    pub fn standard(task: TaskProfile) -> Self {
+        Self {
+            ambient: Lux::new(500.0),
+            wait_before: Seconds::new(5.0),
+            gesture: Seconds::new(2.0),
+            standby_window: Seconds::new(3.0),
+            second_interaction: false,
+            task,
+            mcu: McuPowerModel::default(),
+            trace_rate_hz: 1000.0,
+        }
+    }
+
+    /// Runs the interaction against the circuit simulation, returning the
+    /// labelled platform power trace (detector + MCU + sensing dividers)
+    /// and the breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event detector never connects the MCU (e.g. lockout
+    /// conditions) — a misconfigured scenario.
+    pub fn run(&self) -> (PowerTrace, EnergyBreakdown) {
+        let dt = Seconds::new(1.0 / self.trace_rate_hz);
+        let hovers = HoverSchedule::interaction(self.wait_before, self.gesture);
+        let env = LightEnvironment::with_hovers(self.ambient, hovers);
+        let mut sim = CircuitSim::new(
+            SimConfig {
+                dt,
+                ..SimConfig::default()
+            },
+            env,
+        );
+        let mut mcu = Mcu::new(self.mcu);
+        let mut trace = PowerTrace::with_sample_rate(self.trace_rate_hz);
+
+        // Phase: off, waiting for the event.
+        trace.begin_segment("off");
+        let mut connected_at: Option<Seconds> = None;
+        let deadline = self.wait_before + Seconds::new(1.0);
+        while sim.time() < deadline {
+            let step = sim.step(mcu.power(), hold_voltage(&mcu), |_| 0.0);
+            trace.push(step.load_power);
+            if step.detector.mcu_connected {
+                connected_at = Some(step.time);
+                break;
+            }
+        }
+        let connected_at = connected_at.expect("detector must trigger within the scenario");
+        let _ = connected_at;
+
+        // Phase: boot (the MCU rail just connected; MCU asserts hold).
+        mcu.power_on().expect("mcu was off");
+        trace.begin_segment("wake");
+        run_span(&mut sim, &mut mcu, &mut trace, self.mcu.cold_boot_duration, dt);
+
+        // Phase: sampling. For gestures the platform samples until the
+        // *end-of-gesture hover* drops the V5 sense tap (§III-B2 function
+        // iii) — the duration is emergent, not scripted — with a timeout at
+        // twice the nominal window. KWS captures a fixed-length clip.
+        sim.set_mode(HarvestMode::Sensing);
+        mcu.begin_sampling(self.task.sampling_power(&self.mcu))
+            .expect("boot finished");
+        trace.begin_segment("sampling");
+        match &self.task {
+            TaskProfile::Gesture { .. } => {
+                let timeout = self.task.sampling_duration() * 2.0;
+                let mut elapsed = Seconds::ZERO;
+                // Arm on the end hover: V5 must first recover (start hover
+                // released), then drop again.
+                let mut armed = false;
+                while elapsed < timeout {
+                    let step = sim.step(mcu.power(), hold_voltage(&mcu), |_| 0.0);
+                    trace.push(step.load_power);
+                    mcu.advance(dt);
+                    elapsed += dt;
+                    let v5 = step.detector.v5.as_volts();
+                    if !armed && v5 > 0.5 {
+                        armed = true;
+                    }
+                    if armed && v5 < 0.2 {
+                        break; // end-of-gesture hover detected
+                    }
+                }
+            }
+            TaskProfile::Kws { .. } => {
+                run_span(&mut sim, &mut mcu, &mut trace, self.task.sampling_duration(), dt);
+            }
+        }
+        sim.set_mode(HarvestMode::Harvesting);
+
+        // Phase: preprocessing + inference.
+        mcu.enter(PowerState::Active).expect("sampling done");
+        trace.begin_segment("processing");
+        run_span(
+            &mut sim,
+            &mut mcu,
+            &mut trace,
+            self.task.processing_duration(&self.mcu),
+            dt,
+        );
+        trace.begin_segment("inference");
+        run_span(
+            &mut sim,
+            &mut mcu,
+            &mut trace,
+            self.task.inference_duration(&self.mcu),
+            dt,
+        );
+
+        // Phase: standby window (config retained in RAM).
+        mcu.enter(PowerState::Standby).expect("inference done");
+        trace.begin_segment("standby");
+        run_span(&mut sim, &mut mcu, &mut trace, self.standby_window, dt);
+
+        if self.second_interaction {
+            // Resume: warm wake, sample, infer again.
+            mcu.enter(PowerState::Tickless).expect("standby");
+            trace.begin_segment("wake");
+            run_span(&mut sim, &mut mcu, &mut trace, self.mcu.wake_duration, dt);
+            mcu.begin_sampling(self.task.sampling_power(&self.mcu))
+                .expect("woken");
+            sim.set_mode(HarvestMode::Sensing);
+            trace.begin_segment("sampling");
+            run_span(&mut sim, &mut mcu, &mut trace, self.task.sampling_duration(), dt);
+            sim.set_mode(HarvestMode::Harvesting);
+            mcu.enter(PowerState::Active).expect("sampled");
+            trace.begin_segment("inference");
+            run_span(
+                &mut sim,
+                &mut mcu,
+                &mut trace,
+                self.task.inference_duration(&self.mcu),
+                dt,
+            );
+        }
+
+        // Power down.
+        mcu.power_off();
+        trace.begin_segment("off");
+        run_span(&mut sim, &mut mcu, &mut trace, Seconds::new(0.5), dt);
+
+        let event = trace.labelled_energy("off")
+            + trace.labelled_energy("wake")
+            + trace.labelled_energy("standby");
+        let sensing = trace.labelled_energy("sampling") + trace.labelled_energy("processing");
+        let inference = trace.labelled_energy("inference");
+        (
+            trace,
+            EnergyBreakdown {
+                event,
+                sensing,
+                inference,
+            },
+        )
+    }
+}
+
+fn hold_voltage(mcu: &Mcu) -> f64 {
+    // The MCU holds V4 high whenever it is running (not off).
+    if matches!(mcu.state(), PowerState::Off) {
+        0.0
+    } else {
+        3.3
+    }
+}
+
+fn run_span(
+    sim: &mut CircuitSim,
+    mcu: &mut Mcu,
+    trace: &mut PowerTrace,
+    span: Seconds,
+    dt: Seconds,
+) {
+    let steps = (span.as_seconds() / dt.as_seconds()).round().max(0.0) as usize;
+    for _ in 0..steps {
+        let step = sim.step(mcu.power(), hold_voltage(mcu), |_| 0.0);
+        trace.push(step.load_power);
+        mcu.advance(dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarml_dsp::Resolution;
+    use solarml_nn::{LayerSpec, Padding};
+
+    fn gesture_task() -> TaskProfile {
+        // A µNAS-scale gesture model (~370 k MACs): two conv stages.
+        let params = GestureSensingParams::new(9, 100, Resolution::Int, 8).expect("valid");
+        let spec = ModelSpec::new(
+            [200, 9, 1],
+            vec![
+                LayerSpec::conv(8, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::conv(8, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(10),
+            ],
+        )
+        .expect("valid");
+        TaskProfile::Gesture { params, spec }
+    }
+
+    fn kws_task() -> TaskProfile {
+        let params = AudioFrontendParams::standard();
+        let spec = ModelSpec::new(
+            [49, 13, 1],
+            vec![
+                LayerSpec::conv(12, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::max_pool(2),
+                LayerSpec::conv(16, 3, 1, Padding::Same),
+                LayerSpec::relu(),
+                LayerSpec::flatten(),
+                LayerSpec::dense(10),
+            ],
+        )
+        .expect("valid");
+        TaskProfile::Kws { params, spec }
+    }
+
+    #[test]
+    fn fig2_duty_cycle_fractions_match_paper_shape() {
+        // Paper: at 1-minute sleep, E_M is 15 %/18 %, E_E 38 %/29 %,
+        // E_S 47 %/53 % for gesture/KWS.
+        let (_, gesture) = DutyCycleConfig {
+            sleep: Seconds::from_minutes(1.0),
+            task: gesture_task(),
+            mcu: McuPowerModel::default(),
+            trace_rate_hz: 1000.0,
+        }
+        .run();
+        let (fe, fs, fm) = gesture.fractions();
+        assert!((0.2..0.55).contains(&fe), "gesture E_E fraction {fe:.2}");
+        assert!((0.3..0.65).contains(&fs), "gesture E_S fraction {fs:.2}");
+        assert!(fm < 0.3, "gesture E_M fraction {fm:.2}");
+
+        let (_, kws) = DutyCycleConfig {
+            sleep: Seconds::from_minutes(1.0),
+            task: kws_task(),
+            mcu: McuPowerModel::default(),
+            trace_rate_hz: 1000.0,
+        }
+        .run();
+        let (ke, ks, km) = kws.fractions();
+        assert!((0.15..0.5).contains(&ke), "kws E_E fraction {ke:.2}");
+        assert!((0.35..0.7).contains(&ks), "kws E_S fraction {ks:.2}");
+        assert!(km < 0.3, "kws E_M fraction {km:.2}");
+        // Sensing dominates inference in both tasks.
+        assert!(fs > fm && ks > km);
+    }
+
+    #[test]
+    fn duty_cycle_trace_has_all_segments() {
+        let (trace, _) = DutyCycleConfig {
+            sleep: Seconds::new(2.0),
+            task: gesture_task(),
+            mcu: McuPowerModel::default(),
+            trace_rate_hz: 500.0,
+        }
+        .run();
+        for label in ["sleep", "wake", "sampling", "processing", "inference"] {
+            assert!(
+                trace.segment_energy(label).is_some(),
+                "missing segment {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_interaction_runs_and_breaks_down() {
+        let config = InteractionConfig::standard(gesture_task());
+        let (trace, breakdown) = config.run();
+        assert!(breakdown.total().as_micro_joules() > 0.0);
+        // Event-driven: waiting costs only the detector's microwatts, so
+        // E_E (including 5 s of off-wait + standby) stays below E_S.
+        assert!(breakdown.event < breakdown.sensing);
+        // Off-phase power must be microwatt-scale.
+        let off = trace.summarize_segment("off").expect("off segment");
+        assert!(
+            off.average_power.as_micro_watts() < 50.0,
+            "off power {}",
+            off.average_power
+        );
+    }
+
+    #[test]
+    fn gesture_sampling_ends_on_the_end_hover() {
+        // A short gesture (1 s between hovers) must stop sampling around the
+        // end hover rather than running the nominal 2 s window.
+        let config = InteractionConfig {
+            gesture: Seconds::new(1.0),
+            ..InteractionConfig::standard(gesture_task())
+        };
+        let (trace, _) = config.run();
+        let sampling = trace
+            .summarize_segment("sampling")
+            .expect("sampling segment exists");
+        let secs = sampling.duration.as_seconds();
+        assert!(
+            (0.8..1.8).contains(&secs),
+            "sampling should track the ~1.3 s hover-to-hover span, got {secs:.2}"
+        );
+    }
+
+    #[test]
+    fn second_interaction_adds_energy() {
+        let once = InteractionConfig::standard(gesture_task()).run().1;
+        let twice = InteractionConfig {
+            second_interaction: true,
+            ..InteractionConfig::standard(gesture_task())
+        }
+        .run()
+        .1;
+        assert!(twice.total() > once.total());
+        assert!(twice.inference > once.inference * 1.5);
+    }
+
+    #[test]
+    fn solarml_event_energy_beats_duty_cycle() {
+        // For the same wait (5 s), SolarML's off-state E_E is far below a
+        // duty-cycled system's deep-sleep E_E.
+        let (_, duty) = DutyCycleConfig {
+            sleep: Seconds::new(5.0),
+            task: gesture_task(),
+            mcu: McuPowerModel::default(),
+            trace_rate_hz: 1000.0,
+        }
+        .run();
+        let (_, solar) = InteractionConfig::standard(gesture_task()).run();
+        // Compare only the waiting part: duty sleeps at 45 µW for 5 s
+        // (225 µJ) while SolarML's detector idles at ~2.4 µW (12 µJ); with
+        // boot overheads SolarML stays well below.
+        assert!(
+            solar.event < duty.event,
+            "solar E_E {} vs duty E_E {}",
+            solar.event,
+            duty.event
+        );
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let (_, b) = InteractionConfig::standard(kws_task()).run();
+        let (e, s, m) = b.fractions();
+        assert!((e + s + m - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! SI-prefixed display of raw `f64` values.
+
+use std::fmt;
+
+/// Wraps an `f64` so that `Display` renders it with an SI prefix and three
+/// significant digits, e.g. `0.0000021` → `2.10 µ`.
+///
+/// # Examples
+///
+/// ```
+/// use solarml_units::SiValue;
+/// assert_eq!(format!("{}W", SiValue(0.0025)), "2.50 mW");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiValue(pub f64);
+
+const PREFIXES: &[(f64, &str)] = &[
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+];
+
+impl fmt::Display for SiValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v == 0.0 {
+            return write!(f, "0.00 ");
+        }
+        if !v.is_finite() {
+            return write!(f, "{v} ");
+        }
+        let mag = v.abs();
+        let (scale, prefix) = PREFIXES
+            .iter()
+            .find(|(s, _)| mag >= *s)
+            .copied()
+            .unwrap_or(*PREFIXES.last().expect("prefix table is non-empty"));
+        let scaled = v / scale;
+        // Three significant digits.
+        let digits = if scaled.abs() >= 100.0 {
+            0
+        } else if scaled.abs() >= 10.0 {
+            1
+        } else {
+            2
+        };
+        write!(f, "{scaled:.digits$} {prefix}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_plain_units() {
+        assert_eq!(SiValue(3.3).to_string(), "3.30 ");
+        assert_eq!(SiValue(31.0).to_string(), "31.0 ");
+        assert_eq!(SiValue(500.0).to_string(), "500 ");
+    }
+
+    #[test]
+    fn renders_small_values() {
+        assert_eq!(SiValue(0.002).to_string(), "2.00 m");
+        assert_eq!(SiValue(2.8e-5).to_string(), "28.0 µ");
+        assert_eq!(SiValue(1.0e-9).to_string(), "1.00 n");
+    }
+
+    #[test]
+    fn renders_large_values() {
+        assert_eq!(SiValue(1.6e4).to_string(), "16.0 k");
+        assert_eq!(SiValue(2.5e6).to_string(), "2.50 M");
+    }
+
+    #[test]
+    fn renders_negative_and_zero() {
+        assert_eq!(SiValue(0.0).to_string(), "0.00 ");
+        assert_eq!(SiValue(-0.002).to_string(), "-2.00 m");
+    }
+
+    #[test]
+    fn renders_below_table_floor() {
+        // Sub-pico values clamp to the pico prefix rather than panicking.
+        assert_eq!(SiValue(5e-14).to_string(), "0.05 p");
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: optimize a gesture-recognition configuration with eNAS and
+//! price it end-to-end on the solar platform.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use solarml::{Pipeline, TaskSelection};
+
+fn main() {
+    println!("SolarML quickstart: joint sensing+model search for digit gestures");
+    println!("(quick settings; see examples/nas_search.rs for full sweeps)\n");
+
+    let report = Pipeline::new(TaskSelection::GestureDigits)
+        .samples_per_class(12)
+        .epochs(10)
+        .quick_search(0.5)
+        .run();
+
+    println!("winning candidate : {}", report.best.candidate);
+    println!("held-out accuracy : {:.1}%", 100.0 * report.best.accuracy);
+    println!("estimated E_S+E_M : {}", report.best.estimated_energy);
+    println!("true E_S+E_M      : {}", report.best.true_energy);
+    println!();
+    let b = &report.budget.breakdown;
+    println!("end-to-end budget per inference (5 s idle wait):");
+    println!("  E_E (detector + boot) : {}", b.event);
+    println!("  E_S (sample + prep)   : {}", b.sensing);
+    println!("  E_M (inference)       : {}", b.inference);
+    println!("  total                 : {}", b.total());
+    println!();
+    println!("harvesting time for one inference:");
+    println!("  dim    (250 lux)  : {}", report.harvest_dim);
+    println!("  office (500 lux)  : {}", report.harvest_office);
+    println!("  window (1000 lux) : {}", report.harvest_window);
+}

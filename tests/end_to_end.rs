@@ -1,0 +1,261 @@
+//! Cross-crate integration: raw corpus → DSP front-end → trained model →
+//! energy models → platform budget, exercising every layer of the stack in
+//! one flow.
+
+use rand::SeedableRng;
+use solarml::datasets::{GestureDatasetBuilder, KwsDatasetBuilder};
+use solarml::dsp::{AudioFrontendParams, GestureSensingParams, Resolution};
+use solarml::energy::corpus::{gesture_sensing_corpus, inference_corpus_banded};
+use solarml::energy::device::{AudioSensingGround, GestureSensingGround, InferenceGround};
+use solarml::energy::models::{GestureSensingModel, LayerwiseMacModel};
+use solarml::nn::{
+    arch::{LayerSpec, ModelSpec, Padding},
+    evaluate, fit, ArchSampler, Model, TrainConfig,
+};
+use solarml::platform::lifecycle::{InteractionConfig, TaskProfile};
+use solarml::platform::{harvesting_time, EndToEndBudget, HarvestScenario};
+use solarml::Seconds;
+
+fn train_gesture_model(
+    params: &GestureSensingParams,
+) -> (ModelSpec, f64) {
+    let corpus = GestureDatasetBuilder {
+        samples_per_class: 8,
+        ..GestureDatasetBuilder::default()
+    }
+    .build();
+    let (train_raw, test_raw) = corpus.split(0.25);
+    let train = train_raw.to_class_dataset(params);
+    let test = test_raw.to_class_dataset(params);
+    let shape = train.input_shape();
+    let spec = ModelSpec::new(
+        [shape[0], shape[1], shape[2]],
+        vec![
+            LayerSpec::conv(8, 3, 1, Padding::Same),
+            LayerSpec::relu(),
+            LayerSpec::max_pool(2),
+            LayerSpec::flatten(),
+            LayerSpec::dense(10),
+        ],
+    )
+    .expect("valid architecture");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut model = Model::from_spec(&spec, &mut rng);
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        },
+        &mut rng,
+    );
+    let acc = evaluate(&mut model, &test);
+    (spec, acc)
+}
+
+#[test]
+fn gesture_pipeline_learns_and_prices() {
+    let params = GestureSensingParams::new(9, 50, Resolution::Int, 8).expect("valid");
+    let (spec, acc) = train_gesture_model(&params);
+    assert!(acc > 0.5, "full-fidelity gesture model should learn: acc={acc}");
+
+    // Price it with the fitted energy models and sanity-check against truth.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let ground = InferenceGround::default();
+    let sampler = ArchSampler::for_measurement([20, 9, 1], 10);
+    let (corpus, _) =
+        inference_corpus_banded(200, &ground, &sampler, Some((20_000, 400_000)), &mut rng);
+    let mut imodel = LayerwiseMacModel::new();
+    imodel.fit(&corpus);
+    let est = imodel.estimate(&spec);
+    let truth = ground.true_energy(&spec);
+    let ratio = est / truth;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "estimate {est} vs truth {truth}"
+    );
+
+    // End-to-end budget + harvesting time ordering.
+    let e_s = GestureSensingGround::default().true_energy(&params);
+    let budget = EndToEndBudget::solarml(e_s, truth, Seconds::new(5.0));
+    let [dim, office, window] = HarvestScenario::paper_conditions();
+    let td = harvesting_time(budget.total(), &dim);
+    let to = harvesting_time(budget.total(), &office);
+    let tw = harvesting_time(budget.total(), &window);
+    assert!(tw < to && to < td, "harvest times must order by light level");
+}
+
+#[test]
+fn sensing_model_prices_what_the_dataset_pipeline_uses() {
+    // The fitted sensing model and the dataset pipeline must agree on which
+    // configuration is cheaper.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let ground = GestureSensingGround::default();
+    let (corpus, _) = gesture_sensing_corpus(200, &ground, &mut rng);
+    let mut model = GestureSensingModel::new();
+    model.fit(&corpus);
+
+    let cheap = GestureSensingParams::new(2, 20, Resolution::Int, 4).expect("valid");
+    let costly = GestureSensingParams::new(9, 180, Resolution::Float, 16).expect("valid");
+    assert!(model.estimate(&cheap) < model.estimate(&costly));
+    assert!(ground.true_energy(&cheap) < ground.true_energy(&costly));
+}
+
+#[test]
+fn classifier_transfers_to_analog_replayed_gestures() {
+    // Train on the synthetic corpus, then classify gestures replayed through
+    // the circuit's *electrical* sensing path. The two pipelines share only
+    // the physical shadow model, so above-chance transfer means the analog
+    // simulation carries the class information end to end.
+    use solarml::platform::{replay_gesture, GestureReplay};
+
+    let params = GestureSensingParams::new(9, 50, Resolution::Int, 8).expect("valid");
+    let corpus = GestureDatasetBuilder {
+        samples_per_class: 12,
+        ..GestureDatasetBuilder::default()
+    }
+    .build();
+    let train = corpus.to_class_dataset(&params);
+    let shape = train.input_shape();
+    let spec = ModelSpec::new(
+        [shape[0], shape[1], shape[2]],
+        vec![
+            LayerSpec::conv(8, 3, 1, Padding::Same),
+            LayerSpec::relu(),
+            LayerSpec::max_pool(2),
+            LayerSpec::conv(12, 3, 1, Padding::Same),
+            LayerSpec::relu(),
+            LayerSpec::max_pool(2),
+            LayerSpec::flatten(),
+            LayerSpec::dense(10),
+        ],
+    )
+    .expect("valid");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut model = Model::from_spec(&spec, &mut rng);
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        },
+        &mut rng,
+    );
+
+    let mut correct = 0usize;
+    for digit in 0..10usize {
+        let replay = replay_gesture(&GestureReplay::standard(digit));
+        let out = solarml::dsp::preprocess_gesture(&replay.channels, replay.rate_hz, &params);
+        let t = out.samples.len();
+        let flat: Vec<f32> = out.samples.into_iter().flatten().collect();
+        let x = solarml::nn::Tensor::from_vec([t, 9, 1], flat);
+        if model.predict(&x) == digit {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct >= 5,
+        "analog transfer should beat chance decisively: {correct}/10"
+    );
+}
+
+#[test]
+fn blind_phase_detection_recovers_the_lifecycle() {
+    // Run a duty cycle, strip the labels, and let the level detector find
+    // the phases: it must recover the sleep phase's energy to within a few
+    // percent of the labelled decomposition.
+    use solarml::mcu::McuPowerModel;
+    use solarml::platform::lifecycle::{DutyCycleConfig, TaskProfile};
+    use solarml::trace::detect_phases;
+
+    let params = GestureSensingParams::new(9, 100, Resolution::Int, 8).expect("valid");
+    let spec = ModelSpec::new(
+        [200, 9, 1],
+        vec![
+            LayerSpec::conv(8, 3, 1, Padding::Same),
+            LayerSpec::relu(),
+            LayerSpec::flatten(),
+            LayerSpec::dense(10),
+        ],
+    )
+    .expect("valid");
+    let (trace, breakdown) = DutyCycleConfig {
+        sleep: Seconds::new(10.0),
+        task: TaskProfile::Gesture { params, spec },
+        mcu: McuPowerModel::default(),
+        trace_rate_hz: 1000.0,
+    }
+    .run();
+
+    let phases = detect_phases(&trace, 3.0, 4);
+    assert!(
+        (4..=7).contains(&phases.len()),
+        "expected ~5 lifecycle phases, found {}",
+        phases.len()
+    );
+    // The longest phase is the sleep; its energy must match the labelled
+    // sleep segment closely.
+    let sleep_phase = phases
+        .iter()
+        .max_by(|a, b| a.duration.partial_cmp(&b.duration).expect("finite"))
+        .expect("phases found");
+    let labelled_sleep = trace.labelled_energy("sleep");
+    let rel = (sleep_phase.energy / labelled_sleep - 1.0).abs();
+    assert!(rel < 0.05, "blind sleep energy off by {:.1}%", rel * 100.0);
+    // Total energy is partitioned.
+    let total: f64 = phases.iter().map(|p| p.energy.as_joules()).sum();
+    assert!((total - breakdown.total().as_joules()).abs() / total < 1e-6);
+}
+
+#[test]
+fn kws_pipeline_learns_and_runs_on_platform() {
+    let params = AudioFrontendParams::standard();
+    let corpus = KwsDatasetBuilder {
+        samples_per_class: 6,
+        ..KwsDatasetBuilder::default()
+    }
+    .build();
+    let (train_raw, test_raw) = corpus.split(0.34);
+    let train = train_raw.to_class_dataset(&params);
+    let test = test_raw.to_class_dataset(&params);
+    let shape = train.input_shape();
+    let spec = ModelSpec::new(
+        [shape[0], shape[1], shape[2]],
+        vec![
+            LayerSpec::conv(8, 3, 2, Padding::Same),
+            LayerSpec::relu(),
+            LayerSpec::max_pool(2),
+            LayerSpec::flatten(),
+            LayerSpec::dense(10),
+        ],
+    )
+    .expect("valid architecture");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut model = Model::from_spec(&spec, &mut rng);
+    fit(
+        &mut model,
+        &train,
+        &TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        },
+        &mut rng,
+    );
+    let acc = evaluate(&mut model, &test);
+    assert!(acc > 0.4, "KWS model should beat chance clearly: acc={acc}");
+
+    // Run the trained configuration through the event-driven platform.
+    let (trace, breakdown) = InteractionConfig::standard(TaskProfile::Kws {
+        params,
+        spec,
+    })
+    .run();
+    assert!(trace.len() > 1000, "trace should cover the interaction");
+    let e_s_truth = AudioSensingGround::default().true_energy(&params);
+    // The platform's sensing segment should be within 2x of the analytic
+    // E_S (the trace also bills detector/divider power into segments).
+    let ratio = breakdown.sensing / e_s_truth;
+    assert!((0.5..2.0).contains(&ratio), "platform E_S ratio {ratio:.2}");
+}
