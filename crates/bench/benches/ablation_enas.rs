@@ -113,8 +113,7 @@ fn main() {
                 out.history
                     .iter()
                     .map(|e| {
-                        let norm =
-                            ((e.true_energy - e_min).as_joules() / span).clamp(0.0, 1.0);
+                        let norm = ((e.true_energy - e_min).as_joules() / span).clamp(0.0, 1.0);
                         (e, e.accuracy - 0.5 * norm)
                     })
                     .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))

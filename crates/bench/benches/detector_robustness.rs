@@ -7,7 +7,7 @@
 
 use solarml::circuit::env::Illumination;
 use solarml::circuit::EventDetector;
-use solarml::units::{Lux, Volts};
+use solarml::units::{Lux, Ratio, Volts};
 use solarml::Seconds;
 use solarml_bench::header;
 
@@ -27,13 +27,13 @@ fn probe(lux: f64, v_cap: f64) -> Outcome {
     let dt = Seconds::from_micros(200.0);
     let lit = Illumination {
         ambient: Lux::new(lux),
-        event_cell_shading: 0.0,
+        event_cell_shading: Ratio::ZERO,
     };
     det.settle(lit, Volts::new(v_cap));
     // Settle and check for false triggers while lit.
     let mut lit_conducts = false;
     for _ in 0..500 {
-        let out = det.step(dt, lit, 0.0, false, Volts::new(v_cap));
+        let out = det.step(dt, lit, Volts::ZERO, false, Volts::new(v_cap));
         lit_conducts = out.mcu_connected;
     }
     if lit_conducts {
@@ -42,11 +42,11 @@ fn probe(lux: f64, v_cap: f64) -> Outcome {
     // Hover and time the wake.
     let hovered = Illumination {
         ambient: Lux::new(lux),
-        event_cell_shading: 1.0,
+        event_cell_shading: Ratio::ONE,
     };
     let mut elapsed = 0.0;
     while elapsed < 100.0 {
-        let out = det.step(dt, hovered, 0.0, true, Volts::new(v_cap));
+        let out = det.step(dt, hovered, Volts::ZERO, true, Volts::new(v_cap));
         elapsed += dt.as_millis();
         if out.mcu_connected {
             return Outcome::Wakes(elapsed);

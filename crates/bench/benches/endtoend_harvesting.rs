@@ -49,7 +49,13 @@ fn run_task(name: &str, mut ctx: TaskContext, full: bool) -> (Energy, Energy) {
     let _ = last_sensing;
     use rand::SeedableRng;
     let mut srng = rand::rngs::StdRng::seed_from_u64(0xE2E);
-    let reference = run_enas(&ctx, &EnasConfig { lambda: 0.5, ..enas_cfg });
+    let reference = run_enas(
+        &ctx,
+        &EnasConfig {
+            lambda: 0.5,
+            ..enas_cfg
+        },
+    );
     let mut closest: Option<(f64, solarml::nas::Evaluated)> = None;
     let configs = if full { 8 } else { 4 };
     for i in 0..configs {
@@ -98,7 +104,7 @@ fn run_task(name: &str, mut ctx: TaskContext, full: bool) -> (Energy, Energy) {
     );
     println!(
         "energy saving: {:.0}% (paper: 27% digits / 48% KWS)",
-        100.0 * solarml_budget.saving_vs(&baseline_budget)
+        100.0 * solarml_budget.saving_vs(&baseline_budget).get()
     );
     (solarml_budget.total(), baseline_budget.total())
 }

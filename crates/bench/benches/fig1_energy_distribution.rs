@@ -19,6 +19,7 @@ fn main() {
     for sys in &systems {
         let b = sys.breakdown(wait);
         let (fe, fs, fm) = b.fractions();
+        let (fe, fs, fm) = (fe.get(), fs.get(), fm.get());
         println!(
             "{:<42} {:>8} {:>8} {:>8} {:>12}",
             sys.name,

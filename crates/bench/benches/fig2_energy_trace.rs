@@ -4,6 +4,7 @@
 
 use solarml::mcu::McuPowerModel;
 use solarml::platform::lifecycle::DutyCycleConfig;
+use solarml::units::Frequency;
 use solarml::Seconds;
 use solarml_bench::{header, pct, reference_gesture_task, reference_kws_task};
 
@@ -20,21 +21,19 @@ fn main() {
             sleep: Seconds::from_minutes(1.0),
             task,
             mcu: McuPowerModel::default(),
-            trace_rate_hz: 1000.0,
+            trace_rate: Frequency::new(1000.0),
         }
-        .run();
+        .run()
+        .expect("duty cycle runs");
         let (fe, fs, fm) = breakdown.fractions();
+        let (fe, fs, fm) = (fe.get(), fs.get(), fm.get());
         println!();
         println!(
             "{name}: total {} over {}",
             breakdown.total(),
             trace.duration()
         );
-        println!(
-            "  E_E (sleep+wake)      {} ({})",
-            breakdown.event,
-            pct(fe)
-        );
+        println!("  E_E (sleep+wake)      {} ({})", breakdown.event, pct(fe));
         println!(
             "  E_S (sample+process)  {} ({})",
             breakdown.sensing,

@@ -6,14 +6,20 @@ use solarml::platform::lifecycle::InteractionConfig;
 use solarml_bench::{header, pct, reference_gesture_task};
 
 fn main() {
-    header("Fig. 6", "SolarML event-driven sleep mechanism (ASCII trace)");
+    header(
+        "Fig. 6",
+        "SolarML event-driven sleep mechanism (ASCII trace)",
+    );
 
-    for (label, second) in [("single interaction", false), ("with second inference", true)] {
+    for (label, second) in [
+        ("single interaction", false),
+        ("with second inference", true),
+    ] {
         let config = InteractionConfig {
             second_interaction: second,
             ..InteractionConfig::standard(reference_gesture_task())
         };
-        let (trace, breakdown) = config.run();
+        let (trace, breakdown) = config.run().expect("interaction runs");
         println!();
         println!("--- {label} ---");
         // ASCII power profile: one row per segment with a bar scaled to
@@ -34,6 +40,7 @@ fn main() {
             );
         }
         let (fe, fs, fm) = breakdown.fractions();
+        let (fe, fs, fm) = (fe.get(), fs.get(), fm.get());
         println!(
             "  totals: {} (E_E {}, E_S {}, E_M {})",
             breakdown.total(),

@@ -2,7 +2,7 @@
 //! costs ≈3.5× a Dense layer (≈175 µJ vs ≈50 µJ at 75 k MACs), which is why
 //! a single total-MACs energy model cannot work.
 
-use solarml::energy::device::{nj_per_mac, InferenceGround};
+use solarml::energy::device::{energy_per_mac, InferenceGround};
 use solarml::nn::{LayerClass, LayerSpec, ModelSpec, Padding};
 use solarml::Energy;
 use solarml_bench::header;
@@ -71,7 +71,11 @@ fn main() {
     println!();
     println!("Ground-truth per-MAC costs (nJ/MAC):");
     for class in LayerClass::ALL {
-        println!("  {:<8} {:.3}", class.to_string(), nj_per_mac(class));
+        println!(
+            "  {:<8} {:.3}",
+            class.to_string(),
+            energy_per_mac(class).as_nano_joules()
+        );
     }
     println!();
     println!("Paper: at 75 k MACs, Dense ≈ 50 µJ and Conv ≈ 175 µJ (3.5x).");

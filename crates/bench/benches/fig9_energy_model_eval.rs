@@ -7,8 +7,8 @@ use rand::SeedableRng;
 use solarml::energy::corpus::{gesture_sensing_corpus, inference_corpus_banded};
 use solarml::energy::device::{GestureSensingGround, InferenceGround};
 use solarml::energy::models::{GestureSensingModel, LayerwiseMacModel, TotalMacModel};
-use solarml::trace::{error_cdf, mean_absolute_percent_error, percentile};
 use solarml::nn::ArchSampler;
+use solarml::trace::{error_cdf, mean_absolute_percent_error, percentile};
 use solarml_bench::header;
 
 fn print_cdf(name: &str, observed: &[f64], predicted: &[f64]) {

@@ -15,6 +15,7 @@ use solarml::nn::{
     fit, ArchSampler, ClassDataset, Model, Tensor, TrainConfig,
 };
 use solarml::units::Lux;
+use solarml::units::{Ratio, Volts};
 use solarml::Power;
 
 fn bench_circuit_step(c: &mut Criterion) {
@@ -24,7 +25,11 @@ fn bench_circuit_step(c: &mut Criterion) {
             LightEnvironment::constant(Lux::new(500.0)),
         );
         b.iter(|| {
-            black_box(sim.step(Power::from_milli_watts(1.0), 3.3, |_| 0.0));
+            black_box(
+                sim.step(Power::from_milli_watts(1.0), Volts::new(3.3), |_| {
+                    Ratio::ZERO
+                }),
+            );
         });
     });
 }
@@ -32,9 +37,7 @@ fn bench_circuit_step(c: &mut Criterion) {
 fn bench_mfcc(c: &mut Criterion) {
     c.bench_function("mfcc_1s_clip", |b| {
         let extractor = MfccExtractor::new(AudioFrontendParams::standard(), 16_000.0);
-        let clip: Vec<f32> = (0..16_000)
-            .map(|i| ((i as f32) * 0.01).sin())
-            .collect();
+        let clip: Vec<f32> = (0..16_000).map(|i| ((i as f32) * 0.01).sin()).collect();
         b.iter(|| black_box(extractor.extract(&clip)));
     });
 }

@@ -7,7 +7,7 @@
 use rand::SeedableRng;
 use solarml::datasets::GestureDatasetBuilder;
 use solarml::dsp::{GestureSensingParams, Resolution};
-use solarml::energy::device::nj_per_mac;
+use solarml::energy::device::energy_per_mac;
 use solarml::nn::multi_exit::MultiExitModel;
 use solarml::nn::{
     arch::{LayerSpec, ModelSpec, Padding},
@@ -20,8 +20,8 @@ fn main() {
         "Multi-exit trade-off",
         "early-exit accuracy vs inference energy on the gesture task",
     );
-    let params = GestureSensingParams::new(9, 50, Resolution::Int, 8)
-        .expect("params are within Table II");
+    let params =
+        GestureSensingParams::new(9, 50, Resolution::Int, 8).expect("params are within Table II");
     let corpus = GestureDatasetBuilder {
         samples_per_class: 16,
         ..GestureDatasetBuilder::default()
@@ -58,7 +58,7 @@ fn main() {
         "\n{:>10} {:>10} {:>12} {:>14}",
         "threshold", "accuracy", "avg MACs", "≈E_M (conv-nJ)"
     );
-    let conv_nj = nj_per_mac(LayerClass::Conv);
+    let conv_nj = energy_per_mac(LayerClass::Conv).as_nano_joules();
     for threshold in [0.4f32, 0.5, 0.6, 0.7, 0.8, 0.9, 0.999, 1.0] {
         let (acc, avg_macs) = model.evaluate_early_exit(&test, threshold);
         println!(

@@ -64,7 +64,12 @@ fn main() {
     for n in [1u8, 3, 5, 7, 9] {
         let p = GestureSensingParams::new(n, 50, Resolution::Int, 8).expect("valid");
         let acc = train_at(&p, &train_raw, &test_raw);
-        println!("{:>4} {:>9.1}% {:>12}", n, 100.0 * acc, ground.true_energy(&p).to_string());
+        println!(
+            "{:>4} {:>9.1}% {:>12}",
+            n,
+            100.0 * acc,
+            ground.true_energy(&p).to_string()
+        );
     }
 
     println!("\nrate sweep (n=5, int q=8):");
@@ -72,7 +77,12 @@ fn main() {
     for r in [10u16, 25, 50, 100, 200] {
         let p = GestureSensingParams::new(5, r, Resolution::Int, 8).expect("valid");
         let acc = train_at(&p, &train_raw, &test_raw);
-        println!("{:>4} {:>9.1}% {:>12}", r, 100.0 * acc, ground.true_energy(&p).to_string());
+        println!(
+            "{:>4} {:>9.1}% {:>12}",
+            r,
+            100.0 * acc,
+            ground.true_energy(&p).to_string()
+        );
     }
 
     println!("\nquantization sweep (n=5, r=50 Hz):");

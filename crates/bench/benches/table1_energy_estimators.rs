@@ -5,9 +5,7 @@
 use rand::SeedableRng;
 use solarml::energy::corpus::{gesture_sensing_corpus, inference_corpus_banded};
 use solarml::energy::device::{GestureSensingGround, InferenceGround};
-use solarml::energy::regress::{
-    LinearRegression, LogisticRegression, NeuralRegression, Regressor,
-};
+use solarml::energy::regress::{LinearRegression, LogisticRegression, NeuralRegression, Regressor};
 use solarml::nn::ArchSampler;
 use solarml::trace::r_squared;
 use solarml_bench::header;
@@ -131,7 +129,13 @@ fn main() {
     println!();
     println!("Paper: 0.46 | 0.96 / 0.018 / 0.75 | 0.92 / 0.48 / 0.70.");
 
-    assert!(r2_lw_lr > r2_total_lr, "layer-wise LR must beat total-MACs LR");
-    assert!(r2_lw_lr > r2_lw_log, "LR must beat logistic on linear targets");
+    assert!(
+        r2_lw_lr > r2_total_lr,
+        "layer-wise LR must beat total-MACs LR"
+    );
+    assert!(
+        r2_lw_lr > r2_lw_log,
+        "LR must beat logistic on linear targets"
+    );
     assert!(r2_s_lr > 0.85, "sensing LR should be near the paper's 0.92");
 }

@@ -7,7 +7,10 @@ use solarml::nas::{TaskContext, TaskKind};
 use solarml_bench::header;
 
 fn main() {
-    header("Table II", "eNAS search space (enforced by the parameter types)");
+    header(
+        "Table II",
+        "eNAS search space (enforced by the parameter types)",
+    );
     println!(
         "{:<22} {:<22} {:<28} {:<12}",
         "task", "sensing parameter", "range", "morphism"
@@ -21,7 +24,10 @@ fn main() {
     );
     println!(
         "{:<22} {:<22} {:<28} {:<12}",
-        "", "rate r (Hz)", format!("{:?}", GestureSensingParams::RATE_RANGE), "r ± 2"
+        "",
+        "rate r (Hz)",
+        format!("{:?}", GestureSensingParams::RATE_RANGE),
+        "r ± 2"
     );
     println!(
         "{:<22} {:<22} {:<28} {:<12}",
@@ -40,11 +46,17 @@ fn main() {
     );
     println!(
         "{:<22} {:<22} {:<28} {:<12}",
-        "", "window duration d (ms)", format!("{:?}", AudioFrontendParams::DURATION_RANGE), "d ± 1"
+        "",
+        "window duration d (ms)",
+        format!("{:?}", AudioFrontendParams::DURATION_RANGE),
+        "d ± 1"
     );
     println!(
         "{:<22} {:<22} {:<28} {:<12}",
-        "", "features f", format!("{:?}", AudioFrontendParams::FEATURE_RANGE), "f ± 1"
+        "",
+        "features f",
+        format!("{:?}", AudioFrontendParams::FEATURE_RANGE),
+        "f ± 1"
     );
     println!();
     println!("Model hyperparameter space: µNAS-style conv/pool/dense stacks");

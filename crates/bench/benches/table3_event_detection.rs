@@ -6,7 +6,10 @@ use solarml::Seconds;
 use solarml_bench::header;
 
 fn main() {
-    header("Table III", "Event detection comparison (SolarML row measured)");
+    header(
+        "Table III",
+        "Event detection comparison (SolarML row measured)",
+    );
     let solarml = solarml_detector_spec();
     let wait = Seconds::new(5.0);
 
@@ -29,12 +32,9 @@ fn main() {
     }
 
     let solargest = &REFERENCE_DETECTORS[2];
-    let factor =
-        solargest.wait_and_detect_energy(wait) / solarml.wait_and_detect_energy(wait);
+    let factor = solargest.wait_and_detect_energy(wait) / solarml.wait_and_detect_energy(wait);
     println!();
-    println!(
-        "SolarML's 5-s energy advantage over SolarGest: {factor:.1}x (paper: ~10x)"
-    );
+    println!("SolarML's 5-s energy advantage over SolarGest: {factor:.1}x (paper: ~10x)");
     for reference in &REFERENCE_DETECTORS[..2] {
         let f = reference.wait_and_detect_energy(wait) / solarml.wait_and_detect_energy(wait);
         println!(

@@ -12,7 +12,9 @@ use solarml::platform::TaskProfile;
 
 /// Whether full-scale (paper-setting) runs were requested.
 pub fn full_scale() -> bool {
-    std::env::var("SOLARML_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SOLARML_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Prints a figure/table header.
@@ -29,6 +31,7 @@ pub fn pct(x: f64) -> String {
 }
 
 /// The reference µNAS-scale gesture task used by Figs. 1/2/6.
+#[allow(clippy::expect_used)] // literal reference configs are valid by inspection
 pub fn reference_gesture_task() -> TaskProfile {
     let params = GestureSensingParams::new(9, 100, Resolution::Int, 8)
         .expect("reference gesture params are valid");
@@ -50,6 +53,7 @@ pub fn reference_gesture_task() -> TaskProfile {
 }
 
 /// The reference µNAS-scale KWS task used by Figs. 1/2/6.
+#[allow(clippy::expect_used)] // literal reference configs are valid by inspection
 pub fn reference_kws_task() -> TaskProfile {
     let params = AudioFrontendParams::standard();
     let spec = ModelSpec::new(

@@ -8,7 +8,7 @@
 //! and the event-detection bias network).
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Amps, Energy, Farads, Ohms, Power, Seconds, Volts};
+use solarml_units::{Amps, Energy, Farads, Lux, Ohms, Power, Ratio, Seconds, Volts};
 
 /// An amorphous-silicon solar cell (AM1606C-like, 13 mm × 13 mm).
 ///
@@ -62,13 +62,14 @@ impl SolarCell {
     /// # Panics
     ///
     /// Panics if `shading` is outside `[0, 1]`.
-    pub fn short_circuit_current(&self, lux: f64, shading: f64) -> Amps {
+    pub fn short_circuit_current(&self, lux: Lux, shading: Ratio) -> Amps {
+        let s = shading.get();
         assert!(
-            (0.0..=1.0).contains(&shading),
-            "shading must be in [0,1], got {shading}"
+            (0.0..=1.0).contains(&s),
+            "shading must be in [0,1], got {s}"
         );
-        let lux = lux.max(0.0);
-        Amps::new(self.isc_per_lux * lux.powf(self.lux_exponent) * (1.0 - shading))
+        let lux = lux.as_lux().max(0.0);
+        Amps::new(self.isc_per_lux * lux.powf(self.lux_exponent) * (1.0 - s))
     }
 
     /// Open-circuit voltage for a given short-circuit current.
@@ -80,7 +81,7 @@ impl SolarCell {
     }
 
     /// Power at the maximum power point under the given conditions.
-    pub fn mpp_power(&self, lux: f64, shading: f64) -> Power {
+    pub fn mpp_power(&self, lux: Lux, shading: Ratio) -> Power {
         let isc = self.short_circuit_current(lux, shading);
         let voc = self.open_circuit_voltage(isc);
         voc * isc * self.fill_factor
@@ -92,7 +93,7 @@ impl SolarCell {
     /// Solves the intersection of the cell's I–V curve with `V = I·R`
     /// approximately: the cell behaves as a current source `I_sc` until the
     /// voltage approaches `V_oc`, so `V = min(I_sc·R, V_oc)` with a soft knee.
-    pub fn loaded_voltage(&self, lux: f64, shading: f64, r_load: Ohms) -> Volts {
+    pub fn loaded_voltage(&self, lux: Lux, shading: Ratio, r_load: Ohms) -> Volts {
         let isc = self.short_circuit_current(lux, shading);
         let voc = self.open_circuit_voltage(isc);
         let linear = isc.as_amps() * r_load.as_ohms();
@@ -167,14 +168,36 @@ impl Supercap {
     /// Integrates one timestep: `charge_in` amps flowing in, `power_out`
     /// watts drawn by the load (converted to current at the present voltage),
     /// plus internal leakage. Voltage clips to `[0, max_voltage]`.
-    pub fn step(&mut self, dt: Seconds, charge_in: Amps, power_out: Power) {
-        let v = self.voltage.as_volts().max(1e-3);
+    ///
+    /// Returns the per-step energy breakdown, computed from the *same*
+    /// intermediates as the voltage update so that the conservation identity
+    /// `delta_stored = harvested - load - leaked - clamped` holds to
+    /// floating-point round-off (the basis of [`crate::sim::EnergyAudit`]).
+    pub fn step(&mut self, dt: Seconds, charge_in: Amps, power_out: Power) -> CapStepEnergy {
+        let v0 = self.voltage.as_volts();
+        let v = v0.max(1e-3);
         let i_out = power_out.as_watts() / v;
-        let i_leak = self.voltage.as_volts() / self.leakage.as_ohms();
+        let i_leak = v0 / self.leakage.as_ohms();
         let net = charge_in.as_amps() - i_out - i_leak;
         let dv = net * dt.as_seconds() / self.capacitance.as_farads();
-        let next = (self.voltage.as_volts() + dv).clamp(0.0, self.max_voltage.as_volts());
+        let next = (v0 + dv).clamp(0.0, self.max_voltage.as_volts());
         self.voltage = Volts::new(next);
+        debug_assert!(
+            self.voltage >= Volts::ZERO && self.voltage <= self.max_voltage,
+            "supercap voltage out of bounds after step"
+        );
+        // Trapezoidal mid-voltage makes the discrete energy flows consistent
+        // with the Euler voltage update: ½C(v1²-v0²) = C·(v1-v0)·(v1+v0)/2.
+        let c = self.capacitance.as_farads();
+        let v_mid = 0.5 * (v0 + next);
+        let dt_s = dt.as_seconds();
+        CapStepEnergy {
+            delta_stored: Energy::new(c * (next - v0) * v_mid),
+            harvested: Energy::new(charge_in.as_amps() * v_mid * dt_s),
+            load: Energy::new(i_out * v_mid * dt_s),
+            leaked: Energy::new(i_leak * v_mid * dt_s),
+            clamped: Energy::new(c * (v0 + dv - next) * v_mid),
+        }
     }
 
     /// Directly removes an energy quantum (used for discrete inference costs).
@@ -184,7 +207,31 @@ impl Supercap {
         let remaining = (stored.as_joules() - e.as_joules()).max(0.0);
         let v = (2.0 * remaining / self.capacitance.as_farads()).sqrt();
         self.voltage = Volts::new(v.min(self.max_voltage.as_volts()));
+        debug_assert!(
+            self.stored_energy() >= Energy::ZERO,
+            "supercap stored energy went negative in drain_energy"
+        );
     }
+}
+
+/// Energy flows through a [`Supercap`] during one [`Supercap::step`].
+///
+/// All five fields are derived from the same intermediates as the voltage
+/// update, so `delta_stored == harvested - load - leaked - clamped` up to
+/// floating-point round-off (a few ulps per step).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapStepEnergy {
+    /// Change in stored energy `½C(v1² - v0²)` over the step.
+    pub delta_stored: Energy,
+    /// Energy delivered by the charging current at the mid-step voltage.
+    pub harvested: Energy,
+    /// Energy drawn by the external load.
+    pub load: Energy,
+    /// Energy dissipated in the internal leakage path.
+    pub leaked: Energy,
+    /// Energy rejected because the voltage clipped at a rail
+    /// (zero whenever the voltage stayed within `[0, max_voltage]`).
+    pub clamped: Energy,
 }
 
 /// A Schottky blocking diode (the event-detection cells connect to the
@@ -312,8 +359,8 @@ mod tests {
     #[test]
     fn solar_cell_power_sublinear_in_lux() {
         let cell = SolarCell::default();
-        let p500 = cell.mpp_power(500.0, 0.0);
-        let p1000 = cell.mpp_power(1000.0, 0.0);
+        let p500 = cell.mpp_power(Lux::new(500.0), Ratio::new(0.0));
+        let p1000 = cell.mpp_power(Lux::new(1000.0), Ratio::new(0.0));
         let ratio = p1000 / p500;
         assert!(
             ratio > 1.3 && ratio < 1.9,
@@ -324,7 +371,7 @@ mod tests {
     #[test]
     fn array_of_25_cells_matches_paper_harvest_power() {
         let cell = SolarCell::default();
-        let p = cell.mpp_power(500.0, 0.0) * 25.0;
+        let p = cell.mpp_power(Lux::new(500.0), Ratio::new(0.0)) * 25.0;
         let uw = p.as_micro_watts();
         assert!(
             (220.0..320.0).contains(&uw),
@@ -335,9 +382,9 @@ mod tests {
     #[test]
     fn shading_reduces_current_to_zero() {
         let cell = SolarCell::default();
-        let full = cell.short_circuit_current(500.0, 0.0);
-        let half = cell.short_circuit_current(500.0, 0.5);
-        let none = cell.short_circuit_current(500.0, 1.0);
+        let full = cell.short_circuit_current(Lux::new(500.0), Ratio::new(0.0));
+        let half = cell.short_circuit_current(Lux::new(500.0), Ratio::new(0.5));
+        let none = cell.short_circuit_current(Lux::new(500.0), Ratio::new(1.0));
         assert!(half.as_amps() < full.as_amps());
         assert_eq!(none, Amps::ZERO);
     }
@@ -345,14 +392,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "shading must be in [0,1]")]
     fn invalid_shading_panics() {
-        let _ = SolarCell::default().short_circuit_current(500.0, 1.5);
+        let _ = SolarCell::default().short_circuit_current(Lux::new(500.0), Ratio::new(1.5));
     }
 
     #[test]
     fn voc_increases_with_light_logarithmically() {
         let cell = SolarCell::default();
-        let v100 = cell.open_circuit_voltage(cell.short_circuit_current(100.0, 0.0));
-        let v1000 = cell.open_circuit_voltage(cell.short_circuit_current(1000.0, 0.0));
+        let v100 =
+            cell.open_circuit_voltage(cell.short_circuit_current(Lux::new(100.0), Ratio::new(0.0)));
+        let v1000 = cell
+            .open_circuit_voltage(cell.short_circuit_current(Lux::new(1000.0), Ratio::new(0.0)));
         assert!(v1000 > v100);
         // Logarithmic: 10x light gives far less than 10x voltage.
         assert!(v1000.as_volts() / v100.as_volts() < 2.0);
@@ -361,9 +410,9 @@ mod tests {
     #[test]
     fn loaded_voltage_saturates_at_voc() {
         let cell = SolarCell::default();
-        let isc = cell.short_circuit_current(500.0, 0.0);
+        let isc = cell.short_circuit_current(Lux::new(500.0), Ratio::new(0.0));
         let voc = cell.open_circuit_voltage(isc);
-        let v = cell.loaded_voltage(500.0, 0.0, Ohms::new(1e9));
+        let v = cell.loaded_voltage(Lux::new(500.0), Ratio::new(0.0), Ohms::new(1e9));
         assert!(v <= voc);
         assert!(v.as_volts() > 0.9 * voc.as_volts());
     }
@@ -372,8 +421,8 @@ mod tests {
     fn loaded_voltage_linear_for_small_loads() {
         let cell = SolarCell::default();
         let r = Ohms::new(1e3);
-        let v = cell.loaded_voltage(500.0, 0.0, r);
-        let isc = cell.short_circuit_current(500.0, 0.0);
+        let v = cell.loaded_voltage(Lux::new(500.0), Ratio::new(0.0), r);
+        let isc = cell.short_circuit_current(Lux::new(500.0), Ratio::new(0.0));
         let expected = isc.as_amps() * r.as_ohms();
         assert!((v.as_volts() - expected).abs() / expected < 0.05);
     }
@@ -384,7 +433,11 @@ mod tests {
         cap.step(Seconds::new(1.0), Amps::from_milli_amps(100.0), Power::ZERO);
         assert!(cap.voltage().as_volts() > 2.09); // ~0.1 V rise minus leakage
         let v_before = cap.voltage();
-        cap.step(Seconds::new(1.0), Amps::ZERO, Power::from_milli_watts(210.0));
+        cap.step(
+            Seconds::new(1.0),
+            Amps::ZERO,
+            Power::from_milli_watts(210.0),
+        );
         assert!(cap.voltage() < v_before);
     }
 
@@ -472,16 +525,16 @@ mod tests {
         #[test]
         fn mpp_power_monotone_in_lux(lux in 1.0f64..2000.0) {
             let cell = SolarCell::default();
-            let p1 = cell.mpp_power(lux, 0.0);
-            let p2 = cell.mpp_power(lux * 1.1, 0.0);
+            let p1 = cell.mpp_power(Lux::new(lux), Ratio::new(0.0));
+            let p2 = cell.mpp_power(Lux::new(lux * 1.1), Ratio::new(0.0));
             prop_assert!(p2 >= p1);
         }
 
         #[test]
         fn mpp_power_monotone_in_shading(s in 0.0f64..1.0) {
             let cell = SolarCell::default();
-            let p_clear = cell.mpp_power(500.0, 0.0);
-            let p_shaded = cell.mpp_power(500.0, s);
+            let p_clear = cell.mpp_power(Lux::new(500.0), Ratio::new(0.0));
+            let p_shaded = cell.mpp_power(Lux::new(500.0), Ratio::new(s));
             prop_assert!(p_shaded <= p_clear + Power::new(1e-15));
         }
 

@@ -6,7 +6,7 @@
 //! gesture-sensing stimulus).
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Lux, Seconds};
+use solarml_units::{Lux, Ratio, Seconds};
 
 /// Instantaneous illumination of the array: ambient level plus per-use
 /// shading of the event-detection cells.
@@ -14,8 +14,9 @@ use solarml_units::{Lux, Seconds};
 pub struct Illumination {
     /// Ambient illuminance falling on un-shaded cells.
     pub ambient: Lux,
-    /// Shading of the event-detection cells, `0.0` (clear) to `1.0` (covered).
-    pub event_cell_shading: f64,
+    /// Shading of the event-detection cells, [`Ratio::ZERO`] (clear) to
+    /// [`Ratio::ONE`] (covered).
+    pub event_cell_shading: Ratio,
 }
 
 /// A scripted sequence of hover gestures over the event-detection cells.
@@ -52,15 +53,16 @@ impl HoverSchedule {
 
     /// Appends one hover.
     pub fn push(&mut self, start: Seconds, duration: Seconds) {
-        assert!(duration.as_seconds() > 0.0, "hover duration must be positive");
+        assert!(
+            duration.as_seconds() > 0.0,
+            "hover duration must be positive"
+        );
         self.hovers.push((start, duration));
     }
 
     /// Whether a hover is in progress at time `t`.
     pub fn hovering_at(&self, t: Seconds) -> bool {
-        self.hovers
-            .iter()
-            .any(|&(s, d)| t >= s && t < s + d)
+        self.hovers.iter().any(|&(s, d)| t >= s && t < s + d)
     }
 
     /// The scripted hovers.
@@ -153,9 +155,7 @@ impl LightEnvironment {
                 level = change.level;
             } else {
                 let frac = elapsed / ramp;
-                level = Lux::new(
-                    level.as_lux() + (change.level.as_lux() - level.as_lux()) * frac,
-                );
+                level = Lux::new(level.as_lux() + (change.level.as_lux() - level.as_lux()) * frac);
                 break; // mid-ramp: later changes have not begun
             }
         }
@@ -166,7 +166,11 @@ impl LightEnvironment {
     pub fn illumination(&self, t: Seconds) -> Illumination {
         Illumination {
             ambient: self.ambient_at(t),
-            event_cell_shading: if self.hovers.hovering_at(t) { 1.0 } else { 0.0 },
+            event_cell_shading: if self.hovers.hovering_at(t) {
+                Ratio::ONE
+            } else {
+                Ratio::ZERO
+            },
         }
     }
 }
@@ -180,7 +184,7 @@ mod tests {
         let env = LightEnvironment::constant(Lux::new(500.0));
         for t in [0.0, 1.0, 100.0] {
             let ill = env.illumination(Seconds::new(t));
-            assert_eq!(ill.event_cell_shading, 0.0);
+            assert_eq!(ill.event_cell_shading, Ratio::ZERO);
             assert_eq!(ill.ambient, Lux::new(500.0));
         }
     }
@@ -254,7 +258,13 @@ mod tests {
     fn environment_reports_shading_during_hover() {
         let sched = HoverSchedule::from_hovers([(Seconds::new(0.5), Seconds::new(0.2))]);
         let env = LightEnvironment::with_hovers(Lux::new(500.0), sched);
-        assert_eq!(env.illumination(Seconds::new(0.6)).event_cell_shading, 1.0);
-        assert_eq!(env.illumination(Seconds::new(0.8)).event_cell_shading, 0.0);
+        assert_eq!(
+            env.illumination(Seconds::new(0.6)).event_cell_shading,
+            Ratio::ONE
+        );
+        assert_eq!(
+            env.illumination(Seconds::new(0.8)).event_cell_shading,
+            Ratio::ZERO
+        );
     }
 }

@@ -27,7 +27,7 @@
 //!   drained by spurious wake-ups.
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Farads, Ohms, Power, Seconds, Volts};
+use solarml_units::{Farads, Lux, Ohms, Power, Ratio, Seconds, Volts};
 
 use crate::components::{Mosfet, ResistorDivider, SolarCell};
 use crate::env::Illumination;
@@ -71,12 +71,12 @@ pub struct DetectorOutput {
 /// ```
 /// use solarml_circuit::event::EventDetector;
 /// use solarml_circuit::env::Illumination;
-/// use solarml_units::{Lux, Seconds, Volts};
+/// use solarml_units::{Lux, Ratio, Seconds, Volts};
 ///
 /// let mut det = EventDetector::default();
-/// let lit = Illumination { ambient: Lux::new(500.0), event_cell_shading: 0.0 };
+/// let lit = Illumination { ambient: Lux::new(500.0), event_cell_shading: Ratio::ZERO };
 /// det.settle(lit, Volts::new(3.0)); // start from equilibrium, not a dark power-up
-/// let out = det.step(Seconds::from_millis(1.0), lit, 0.0, false, Volts::new(3.0));
+/// let out = det.step(Seconds::from_millis(1.0), lit, Volts::ZERO, false, Volts::new(3.0));
 /// assert!(!out.mcu_connected, "lit cell keeps the platform off");
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -156,11 +156,9 @@ impl EventDetector {
     /// dark power-up, which would otherwise spuriously close `P1` for the
     /// first few RC constants.
     pub fn settle(&mut self, ill: Illumination, v_cap: Volts) {
-        let cell_v = self.wake_cell.loaded_voltage(
-            ill.ambient.as_lux(),
-            ill.event_cell_shading,
-            Ohms::new(1e9),
-        );
+        let cell_v =
+            self.wake_cell
+                .loaded_voltage(ill.ambient, ill.event_cell_shading, Ohms::new(1e9));
         self.v2 = if self.n0.conducts(cell_v) {
             self.lit_v2(v_cap)
         } else {
@@ -177,8 +175,8 @@ impl EventDetector {
     /// Advances the detector by `dt`.
     ///
     /// * `ill` — current light/hover conditions;
-    /// * `v4_hold` — the MCU's hold-pin voltage in volts (≥ `N1` threshold
-    ///   keeps `P1` latched on);
+    /// * `v4_hold` — the MCU's hold-pin voltage (≥ `N1` threshold keeps
+    ///   `P1` latched on);
     /// * `sense_hovered` — whether the user is also covering the sense cell
     ///   (gestures cover the whole corner, so hover schedules usually drive
     ///   both cells identically);
@@ -187,12 +185,12 @@ impl EventDetector {
         &mut self,
         dt: Seconds,
         ill: Illumination,
-        v4_hold: f64,
+        v4_hold: Volts,
         sense_hovered: bool,
         v_cap: Volts,
     ) -> DetectorOutput {
-        let lux = ill.ambient.as_lux();
-        let holding = self.n1.conducts(Volts::new(v4_hold));
+        let lux = ill.ambient;
+        let holding = self.n1.conducts(v4_hold);
 
         // Wake-cell operating point: it only drives N0's gate (no load).
         let cell_v = self
@@ -226,13 +224,17 @@ impl EventDetector {
         // session in dimming light is not cut off mid-gesture).
         let ref_v = self
             .reference_cell
-            .loaded_voltage(lux, 0.0, Ohms::new(10e6));
+            .loaded_voltage(lux, Ratio::ZERO, Ohms::new(10e6));
         let n2_allows = holding || self.n2.conducts(ref_v);
 
         let mcu_connected = p1_conducting && n2_allows;
 
         // End-of-gesture sense tap.
-        let sense_shading = if sense_hovered { 1.0 } else { 0.0 };
+        let sense_shading = if sense_hovered {
+            Ratio::ONE
+        } else {
+            Ratio::ZERO
+        };
         let sense_cell_v = self
             .sense_cell
             .loaded_voltage(lux, sense_shading, self.sense.total());
@@ -258,7 +260,7 @@ impl EventDetector {
             DetectorState::Lockout
         } else if mcu_connected {
             DetectorState::Connected
-        } else if ill.event_cell_shading > 0.0 {
+        } else if ill.event_cell_shading > Ratio::ZERO {
             DetectorState::Triggering
         } else {
             DetectorState::Standby
@@ -281,27 +283,27 @@ impl EventDetector {
     ///
     /// Returns `None` if the detector does not trigger within one second
     /// (e.g. weak-light lockout).
-    pub fn response_time(&self, ambient: solarml_units::Lux, v_cap: Volts) -> Option<Seconds> {
+    pub fn response_time(&self, ambient: Lux, v_cap: Volts) -> Option<Seconds> {
         let mut det = self.clone();
         let dt = Seconds::from_micros(50.0);
         // Settle fully lit.
         let lit = Illumination {
             ambient,
-            event_cell_shading: 0.0,
+            event_cell_shading: Ratio::ZERO,
         };
         let mut t = Seconds::ZERO;
         while t < Seconds::new(1.0) {
-            det.step(dt, lit, 0.0, false, v_cap);
+            det.step(dt, lit, Volts::ZERO, false, v_cap);
             t += dt;
         }
         // Hover and time the connection.
         let hovered = Illumination {
             ambient,
-            event_cell_shading: 1.0,
+            event_cell_shading: Ratio::ONE,
         };
         let mut elapsed = Seconds::ZERO;
         while elapsed < Seconds::new(1.0) {
-            let out = det.step(dt, hovered, 0.0, true, v_cap);
+            let out = det.step(dt, hovered, Volts::ZERO, true, v_cap);
             elapsed += dt;
             if out.mcu_connected {
                 return Some(elapsed);
@@ -314,28 +316,26 @@ impl EventDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use solarml_units::Lux;
-
     const DT: Seconds = Seconds::new(0.001);
 
     fn lit(lux: f64) -> Illumination {
         Illumination {
             ambient: Lux::new(lux),
-            event_cell_shading: 0.0,
+            event_cell_shading: Ratio::ZERO,
         }
     }
 
     fn hovered(lux: f64) -> Illumination {
         Illumination {
             ambient: Lux::new(lux),
-            event_cell_shading: 1.0,
+            event_cell_shading: Ratio::ONE,
         }
     }
 
     fn settle(det: &mut EventDetector, ill: Illumination, v_cap: Volts) -> DetectorOutput {
-        let mut out = det.step(DT, ill, 0.0, false, v_cap);
+        let mut out = det.step(DT, ill, Volts::ZERO, false, v_cap);
         for _ in 0..2000 {
-            out = det.step(DT, ill, 0.0, false, v_cap);
+            out = det.step(DT, ill, Volts::ZERO, false, v_cap);
         }
         out
     }
@@ -355,7 +355,7 @@ mod tests {
         settle(&mut det, lit(500.0), Volts::new(3.0));
         let mut connected = false;
         for _ in 0..100 {
-            let out = det.step(DT, hovered(500.0), 0.0, true, Volts::new(3.0));
+            let out = det.step(DT, hovered(500.0), Volts::ZERO, true, Volts::new(3.0));
             if out.mcu_connected {
                 connected = true;
                 break;
@@ -393,7 +393,7 @@ mod tests {
         let mut det = EventDetector::default();
         settle(&mut det, lit(500.0), Volts::new(3.0));
         // MCU holds: V4 = 3.3 V.
-        let out = det.step(DT, lit(500.0), 3.3, false, Volts::new(3.0));
+        let out = det.step(DT, lit(500.0), Volts::new(3.3), false, Volts::new(3.0));
         let uw = out.detector_power.as_micro_watts();
         assert!(
             (7.5..28.0).contains(&uw),
@@ -407,18 +407,18 @@ mod tests {
         settle(&mut det, lit(500.0), Volts::new(3.0));
         // Hover to trigger.
         for _ in 0..50 {
-            det.step(DT, hovered(500.0), 0.0, true, Volts::new(3.0));
+            det.step(DT, hovered(500.0), Volts::ZERO, true, Volts::new(3.0));
         }
         // Hand leaves but MCU holds V4 high.
-        let mut out = det.step(DT, lit(500.0), 3.3, false, Volts::new(3.0));
+        let mut out = det.step(DT, lit(500.0), Volts::new(3.3), false, Volts::new(3.0));
         for _ in 0..500 {
-            out = det.step(DT, lit(500.0), 3.3, false, Volts::new(3.0));
+            out = det.step(DT, lit(500.0), Volts::new(3.3), false, Volts::new(3.0));
         }
         assert!(out.mcu_connected, "hold pin must keep P1 closed");
         // Release the hold: the node re-charges and P1 opens.
         let mut released = out;
         for _ in 0..5000 {
-            released = det.step(DT, lit(500.0), 0.0, false, Volts::new(3.0));
+            released = det.step(DT, lit(500.0), Volts::ZERO, false, Volts::new(3.0));
         }
         assert!(!released.mcu_connected, "releasing V4 must disconnect");
     }
@@ -427,9 +427,9 @@ mod tests {
     fn weak_light_lockout_blocks_wakeup() {
         let mut det = EventDetector::default();
         settle(&mut det, lit(5.0), Volts::new(3.0));
-        let mut out = det.step(DT, hovered(5.0), 0.0, true, Volts::new(3.0));
+        let mut out = det.step(DT, hovered(5.0), Volts::ZERO, true, Volts::new(3.0));
         for _ in 0..2000 {
-            out = det.step(DT, hovered(5.0), 0.0, true, Volts::new(3.0));
+            out = det.step(DT, hovered(5.0), Volts::ZERO, true, Volts::new(3.0));
         }
         assert!(!out.mcu_connected, "5 lux must not wake the platform");
         assert_eq!(out.state, DetectorState::Lockout);
@@ -438,8 +438,8 @@ mod tests {
     #[test]
     fn v5_drops_when_sense_cell_hovered() {
         let mut det = EventDetector::default();
-        let clear = det.step(DT, lit(500.0), 3.3, false, Volts::new(3.0));
-        let covered = det.step(DT, lit(500.0), 3.3, true, Volts::new(3.0));
+        let clear = det.step(DT, lit(500.0), Volts::new(3.3), false, Volts::new(3.0));
+        let covered = det.step(DT, lit(500.0), Volts::new(3.3), true, Volts::new(3.0));
         assert!(covered.v5.as_volts() < 0.2 * clear.v5.as_volts());
     }
 
@@ -452,7 +452,7 @@ mod tests {
         let mut energy = solarml_units::Energy::ZERO;
         let mut t = Seconds::ZERO;
         while t < Seconds::new(5.0) {
-            let out = det.step(dt, lit(500.0), 0.0, false, Volts::new(3.0));
+            let out = det.step(dt, lit(500.0), Volts::ZERO, false, Volts::new(3.0));
             energy += out.detector_power * dt;
             t += dt;
         }

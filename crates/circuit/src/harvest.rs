@@ -9,7 +9,7 @@
 //! the diode drop).
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Amps, Ohms, Power, Volts};
+use solarml_units::{Amps, Lux, Ohms, Power, Ratio, Volts};
 
 use crate::components::{ResistorDivider, SchottkyDiode, SolarCell};
 
@@ -109,11 +109,11 @@ impl Default for Harvester {
 
 impl Harvester {
     /// Efficiency at the given raw photovoltaic input power.
-    pub fn efficiency(&self, input: Power) -> f64 {
+    pub fn efficiency(&self, input: Power) -> Ratio {
         if input.as_watts() <= 0.0 {
-            return 0.0;
+            return Ratio::ZERO;
         }
-        self.eta_max * (1.0 - (-(input / self.knee_power)).exp())
+        Ratio::new(self.eta_max * (1.0 - (-(input / self.knee_power)).exp()))
     }
 
     /// Net power delivered to the supercap for a raw PV input.
@@ -169,16 +169,16 @@ impl HarvestingArray {
     /// power: `I = η·P_raw / V_cap`.
     pub fn charging_current(
         &self,
-        lux: f64,
+        lux: Lux,
         v_cap: Volts,
-        shading: impl Fn(usize) -> f64,
+        shading: impl Fn(usize) -> Ratio,
     ) -> Amps {
         let mut raw = Power::ZERO;
         for (i, &role) in self.layout.roles.iter().enumerate() {
             if role == CellRole::Sensing && self.mode == HarvestMode::Sensing {
                 continue; // diverted onto the sensing dividers
             }
-            let s = shading(i).clamp(0.0, 1.0);
+            let s = shading(i).clamp01();
             let mut p = self.layout.cell.mpp_power(lux, s);
             if role == CellRole::EventDetection {
                 // The Schottky diode eats its forward drop's share of power.
@@ -195,7 +195,7 @@ impl HarvestingArray {
     /// Sensing-channel voltages (9 taps, row-major over the 3×3 block) for
     /// the current illumination and per-cell shading. Only meaningful in
     /// [`HarvestMode::Sensing`]; in harvesting mode all taps read zero.
-    pub fn sensing_voltages(&self, lux: f64, shading: impl Fn(usize) -> f64) -> Vec<Volts> {
+    pub fn sensing_voltages(&self, lux: Lux, shading: impl Fn(usize) -> Ratio) -> Vec<Volts> {
         if self.mode != HarvestMode::Sensing {
             return vec![Volts::ZERO; self.layout.count(CellRole::Sensing)];
         }
@@ -203,18 +203,18 @@ impl HarvestingArray {
             .indices(CellRole::Sensing)
             .into_iter()
             .map(|i| {
-                let s = shading(i).clamp(0.0, 1.0);
-                let v_cell =
-                    self.layout
-                        .cell
-                        .loaded_voltage(lux, s, self.sensing_divider.total());
+                let s = shading(i).clamp01();
+                let v_cell = self
+                    .layout
+                    .cell
+                    .loaded_voltage(lux, s, self.sensing_divider.total());
                 self.sensing_divider.tap(v_cell)
             })
             .collect()
     }
 
     /// Static power burned in the sensing dividers while sensing.
-    pub fn sensing_power(&self, lux: f64, shading: impl Fn(usize) -> f64) -> Power {
+    pub fn sensing_power(&self, lux: Lux, shading: impl Fn(usize) -> Ratio) -> Power {
         if self.mode != HarvestMode::Sensing {
             return Power::ZERO;
         }
@@ -222,11 +222,11 @@ impl HarvestingArray {
             .indices(CellRole::Sensing)
             .into_iter()
             .map(|i| {
-                let s = shading(i).clamp(0.0, 1.0);
-                let v_cell =
-                    self.layout
-                        .cell
-                        .loaded_voltage(lux, s, self.sensing_divider.total());
+                let s = shading(i).clamp01();
+                let v_cell = self
+                    .layout
+                    .cell
+                    .loaded_voltage(lux, s, self.sensing_divider.total());
                 self.sensing_divider.dissipation(v_cell)
             })
             .sum()
@@ -238,8 +238,8 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn no_shade(_: usize) -> f64 {
-        0.0
+    fn no_shade(_: usize) -> Ratio {
+        Ratio::ZERO
     }
 
     #[test]
@@ -255,8 +255,12 @@ mod tests {
     fn net_harvest_power_matches_calibration() {
         let array = HarvestingArray::new();
         let v = Volts::new(3.0);
-        for (lux, lo, hi) in [(500.0, 180.0, 260.0), (1000.0, 320.0, 460.0), (250.0, 80.0, 130.0)] {
-            let i = array.charging_current(lux, v, no_shade);
+        for (lux, lo, hi) in [
+            (500.0, 180.0, 260.0),
+            (1000.0, 320.0, 460.0),
+            (250.0, 80.0, 130.0),
+        ] {
+            let i = array.charging_current(Lux::new(lux), v, no_shade);
             let p = (v * i).as_micro_watts();
             assert!(
                 (lo..hi).contains(&p),
@@ -271,7 +275,7 @@ mod tests {
         let array = HarvestingArray::new();
         let v = Volts::new(3.0);
         let time_for = |lux: f64, uj: f64| {
-            let i = array.charging_current(lux, v, no_shade);
+            let i = array.charging_current(Lux::new(lux), v, no_shade);
             uj / (v * i).as_micro_watts()
         };
         let t500 = time_for(500.0, 6660.0);
@@ -287,9 +291,9 @@ mod tests {
     fn sensing_mode_reduces_harvest() {
         let mut array = HarvestingArray::new();
         let v = Volts::new(3.0);
-        let full = array.charging_current(500.0, v, no_shade);
+        let full = array.charging_current(Lux::new(500.0), v, no_shade);
         array.set_mode(HarvestMode::Sensing);
-        let reduced = array.charging_current(500.0, v, no_shade);
+        let reduced = array.charging_current(Lux::new(500.0), v, no_shade);
         assert!(reduced < full);
         // 9 of 25 cells diverted → roughly 64% of the raw power remains.
         let ratio = reduced / full;
@@ -302,7 +306,13 @@ mod tests {
         array.set_mode(HarvestMode::Sensing);
         let sensing_idx = array.layout.indices(CellRole::Sensing);
         let target = sensing_idx[4]; // centre of the 3×3 block
-        let vs = array.sensing_voltages(500.0, |i| if i == target { 0.9 } else { 0.0 });
+        let vs = array.sensing_voltages(Lux::new(500.0), |i| {
+            if i == target {
+                Ratio::new(0.9)
+            } else {
+                Ratio::ZERO
+            }
+        });
         assert_eq!(vs.len(), 9);
         let covered = vs[4];
         let clear = vs[0];
@@ -312,18 +322,18 @@ mod tests {
     #[test]
     fn sensing_voltages_zero_in_harvest_mode() {
         let array = HarvestingArray::new();
-        for v in array.sensing_voltages(500.0, no_shade) {
+        for v in array.sensing_voltages(Lux::new(500.0), no_shade) {
             assert_eq!(v, Volts::ZERO);
         }
-        assert_eq!(array.sensing_power(500.0, no_shade), Power::ZERO);
+        assert_eq!(array.sensing_power(Lux::new(500.0), no_shade), Power::ZERO);
     }
 
     #[test]
     fn harvester_efficiency_knee() {
         let h = Harvester::default();
-        assert_eq!(h.efficiency(Power::ZERO), 0.0);
-        let low = h.efficiency(Power::from_micro_watts(20.0));
-        let high = h.efficiency(Power::from_micro_watts(500.0));
+        assert_eq!(h.efficiency(Power::ZERO), Ratio::ZERO);
+        let low = h.efficiency(Power::from_micro_watts(20.0)).get();
+        let high = h.efficiency(Power::from_micro_watts(500.0)).get();
         assert!(low < 0.3 * 0.85 / 0.2, "low-power efficiency collapses");
         assert!(high > 0.8, "high-power efficiency near peak: {high:.2}");
         assert!(low < high);
@@ -333,9 +343,9 @@ mod tests {
     fn event_cells_pay_diode_drop() {
         let mut array = HarvestingArray::new();
         let v = Volts::new(3.0);
-        let with_diode = array.charging_current(500.0, v, no_shade);
+        let with_diode = array.charging_current(Lux::new(500.0), v, no_shade);
         array.blocking_diode.forward_drop = Volts::ZERO;
-        let without = array.charging_current(500.0, v, no_shade);
+        let without = array.charging_current(Lux::new(500.0), v, no_shade);
         assert!(with_diode < without);
     }
 
@@ -346,8 +356,8 @@ mod tests {
             v in 0.5f64..5.0,
         ) {
             let array = HarvestingArray::new();
-            let i1 = array.charging_current(lux, Volts::new(v), no_shade);
-            let i2 = array.charging_current(lux * 1.2, Volts::new(v), no_shade);
+            let i1 = array.charging_current(Lux::new(lux), Volts::new(v), no_shade);
+            let i2 = array.charging_current(Lux::new(lux * 1.2), Volts::new(v), no_shade);
             prop_assert!(i1.as_amps() >= 0.0);
             prop_assert!(i2 >= i1);
         }
@@ -356,7 +366,7 @@ mod tests {
         fn full_shade_kills_sensing_voltage(lux in 50.0f64..2000.0) {
             let mut array = HarvestingArray::new();
             array.set_mode(HarvestMode::Sensing);
-            let vs = array.sensing_voltages(lux, |_| 1.0);
+            let vs = array.sensing_voltages(Lux::new(lux), |_| Ratio::ONE);
             for v in vs {
                 prop_assert!(v.as_volts() < 1e-6);
             }

@@ -34,7 +34,7 @@
 //! let mut energy = solarml_units::Energy::ZERO;
 //! let mut t = Seconds::ZERO;
 //! while t < Seconds::new(5.0) {
-//!     let out = det.step(dt, env.illumination(t), 0.0, false, Volts::new(3.0));
+//!     let out = det.step(dt, env.illumination(t), Volts::ZERO, false, Volts::new(3.0));
 //!     energy += out.detector_power * dt;
 //!     t += dt;
 //! }
@@ -48,9 +48,11 @@ pub mod harvest;
 pub mod mppt;
 pub mod sim;
 
-pub use components::{Mosfet, MosfetPolarity, ResistorDivider, SchottkyDiode, SolarCell, Supercap};
+pub use components::{
+    CapStepEnergy, Mosfet, MosfetPolarity, ResistorDivider, SchottkyDiode, SolarCell, Supercap,
+};
 pub use env::{HoverSchedule, Illumination, LightChange, LightEnvironment};
 pub use event::{DetectorOutput, DetectorState, EventDetector};
-pub use harvest::{ArrayLayout, CellRole, HarvestMode, HarvestingArray, Harvester};
+pub use harvest::{ArrayLayout, CellRole, HarvestMode, Harvester, HarvestingArray};
 pub use mppt::{iv_sweep, FractionalVoc, IvPoint, PerturbObserve};
-pub use sim::{CircuitSim, SimConfig, SimStep};
+pub use sim::{CircuitSim, EnergyAudit, SimConfig, SimStep};

@@ -8,7 +8,7 @@
 //! discussion in DESIGN.md).
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Amps, Power, Volts};
+use solarml_units::{Amps, Lux, Power, Ratio, Volts};
 
 use crate::components::SolarCell;
 
@@ -32,7 +32,7 @@ pub struct IvPoint {
 /// # Panics
 ///
 /// Panics if `steps < 2`.
-pub fn iv_sweep(cell: &SolarCell, lux: f64, shading: f64, steps: usize) -> Vec<IvPoint> {
+pub fn iv_sweep(cell: &SolarCell, lux: Lux, shading: Ratio, steps: usize) -> Vec<IvPoint> {
     assert!(steps >= 2, "need at least two sweep points");
     let isc = cell.short_circuit_current(lux, shading);
     let voc = cell.open_circuit_voltage(isc);
@@ -97,7 +97,7 @@ impl PerturbObserve {
 
     /// One P&O iteration against the cell at the given conditions; returns
     /// the power extracted at the *new* operating point.
-    pub fn step_once(&mut self, cell: &SolarCell, lux: f64, shading: f64) -> Power {
+    pub fn step_once(&mut self, cell: &SolarCell, lux: Lux, shading: Ratio) -> Power {
         let p = operating_power(cell, lux, shading, self.voltage);
         if p < self.last_power {
             self.direction = -self.direction;
@@ -112,7 +112,7 @@ impl PerturbObserve {
     }
 
     /// Runs `iters` iterations and returns the final extracted power.
-    pub fn track(&mut self, cell: &SolarCell, lux: f64, shading: f64, iters: usize) -> Power {
+    pub fn track(&mut self, cell: &SolarCell, lux: Lux, shading: Ratio, iters: usize) -> Power {
         let mut p = Power::ZERO;
         for _ in 0..iters {
             p = self.step_once(cell, lux, shading);
@@ -137,25 +137,30 @@ impl Default for FractionalVoc {
 
 impl FractionalVoc {
     /// Power extracted when regulating at `fraction · V_oc`.
-    pub fn power(&self, cell: &SolarCell, lux: f64, shading: f64) -> Power {
+    pub fn power(&self, cell: &SolarCell, lux: Lux, shading: Ratio) -> Power {
         let isc = cell.short_circuit_current(lux, shading);
         let voc = cell.open_circuit_voltage(isc);
-        operating_power(cell, lux, shading, Volts::new(voc.as_volts() * self.fraction))
+        operating_power(
+            cell,
+            lux,
+            shading,
+            Volts::new(voc.as_volts() * self.fraction),
+        )
     }
 
     /// Tracking efficiency relative to the true MPP.
-    pub fn efficiency(&self, cell: &SolarCell, lux: f64) -> f64 {
-        let mpp = cell.mpp_power(lux, 0.0);
+    pub fn efficiency(&self, cell: &SolarCell, lux: Lux) -> Ratio {
+        let mpp = cell.mpp_power(lux, Ratio::ZERO);
         if mpp.as_watts() <= 0.0 {
-            return 0.0;
+            return Ratio::ZERO;
         }
-        self.power(cell, lux, 0.0) / mpp
+        Ratio::new(self.power(cell, lux, Ratio::ZERO) / mpp)
     }
 }
 
 /// Power delivered by the cell when held at voltage `v` (same knee model as
 /// [`iv_sweep`]).
-pub fn operating_power(cell: &SolarCell, lux: f64, shading: f64, v: Volts) -> Power {
+pub fn operating_power(cell: &SolarCell, lux: Lux, shading: Ratio, v: Volts) -> Power {
     let isc = cell.short_circuit_current(lux, shading);
     let voc = cell.open_circuit_voltage(isc);
     if voc.as_volts() <= 0.0 {
@@ -175,7 +180,7 @@ mod tests {
     #[test]
     fn sweep_spans_zero_to_voc() {
         let cell = SolarCell::default();
-        let sweep = iv_sweep(&cell, 500.0, 0.0, 50);
+        let sweep = iv_sweep(&cell, Lux::new(500.0), Ratio::new(0.0), 50);
         assert_eq!(sweep.len(), 50);
         assert_eq!(sweep[0].voltage, Volts::ZERO);
         let last = sweep.last().expect("non-empty");
@@ -186,12 +191,9 @@ mod tests {
     #[test]
     fn sweep_peak_matches_analytic_mpp() {
         let cell = SolarCell::default();
-        let sweep = iv_sweep(&cell, 500.0, 0.0, 500);
-        let peak = sweep
-            .iter()
-            .map(|p| p.power)
-            .fold(Power::ZERO, Power::max);
-        let mpp = cell.mpp_power(500.0, 0.0);
+        let sweep = iv_sweep(&cell, Lux::new(500.0), Ratio::new(0.0), 500);
+        let peak = sweep.iter().map(|p| p.power).fold(Power::ZERO, Power::max);
+        let mpp = cell.mpp_power(Lux::new(500.0), Ratio::new(0.0));
         let rel = (peak / mpp - 1.0).abs();
         assert!(rel < 0.03, "sweep peak {peak} vs analytic MPP {mpp}");
     }
@@ -209,9 +211,9 @@ mod tests {
     #[test]
     fn perturb_observe_converges_near_mpp() {
         let cell = SolarCell::default();
-        let mpp = cell.mpp_power(500.0, 0.0);
+        let mpp = cell.mpp_power(Lux::new(500.0), Ratio::new(0.0));
         let mut tracker = PerturbObserve::new(Volts::new(0.3), Volts::new(0.02));
-        let tracked = tracker.track(&cell, 500.0, 0.0, 300);
+        let tracked = tracker.track(&cell, Lux::new(500.0), Ratio::new(0.0), 300);
         let eff = tracked / mpp;
         assert!(eff > 0.95, "P&O should reach ≥95% of MPP, got {eff:.3}");
     }
@@ -220,34 +222,44 @@ mod tests {
     fn perturb_observe_retracks_after_light_change() {
         let cell = SolarCell::default();
         let mut tracker = PerturbObserve::new(Volts::new(0.3), Volts::new(0.02));
-        tracker.track(&cell, 1000.0, 0.0, 200);
+        tracker.track(&cell, Lux::new(1000.0), Ratio::new(0.0), 200);
         // Light drops: the tracker must follow the new MPP.
-        let tracked = tracker.track(&cell, 250.0, 0.0, 300);
-        let mpp = cell.mpp_power(250.0, 0.0);
-        assert!(tracked / mpp > 0.93, "retrack efficiency {:.3}", tracked / mpp);
+        let tracked = tracker.track(&cell, Lux::new(250.0), Ratio::new(0.0), 300);
+        let mpp = cell.mpp_power(Lux::new(250.0), Ratio::new(0.0));
+        assert!(
+            tracked / mpp > 0.93,
+            "retrack efficiency {:.3}",
+            tracked / mpp
+        );
     }
 
     #[test]
     fn fractional_voc_is_decent_but_suboptimal() {
         let cell = SolarCell::default();
-        let eff = FractionalVoc::default().efficiency(&cell, 500.0);
+        let eff = FractionalVoc::default()
+            .efficiency(&cell, Lux::new(500.0))
+            .get();
         assert!(
             (0.8..1.0).contains(&eff),
             "fractional-Voc typically reaches 80-97% of MPP, got {eff:.3}"
         );
         // And P&O beats it.
         let mut po = PerturbObserve::new(Volts::new(0.3), Volts::new(0.02));
-        let po_eff = po.track(&cell, 500.0, 0.0, 300) / cell.mpp_power(500.0, 0.0);
+        let po_eff = po.track(&cell, Lux::new(500.0), Ratio::new(0.0), 300)
+            / cell.mpp_power(Lux::new(500.0), Ratio::new(0.0));
         assert!(po_eff >= eff - 0.02);
     }
 
     #[test]
     fn operating_power_zero_at_rails() {
         let cell = SolarCell::default();
-        assert_eq!(operating_power(&cell, 500.0, 0.0, Volts::ZERO), Power::ZERO);
-        let isc = cell.short_circuit_current(500.0, 0.0);
+        assert_eq!(
+            operating_power(&cell, Lux::new(500.0), Ratio::new(0.0), Volts::ZERO),
+            Power::ZERO
+        );
+        let isc = cell.short_circuit_current(Lux::new(500.0), Ratio::new(0.0));
         let voc = cell.open_circuit_voltage(isc);
-        let at_voc = operating_power(&cell, 500.0, 0.0, voc);
+        let at_voc = operating_power(&cell, Lux::new(500.0), Ratio::new(0.0), voc);
         assert!(at_voc.as_micro_watts() < 0.01);
     }
 
@@ -255,7 +267,7 @@ mod tests {
         #[test]
         fn sweep_power_is_unimodal_envelope(lux in 50.0f64..2000.0) {
             let cell = SolarCell::default();
-            let sweep = iv_sweep(&cell, lux, 0.0, 100);
+            let sweep = iv_sweep(&cell, Lux::new(lux), Ratio::new(0.0), 100);
             // Power rises to a single peak then falls.
             let powers: Vec<f64> = sweep.iter().map(|p| p.power.as_watts()).collect();
             let peak_idx = powers
@@ -276,8 +288,8 @@ mod tests {
         fn po_never_exceeds_mpp(lux in 50.0f64..2000.0, start in 0.05f64..2.0) {
             let cell = SolarCell::default();
             let mut tracker = PerturbObserve::new(Volts::new(start), Volts::new(0.02));
-            let p = tracker.track(&cell, lux, 0.0, 100);
-            prop_assert!(p <= cell.mpp_power(lux, 0.0) * 1.001);
+            let p = tracker.track(&cell, Lux::new(lux), Ratio::new(0.0), 100);
+            prop_assert!(p <= cell.mpp_power(Lux::new(lux), Ratio::new(0.0)) * 1.001);
         }
     }
 }

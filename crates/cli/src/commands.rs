@@ -9,6 +9,7 @@ use solarml::platform::{
     harvesting_time, simulate_day, solarml_detector_spec, DaySimConfig, HarvestScenario,
     REFERENCE_DETECTORS,
 };
+use solarml::units::Frequency;
 use solarml::{Energy, Seconds};
 
 use crate::args::Options;
@@ -59,9 +60,9 @@ pub fn detector() -> Result<(), String> {
     Ok(())
 }
 
-fn reference_profile(task: &str) -> TaskProfile {
+fn reference_profile(task: &str) -> Result<TaskProfile, String> {
     match task {
-        "kws" => TaskProfile::Kws {
+        "kws" => Ok(TaskProfile::Kws {
             params: AudioFrontendParams::standard(),
             spec: ModelSpec::new(
                 [49, 13, 1],
@@ -75,11 +76,11 @@ fn reference_profile(task: &str) -> TaskProfile {
                     LayerSpec::dense(10),
                 ],
             )
-            .expect("reference KWS model is valid"),
-        },
-        _ => TaskProfile::Gesture {
+            .map_err(|e| format!("reference KWS model is invalid: {e}"))?,
+        }),
+        _ => Ok(TaskProfile::Gesture {
             params: GestureSensingParams::new(9, 100, Resolution::Int, 8)
-                .expect("reference params are valid"),
+                .map_err(|e| format!("reference gesture sensing params are invalid: {e}"))?,
             spec: ModelSpec::new(
                 [200, 9, 1],
                 vec![
@@ -93,8 +94,8 @@ fn reference_profile(task: &str) -> TaskProfile {
                     LayerSpec::dense(10),
                 ],
             )
-            .expect("reference gesture model is valid"),
-        },
+            .map_err(|e| format!("reference gesture model is invalid: {e}"))?,
+        }),
     }
 }
 
@@ -104,16 +105,33 @@ pub fn trace(opts: &Options) -> Result<(), String> {
     let sleep = Seconds::new(opts.sleep.unwrap_or(60.0));
     let (trace, breakdown) = DutyCycleConfig {
         sleep,
-        task: reference_profile(task),
+        task: reference_profile(task)?,
         mcu: McuPowerModel::default(),
-        trace_rate_hz: 1000.0,
+        trace_rate: Frequency::new(1000.0),
     }
-    .run();
+    .run()
+    .map_err(|e| format!("duty-cycle simulation failed: {e}"))?;
     let (fe, fs, fm) = breakdown.fractions();
-    println!("{task} duty cycle with {sleep} sleep: total {}", breakdown.total());
-    println!("  E_E {:>10}  ({:.1}%)", breakdown.event.to_string(), 100.0 * fe);
-    println!("  E_S {:>10}  ({:.1}%)", breakdown.sensing.to_string(), 100.0 * fs);
-    println!("  E_M {:>10}  ({:.1}%)", breakdown.inference.to_string(), 100.0 * fm);
+    let (fe, fs, fm) = (fe.get(), fs.get(), fm.get());
+    println!(
+        "{task} duty cycle with {sleep} sleep: total {}",
+        breakdown.total()
+    );
+    println!(
+        "  E_E {:>10}  ({:.1}%)",
+        breakdown.event.to_string(),
+        100.0 * fe
+    );
+    println!(
+        "  E_S {:>10}  ({:.1}%)",
+        breakdown.sensing.to_string(),
+        100.0 * fs
+    );
+    println!(
+        "  E_M {:>10}  ({:.1}%)",
+        breakdown.inference.to_string(),
+        100.0 * fm
+    );
     if let Some(path) = &opts.csv {
         std::fs::write(path, trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("trace written to {path} ({} samples)", trace.len());

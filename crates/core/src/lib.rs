@@ -139,9 +139,7 @@ impl Pipeline {
     /// callers that want to drive `run_enas`/`run_munas` themselves).
     pub fn context(&self) -> TaskContext {
         let mut ctx = match self.task {
-            TaskSelection::GestureDigits => {
-                TaskContext::gesture(self.samples_per_class, self.seed)
-            }
+            TaskSelection::GestureDigits => TaskContext::gesture(self.samples_per_class, self.seed),
             TaskSelection::Kws => TaskContext::kws(self.samples_per_class, self.seed),
         };
         ctx.train_config = TrainConfig {
@@ -166,8 +164,8 @@ impl Pipeline {
                 solarml_energy::device::AudioSensingGround::default().true_energy(&p)
             }
         };
-        let inference = solarml_energy::device::InferenceGround::default()
-            .true_energy(&best.candidate.spec);
+        let inference =
+            solarml_energy::device::InferenceGround::default().true_energy(&best.candidate.spec);
         let budget = EndToEndBudget::solarml(sensing, inference, Seconds::new(5.0));
 
         let [dim, office, window] = HarvestScenario::paper_conditions();

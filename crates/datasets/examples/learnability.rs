@@ -7,10 +7,18 @@ use solarml_nn::arch::{LayerSpec, ModelSpec, Padding};
 use solarml_nn::{evaluate, fit, Model, TrainConfig};
 
 fn main() {
-    let gestures = GestureDatasetBuilder { samples_per_class: 20, ..Default::default() }.build();
+    let gestures = GestureDatasetBuilder {
+        samples_per_class: 20,
+        ..Default::default()
+    }
+    .build();
     let (gtrain, gtest) = gestures.split(0.25);
     for (n, r, q) in [(9u8, 50u16, 8u8), (4, 25, 4), (1, 10, 2)] {
-        let res = if q <= 8 { Resolution::Int } else { Resolution::Float };
+        let res = if q <= 8 {
+            Resolution::Int
+        } else {
+            Resolution::Float
+        };
         let params = GestureSensingParams::new(n, r, res, q).unwrap();
         let train = gtrain.to_class_dataset(&params);
         let test = gtest.to_class_dataset(&params);
@@ -27,16 +35,34 @@ fn main() {
                 LayerSpec::flatten(),
                 LayerSpec::dense(10),
             ],
-        ).unwrap();
+        )
+        .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut model = Model::from_spec(&spec, &mut rng);
         let t0 = std::time::Instant::now();
-        fit(&mut model, &train, &TrainConfig { epochs: 15, batch_size: 16, learning_rate: 0.01, ..Default::default() }, &mut rng);
+        fit(
+            &mut model,
+            &train,
+            &TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                learning_rate: 0.01,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let acc = evaluate(&mut model, &test);
-        println!("gesture n={n} r={r} q={q}: test acc {acc:.2} ({:?})", t0.elapsed());
+        println!(
+            "gesture n={n} r={r} q={q}: test acc {acc:.2} ({:?})",
+            t0.elapsed()
+        );
     }
 
-    let kws = KwsDatasetBuilder { samples_per_class: 20, ..Default::default() }.build();
+    let kws = KwsDatasetBuilder {
+        samples_per_class: 20,
+        ..Default::default()
+    }
+    .build();
     let (ktrain, ktest) = kws.split(0.25);
     for (s, d, f) in [(20u8, 25u8, 13u8), (30, 18, 10)] {
         let params = AudioFrontendParams::new(s, d, f).unwrap();
@@ -55,12 +81,26 @@ fn main() {
                 LayerSpec::flatten(),
                 LayerSpec::dense(10),
             ],
-        ).unwrap();
+        )
+        .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut model = Model::from_spec(&spec, &mut rng);
         let t0 = std::time::Instant::now();
-        fit(&mut model, &train, &TrainConfig { epochs: 15, batch_size: 16, learning_rate: 0.01, ..Default::default() }, &mut rng);
+        fit(
+            &mut model,
+            &train,
+            &TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                learning_rate: 0.01,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let acc = evaluate(&mut model, &test);
-        println!("kws s={s} d={d} f={f}: test acc {acc:.2} ({:?})", t0.elapsed());
+        println!(
+            "kws s={s} d={d} f={f}: test acc {acc:.2} ({:?})",
+            t0.elapsed()
+        );
     }
 }

@@ -33,7 +33,13 @@ fn digit_path(digit: usize) -> Vec<(f64, f64)> {
             (0.5, 0.1),
         ],
         1 => vec![(0.5, 0.1), (0.5, 0.9)],
-        2 => vec![(0.15, 0.25), (0.5, 0.1), (0.85, 0.3), (0.15, 0.9), (0.85, 0.9)],
+        2 => vec![
+            (0.15, 0.25),
+            (0.5, 0.1),
+            (0.85, 0.3),
+            (0.15, 0.9),
+            (0.85, 0.9),
+        ],
         3 => vec![
             (0.15, 0.15),
             (0.8, 0.2),
@@ -160,7 +166,10 @@ impl GestureDatasetBuilder {
     ///
     /// Panics if `samples_per_class` is zero.
     pub fn build(&self) -> GestureDataset {
-        assert!(self.samples_per_class > 0, "need at least one sample per class");
+        assert!(
+            self.samples_per_class > 0,
+            "need at least one sample per class"
+        );
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let centers = cell_centers();
@@ -171,22 +180,22 @@ impl GestureDatasetBuilder {
             let path = digit_path(digit);
             for _ in 0..self.samples_per_class {
                 // Per-recording jitter.
-                let dx = rng.gen_range(-0.12..0.12);
-                let dy = rng.gen_range(-0.12..0.12);
-                let scale = rng.gen_range(0.75..1.25);
-                let speed_warp = rng.gen_range(0.7..1.4);
-                let radius = self.hand_radius * rng.gen_range(0.8..1.25);
+                let dx = rng.gen_range(-0.12f64..0.12);
+                let dy = rng.gen_range(-0.12f64..0.12);
+                let scale = rng.gen_range(0.75f64..1.25);
+                let speed_warp = rng.gen_range(0.7f64..1.4);
+                let radius = self.hand_radius * rng.gen_range(0.8f64..1.25);
                 let mut channels = vec![Vec::with_capacity(total_samples); 9];
                 for s in 0..total_samples {
-                    let t = ((s as f64 / (total_samples - 1) as f64).powf(speed_warp))
-                        .clamp(0.0, 1.0);
+                    let t =
+                        ((s as f64 / (total_samples - 1) as f64).powf(speed_warp)).clamp(0.0, 1.0);
                     let (hx, hy) = along_path(&path, t);
                     let (hx, hy) = (0.5 + (hx - 0.5) * scale + dx, 0.5 + (hy - 0.5) * scale + dy);
                     for (c, &(cx, cy)) in centers.iter().enumerate() {
                         let d2 = (hx - cx).powi(2) + (hy - cy).powi(2);
                         let shading = (-d2 / (2.0 * radius * radius)).exp();
                         let lit = 1.0 - 0.9 * shading;
-                        let noisy = lit + rng.gen_range(-1.0..1.0) * self.noise;
+                        let noisy = lit + rng.gen_range(-1.0f64..1.0) * self.noise;
                         channels[c].push(noisy.clamp(0.0, 1.2) as f32);
                     }
                 }
@@ -255,11 +264,12 @@ impl GestureDataset {
     /// Panics if the fraction does not leave at least one sample on each
     /// side per class.
     pub fn split(&self, test_fraction: f64) -> (GestureDataset, GestureDataset) {
-        split_by_class(&self.recordings, &self.labels, NUM_DIGITS, test_fraction)
-            .map_tuple(|(r, l)| GestureDataset {
+        split_by_class(&self.recordings, &self.labels, NUM_DIGITS, test_fraction).map_tuple(
+            |(r, l)| GestureDataset {
                 recordings: r,
                 labels: l,
-            })
+            },
+        )
     }
 }
 

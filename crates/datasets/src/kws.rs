@@ -31,16 +31,16 @@ fn keyword_formants(class: usize) -> [(f64, f64); 2] {
     // Spread across the vowel space so classes are separable but neighbours
     // overlap under coarse front-ends.
     const TABLE: [[(f64, f64); 2]; 10] = [
-        [(300.0, 2300.0), (600.0, 1200.0)],  // yes
-        [(500.0, 900.0), (700.0, 1100.0)],   // no
-        [(350.0, 1200.0), (500.0, 1700.0)],  // up
-        [(600.0, 1000.0), (800.0, 1400.0)],  // down
-        [(400.0, 2000.0), (350.0, 1500.0)],  // left
-        [(450.0, 1800.0), (600.0, 2200.0)],  // right
-        [(550.0, 800.0), (450.0, 1000.0)],   // on
-        [(500.0, 1400.0), (400.0, 800.0)],   // off
-        [(300.0, 1600.0), (700.0, 900.0)],   // stop
-        [(650.0, 1300.0), (550.0, 1900.0)],  // go
+        [(300.0, 2300.0), (600.0, 1200.0)], // yes
+        [(500.0, 900.0), (700.0, 1100.0)],  // no
+        [(350.0, 1200.0), (500.0, 1700.0)], // up
+        [(600.0, 1000.0), (800.0, 1400.0)], // down
+        [(400.0, 2000.0), (350.0, 1500.0)], // left
+        [(450.0, 1800.0), (600.0, 2200.0)], // right
+        [(550.0, 800.0), (450.0, 1000.0)],  // on
+        [(500.0, 1400.0), (400.0, 800.0)],  // off
+        [(300.0, 1600.0), (700.0, 900.0)],  // stop
+        [(650.0, 1300.0), (550.0, 1900.0)], // go
     ];
     TABLE[class]
 }
@@ -73,7 +73,10 @@ impl KwsDatasetBuilder {
     ///
     /// Panics if `samples_per_class` is zero.
     pub fn build(&self) -> KwsDataset {
-        assert!(self.samples_per_class > 0, "need at least one sample per class");
+        assert!(
+            self.samples_per_class > 0,
+            "need at least one sample per class"
+        );
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let total = (AUDIO_RATE_HZ * CLIP_MS as f64 / 1000.0) as usize;
@@ -82,10 +85,10 @@ impl KwsDatasetBuilder {
         for class in 0..KEYWORDS.len() {
             let formants = keyword_formants(class);
             for _ in 0..self.samples_per_class {
-                let pitch = rng.gen_range(85.0..180.0); // f0
-                let drift = rng.gen_range(0.86..1.16);
-                let onset = rng.gen_range(0.05..0.2); // fraction of clip
-                let phoneme_len = rng.gen_range(0.25..0.35);
+                let pitch = rng.gen_range(85.0f64..180.0); // f0
+                let drift = rng.gen_range(0.86f64..1.16);
+                let onset = rng.gen_range(0.05f64..0.2); // fraction of clip
+                let phoneme_len = rng.gen_range(0.25f64..0.35);
                 let mut clip = vec![0.0f32; total];
                 for (p, &(f1, f2)) in formants.iter().enumerate() {
                     let start = onset + p as f64 * (phoneme_len + 0.05);
@@ -116,7 +119,7 @@ impl KwsDatasetBuilder {
                 }
                 // Background noise over the whole clip.
                 for s in clip.iter_mut() {
-                    *s += (rng.gen_range(-1.0..1.0) * self.noise) as f32;
+                    *s += (rng.gen_range(-1.0f64..1.0) * self.noise) as f32;
                 }
                 clips.push(clip);
                 labels.push(class);
@@ -172,8 +175,7 @@ impl KwsDataset {
                 let mut flat: Vec<f32> = feats.into_iter().flatten().collect();
                 // Per-clip standardization keeps training well-conditioned.
                 let mean = flat.iter().sum::<f32>() / flat.len() as f32;
-                let var = flat.iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-                    / flat.len() as f32;
+                let var = flat.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / flat.len() as f32;
                 let std = var.sqrt().max(1e-6);
                 for v in flat.iter_mut() {
                     *v = (*v - mean) / std;
@@ -219,9 +221,8 @@ impl KwsDataset {
     ///
     /// Panics if the fraction does not leave both halves non-empty per class.
     pub fn split(&self, test_fraction: f64) -> (KwsDataset, KwsDataset) {
-        split_by_class(&self.clips, &self.labels, KEYWORDS.len(), test_fraction).map_tuple(
-            |(clips, labels)| KwsDataset { clips, labels },
-        )
+        split_by_class(&self.clips, &self.labels, KEYWORDS.len(), test_fraction)
+            .map_tuple(|(clips, labels)| KwsDataset { clips, labels })
     }
 }
 
@@ -255,8 +256,7 @@ mod tests {
     fn clips_have_signal_above_noise() {
         let d = small_corpus();
         let (clip, _) = d.clip(0);
-        let rms: f32 =
-            (clip.iter().map(|v| v * v).sum::<f32>() / clip.len() as f32).sqrt();
+        let rms: f32 = (clip.iter().map(|v| v * v).sum::<f32>() / clip.len() as f32).sqrt();
         assert!(rms > 0.02, "keyword clips should carry energy, rms={rms}");
     }
 

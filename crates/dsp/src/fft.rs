@@ -51,7 +51,10 @@ impl Complex {
 /// Panics if the length is not a power of two (or is zero).
 pub fn fft_in_place(buf: &mut [Complex]) {
     let n = buf.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two, got {n}"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -125,10 +128,7 @@ mod tests {
                 let mut acc = Complex::default();
                 for (t, &x) in signal.iter().enumerate() {
                     let ang = -2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64;
-                    acc = acc.add(Complex::new(
-                        x * ang.cos() as f32,
-                        x * ang.sin() as f32,
-                    ));
+                    acc = acc.add(Complex::new(x * ang.cos() as f32, x * ang.sin() as f32));
                 }
                 acc
             })

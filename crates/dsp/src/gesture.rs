@@ -106,7 +106,11 @@ mod tests {
     }
 
     fn params(n: u8, r: u16, q: u8) -> GestureSensingParams {
-        let res = if q <= 8 { Resolution::Int } else { Resolution::Float };
+        let res = if q <= 8 {
+            Resolution::Int
+        } else {
+            Resolution::Float
+        };
         GestureSensingParams::new(n, r, res, q).expect("valid")
     }
 

@@ -49,7 +49,11 @@ impl MelFilterbank {
         let bin_of = |hz: f64| (hz / nyquist * (n_bins - 1) as f64).round() as usize;
         let mut filters = Vec::with_capacity(n_filters);
         for m in 0..n_filters {
-            let (lo, mid, hi) = (bin_of(anchors[m]), bin_of(anchors[m + 1]), bin_of(anchors[m + 2]));
+            let (lo, mid, hi) = (
+                bin_of(anchors[m]),
+                bin_of(anchors[m + 1]),
+                bin_of(anchors[m + 2]),
+            );
             let mut taps = Vec::new();
             for b in lo..=hi.min(n_bins - 1) {
                 let w = if b < mid && mid > lo {
@@ -402,11 +406,21 @@ mod tests {
 
     #[test]
     fn cycles_scale_with_feature_count_and_frames() {
-        let small = mfcc_cycles(AudioFrontendParams::new(30, 25, 10).expect("valid"), 16_000.0, 1000);
-        let more_features =
-            mfcc_cycles(AudioFrontendParams::new(30, 25, 40).expect("valid"), 16_000.0, 1000);
-        let more_frames =
-            mfcc_cycles(AudioFrontendParams::new(10, 25, 10).expect("valid"), 16_000.0, 1000);
+        let small = mfcc_cycles(
+            AudioFrontendParams::new(30, 25, 10).expect("valid"),
+            16_000.0,
+            1000,
+        );
+        let more_features = mfcc_cycles(
+            AudioFrontendParams::new(30, 25, 40).expect("valid"),
+            16_000.0,
+            1000,
+        );
+        let more_frames = mfcc_cycles(
+            AudioFrontendParams::new(10, 25, 10).expect("valid"),
+            16_000.0,
+            1000,
+        );
         assert!(more_features > small);
         assert!(more_frames > 2.0 * small);
     }

@@ -36,7 +36,10 @@ impl Corpus {
     ///
     /// Panics unless `0 < n < len`.
     pub fn split_at(&self, n: usize) -> (Corpus, Corpus) {
-        assert!(n > 0 && n < self.len(), "split must leave both halves non-empty");
+        assert!(
+            n > 0 && n < self.len(),
+            "split must leave both halves non-empty"
+        );
         let take = |range: std::ops::Range<usize>| Corpus {
             features: self.features[range.clone()].to_vec(),
             measured_uj: self.measured_uj[range.clone()].to_vec(),
@@ -104,7 +107,9 @@ pub fn inference_corpus_banded(
         corpus
             .measured_uj
             .push(ground.measure(&spec, rng).as_micro_joules());
-        corpus.true_uj.push(ground.true_energy(&spec).as_micro_joules());
+        corpus
+            .true_uj
+            .push(ground.true_energy(&spec).as_micro_joules());
         specs.push(spec);
     }
     (corpus, specs)
@@ -159,7 +164,9 @@ pub fn random_gesture_params(rng: &mut impl Rng) -> GestureSensingParams {
     } else {
         (Resolution::Float, rng.gen_range(9..=32u8))
     };
+    #[allow(clippy::expect_used)]
     GestureSensingParams::new(channels, rate, resolution, quant).expect("ranges are valid")
+    // physics-lint: allow(expect): RNG ranges are the constructor's exact validity domain (Table II)
 }
 
 /// Feature encoding for the audio sensing model: raw `(s, d, f)` plus the
@@ -186,7 +193,9 @@ pub fn audio_sensing_corpus(
     let mut configs = Vec::with_capacity(n);
     for _ in 0..n {
         let params = random_audio_params(rng);
-        corpus.features.push(audio_features(&params, ground.clip_ms));
+        corpus
+            .features
+            .push(audio_features(&params, ground.clip_ms));
         corpus
             .measured_uj
             .push(ground.measure(&params, rng).as_micro_joules());
@@ -203,7 +212,8 @@ pub fn random_audio_params(rng: &mut impl Rng) -> AudioFrontendParams {
     let s = rng.gen_range(10..=30u8);
     let d = rng.gen_range(18..=30u8);
     let f = rng.gen_range(10..=40u8);
-    AudioFrontendParams::new(s, d, f).expect("ranges are valid")
+    #[allow(clippy::expect_used)]
+    AudioFrontendParams::new(s, d, f).expect("ranges are valid") // physics-lint: allow(expect): RNG ranges are the constructor's exact validity domain (Table II)
 }
 
 #[cfg(test)]
@@ -219,7 +229,8 @@ mod tests {
     #[test]
     fn inference_corpus_has_consistent_lengths() {
         let sampler = ArchSampler::for_task([20, 9, 1], 10);
-        let (corpus, specs) = inference_corpus(30, &InferenceGround::default(), &sampler, &mut rng());
+        let (corpus, specs) =
+            inference_corpus(30, &InferenceGround::default(), &sampler, &mut rng());
         assert_eq!(corpus.len(), 30);
         assert_eq!(specs.len(), 30);
         assert!(corpus.features.iter().all(|f| f.len() == 6));

@@ -9,17 +9,17 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use solarml_mcu::{AdcConfig, McuPowerModel, PdmConfig};
-use solarml_units::{Energy, Seconds};
+use solarml_units::{Cycles, Energy, Seconds};
 
 use solarml_dsp::{mfcc_cycles, AudioFrontendParams, GestureSensingParams};
 use solarml_nn::{LayerClass, ModelSpec};
 
-/// Per-layer-class energy cost in nanojoules per MAC.
+/// Per-layer-class energy cost of one MAC.
 ///
 /// A Conv MAC is expensive (im2col traffic, poor locality), a Dense MAC is
 /// cheap (streaming GEMV): the paper's Fig. 7 factor of 3.5 between them.
-pub fn nj_per_mac(class: LayerClass) -> f64 {
-    match class {
+pub fn energy_per_mac(class: LayerClass) -> Energy {
+    Energy::from_nano_joules(match class {
         LayerClass::Conv => 2.33,
         LayerClass::DwConv => 1.60,
         LayerClass::Dense => 0.667,
@@ -27,7 +27,7 @@ pub fn nj_per_mac(class: LayerClass) -> f64 {
         LayerClass::AvgPool => 0.90,
         LayerClass::Norm => 1.10,
         LayerClass::Activation => 0.0,
-    }
+    })
 }
 
 /// Deterministic per-configuration deviation factor in `1 ± amplitude`.
@@ -74,12 +74,12 @@ impl InferenceGround {
     /// no MAC-based estimator can see.
     pub fn true_energy(&self, spec: &ModelSpec) -> Energy {
         let summary = spec.mac_summary();
-        let nj: f64 = LayerClass::ALL
+        let mac_energy: Energy = LayerClass::ALL
             .iter()
-            .map(|&c| summary.class(c) as f64 * nj_per_mac(c))
+            .map(|&c| energy_per_mac(c) * summary.class(c) as f64)
             .sum();
         let factor = structure_factor(&spec.describe(), 0.25);
-        (self.overhead + Energy::new(nj * 1e-9)) * factor
+        (self.overhead + mac_energy) * factor
     }
 
     /// A noisy "measurement" of one inference (what the power analyzer
@@ -123,18 +123,14 @@ impl GestureSensingGround {
     /// including a ±5.5 % configuration-specific deviation (DMA/buffering
     /// effects) invisible to the (n, r, b, q) features.
     pub fn true_energy(&self, params: &GestureSensingParams) -> Energy {
-        let adc = AdcConfig::new(
-            params.channels(),
-            params.rate(),
-            params.quant_bits(),
-        );
+        let adc = AdcConfig::new(params.channels(), params.rate(), params.quant_bits());
         let sampling = self.mcu.adc_power(&adc) * self.window;
         // Preprocessing pass (normalize + quantize + store), ≈24 cycles per
         // output sample — matches `solarml_dsp::preprocess_gesture`'s
         // estimate for a decimating pipeline.
         let out_samples =
             params.channels() as f64 * params.rate().as_hertz() * self.window.as_seconds();
-        let preprocess = self.mcu.compute_energy(24.0 * out_samples);
+        let preprocess = self.mcu.compute_energy(Cycles::new(24.0 * out_samples));
         let factor = structure_factor(&params.to_string(), 0.055);
         (sampling + preprocess) * factor
     }
@@ -149,7 +145,7 @@ impl GestureSensingGround {
     pub fn duration(&self, params: &GestureSensingParams) -> Seconds {
         let out_samples =
             params.channels() as f64 * params.rate().as_hertz() * self.window.as_seconds();
-        self.window + self.mcu.compute_time(24.0 * out_samples)
+        self.window + self.mcu.compute_time(Cycles::new(24.0 * out_samples))
     }
 }
 
@@ -184,7 +180,7 @@ impl AudioSensingGround {
         let pdm = PdmConfig::new(solarml_units::Hertz::new(self.sample_rate));
         let capture = self.mcu.pdm_power(&pdm) * Seconds::from_millis(self.clip_ms as f64);
         let cycles = mfcc_cycles(*params, self.sample_rate, self.clip_ms);
-        capture + self.mcu.compute_energy(cycles)
+        capture + self.mcu.compute_energy(Cycles::new(cycles))
     }
 
     /// A noisy measurement.
@@ -196,9 +192,11 @@ impl AudioSensingGround {
     /// Duration of the acquisition phase (capture + MFCC compute).
     pub fn duration(&self, params: &AudioFrontendParams) -> Seconds {
         Seconds::from_millis(self.clip_ms as f64)
-            + self
-                .mcu
-                .compute_time(mfcc_cycles(*params, self.sample_rate, self.clip_ms))
+            + self.mcu.compute_time(Cycles::new(mfcc_cycles(
+                *params,
+                self.sample_rate,
+                self.clip_ms,
+            )))
     }
 }
 
@@ -241,7 +239,10 @@ mod tests {
         let _ = e_conv_per_mac;
         // Dense: 75k MACs × 0.667 nJ = 50 µJ, within the ±25 % per-model
         // structure deviation.
-        assert!((e_dense - 50.0).abs() / 50.0 < 0.30, "dense {e_dense:.1} µJ");
+        assert!(
+            (e_dense - 50.0).abs() / 50.0 < 0.30,
+            "dense {e_dense:.1} µJ"
+        );
         // Conv at exactly 75k MACs would be 175 µJ.
         let e_conv_75k = conv_macs / conv_macs * 75_000.0 * 2.33e-3;
         assert!((e_conv_75k - 175.0).abs() < 1.0);
@@ -284,14 +285,14 @@ mod tests {
     #[test]
     fn gesture_energy_monotone_in_each_param() {
         let g = GestureSensingGround::default();
-        let base = g
-            .true_energy(&GestureSensingParams::new(4, 100, Resolution::Int, 6).expect("valid"));
-        let more_ch = g
-            .true_energy(&GestureSensingParams::new(5, 100, Resolution::Int, 6).expect("valid"));
-        let more_rate = g
-            .true_energy(&GestureSensingParams::new(4, 150, Resolution::Int, 6).expect("valid"));
-        let more_bits = g
-            .true_energy(&GestureSensingParams::new(4, 100, Resolution::Int, 8).expect("valid"));
+        let base =
+            g.true_energy(&GestureSensingParams::new(4, 100, Resolution::Int, 6).expect("valid"));
+        let more_ch =
+            g.true_energy(&GestureSensingParams::new(5, 100, Resolution::Int, 6).expect("valid"));
+        let more_rate =
+            g.true_energy(&GestureSensingParams::new(4, 150, Resolution::Int, 6).expect("valid"));
+        let more_bits =
+            g.true_energy(&GestureSensingParams::new(4, 100, Resolution::Int, 8).expect("valid"));
         assert!(more_ch > base);
         assert!(more_rate > base);
         assert!(more_bits > base);

@@ -26,12 +26,11 @@ pub mod models;
 pub mod regress;
 
 pub use corpus::{
-    audio_sensing_corpus, gesture_sensing_corpus, inference_corpus, inference_corpus_banded,
-    Corpus,
+    audio_sensing_corpus, gesture_sensing_corpus, inference_corpus, inference_corpus_banded, Corpus,
 };
 pub use device::{AudioSensingGround, GestureSensingGround, InferenceGround};
 pub use lookup::LookupTableModel;
-pub use models::{
-    AudioSensingModel, GestureSensingModel, LayerwiseMacModel, TotalMacModel,
+pub use models::{AudioSensingModel, GestureSensingModel, LayerwiseMacModel, TotalMacModel};
+pub use regress::{
+    cross_validate_r2, LinearRegression, LogisticRegression, NeuralRegression, Regressor,
 };
-pub use regress::{cross_validate_r2, LinearRegression, LogisticRegression, NeuralRegression, Regressor};

@@ -189,7 +189,10 @@ mod tests {
         let t_r2 = r_squared(&test.true_uj, &t_preds);
         let l_r2 = r_squared(&test.true_uj, &l_preds);
         assert!(t_r2 > 0.3, "table should carry signal, R²={t_r2:.3}");
-        assert!(l_r2 > t_r2, "regression {l_r2:.3} must beat table {t_r2:.3}");
+        assert!(
+            l_r2 > t_r2,
+            "regression {l_r2:.3} must beat table {t_r2:.3}"
+        );
         let t_err = mean_absolute_percent_error(&test.true_uj, &t_preds);
         assert!(t_err < 80.0, "table error should be bounded, {t_err:.1}%");
     }
@@ -199,7 +202,10 @@ mod tests {
     fn unfit_table_panics() {
         let spec = ModelSpec::new(
             [4, 1, 1],
-            vec![solarml_nn::LayerSpec::flatten(), solarml_nn::LayerSpec::dense(2)],
+            vec![
+                solarml_nn::LayerSpec::flatten(),
+                solarml_nn::LayerSpec::dense(2),
+            ],
         )
         .expect("valid");
         let _ = LookupTableModel::new().estimate(&spec);

@@ -169,9 +169,7 @@ impl AudioSensingModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::{
-        audio_sensing_corpus, gesture_sensing_corpus, inference_corpus,
-    };
+    use crate::corpus::{audio_sensing_corpus, gesture_sensing_corpus, inference_corpus};
     use crate::device::{AudioSensingGround, GestureSensingGround, InferenceGround};
     use rand::SeedableRng;
     use solarml_nn::ArchSampler;
@@ -224,13 +222,21 @@ mod tests {
             measurement_noise: 0.0,
             ..InferenceGround::default()
         };
-        let (train, _) = inference_corpus(300, &ground, &sampler, &mut rng());
+        let (train, _) = inference_corpus(1500, &ground, &sampler, &mut rng());
         let mut model = LayerwiseMacModel::new();
         model.fit(&train);
         let (weights, _) = model.coefficients();
         // Conv coefficient (µJ/MAC) ≈ 2.33e-3; Dense ≈ 0.667e-3.
-        assert!((weights[0] - 2.33e-3).abs() / 2.33e-3 < 0.2, "conv w={}", weights[0]);
-        assert!((weights[2] - 0.667e-3).abs() / 0.667e-3 < 0.3, "dense w={}", weights[2]);
+        assert!(
+            (weights[0] - 2.33e-3).abs() / 2.33e-3 < 0.2,
+            "conv w={}",
+            weights[0]
+        );
+        assert!(
+            (weights[2] - 0.667e-3).abs() / 0.667e-3 < 0.3,
+            "dense w={}",
+            weights[2]
+        );
     }
 
     #[test]
@@ -248,7 +254,10 @@ mod tests {
         let r2 = r_squared(&test.true_uj, &preds);
         assert!(r2 > 0.85, "gesture sensing LR should be ≈0.92, got {r2:.3}");
         let mape = mean_absolute_percent_error(&test.true_uj, &preds);
-        assert!(mape < 10.0, "sensing error should be a few percent, got {mape:.1}%");
+        assert!(
+            mape < 10.0,
+            "sensing error should be a few percent, got {mape:.1}%"
+        );
     }
 
     #[test]
@@ -272,7 +281,10 @@ mod tests {
     fn estimating_unfit_model_panics() {
         let spec = ModelSpec::new(
             [4, 1, 1],
-            vec![solarml_nn::LayerSpec::flatten(), solarml_nn::LayerSpec::dense(2)],
+            vec![
+                solarml_nn::LayerSpec::flatten(),
+                solarml_nn::LayerSpec::dense(2),
+            ],
         )
         .expect("valid");
         let _ = LayerwiseMacModel::new().estimate(&spec);

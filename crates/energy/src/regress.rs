@@ -40,7 +40,11 @@ pub fn cross_validate_r2<R: Regressor>(
         "need at least k samples ({} < {k})",
         features.len()
     );
-    assert_eq!(features.len(), targets.len(), "features/targets length mismatch");
+    assert_eq!(
+        features.len(),
+        targets.len(),
+        "features/targets length mismatch"
+    );
     let n = features.len();
     let mut scores = Vec::with_capacity(k);
     for fold in 0..k {
@@ -62,7 +66,11 @@ pub fn cross_validate_r2<R: Regressor>(
 
 fn check_data(features: &[Vec<f64>], targets: &[f64]) -> usize {
     assert!(!features.is_empty(), "cannot fit on empty data");
-    assert_eq!(features.len(), targets.len(), "features/targets length mismatch");
+    assert_eq!(
+        features.len(),
+        targets.len(),
+        "features/targets length mismatch"
+    );
     let d = features[0].len();
     assert!(
         features.iter().all(|f| f.len() == d),
@@ -92,7 +100,7 @@ impl Regressor for LinearRegression {
         let d = check_data(features, targets);
         let n = features.len();
         let dim = d + 1; // + intercept
-        // Normal equations with ridge: (XᵀX + λI) w = Xᵀy.
+                         // Normal equations with ridge: (XᵀX + λI) w = Xᵀy.
         let mut xtx = vec![vec![0.0f64; dim]; dim];
         let mut xty = vec![0.0f64; dim];
         for (f, &y) in features.iter().zip(targets) {
@@ -133,13 +141,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("finite")
-            })
-            .expect("non-empty");
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap_or(col);
         a.swap(col, pivot);
         b.swap(col, pivot);
         let diag = a[col][col];
@@ -149,6 +152,7 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         for row in col + 1..n {
             let factor = a[row][col] / diag;
             if factor == 0.0 {
+                // physics-lint: allow(float-eq): exact-zero skip is an elimination shortcut, not a tolerance test
                 continue;
             }
             for k in col..n {
@@ -286,9 +290,7 @@ impl NeuralRegression {
             .w1
             .iter()
             .zip(&self.b1)
-            .map(|(row, b)| {
-                (row.iter().zip(z).map(|(w, x)| w * x).sum::<f64>() + b).tanh()
-            })
+            .map(|(row, b)| (row.iter().zip(z).map(|(w, x)| w * x).sum::<f64>() + b).tanh())
             .collect();
         let y = self.w2.iter().zip(&h).map(|(w, x)| w * x).sum::<f64>() + self.b2;
         (h, y)
@@ -317,7 +319,11 @@ impl Regressor for NeuralRegression {
             })
             .collect();
         self.y_mean = targets.iter().sum::<f64>() / n;
-        self.y_std = (targets.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / n)
+        self.y_std = (targets
+            .iter()
+            .map(|y| (y - self.y_mean).powi(2))
+            .sum::<f64>()
+            / n)
             .sqrt()
             .max(1e-12);
         // Deterministic quasi-random init.
@@ -344,7 +350,10 @@ impl Regressor for NeuralRegression {
                     .collect()
             })
             .collect();
-        let ys: Vec<f64> = targets.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+        let ys: Vec<f64> = targets
+            .iter()
+            .map(|y| (y - self.y_mean) / self.y_std)
+            .collect();
         let lr = 0.05;
         for _ in 0..self.iterations {
             let mut gw1 = vec![vec![0.0; d]; self.hidden];
@@ -400,7 +409,10 @@ mod tests {
                 vec![a, b]
             })
             .collect();
-        let targets = features.iter().map(|f| 3.0 * f[0] - 2.0 * f[1] + 5.0).collect();
+        let targets = features
+            .iter()
+            .map(|f| 3.0 * f[0] - 2.0 * f[1] + 5.0)
+            .collect();
         (features, targets)
     }
 

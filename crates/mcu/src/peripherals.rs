@@ -2,7 +2,7 @@
 //! PDM microphone interface (KWS audio).
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Hertz, Power};
+use solarml_units::{Hertz, Power, Seconds};
 
 /// Per-conversion energy constants for the successive-approximation ADC.
 /// Conversion cost grows with resolution (longer charge-redistribution
@@ -77,9 +77,9 @@ impl AdcConfig {
         Power::new(per_second)
     }
 
-    /// Total samples produced over `duration_s` seconds.
-    pub fn samples_over(&self, duration_s: f64) -> usize {
-        (self.channels as f64 * self.rate_hz as f64 * duration_s).round() as usize
+    /// Total samples produced over the given duration.
+    pub fn samples_over(&self, duration: Seconds) -> usize {
+        (self.channels as f64 * self.rate_hz as f64 * duration.as_seconds()).round() as usize
     }
 }
 
@@ -168,13 +168,16 @@ mod tests {
     fn bytes_per_sample_rounds_up() {
         assert_eq!(AdcConfig::new(1, Hertz::new(10.0), 8).bytes_per_sample(), 1);
         assert_eq!(AdcConfig::new(1, Hertz::new(10.0), 9).bytes_per_sample(), 2);
-        assert_eq!(AdcConfig::new(1, Hertz::new(10.0), 32).bytes_per_sample(), 4);
+        assert_eq!(
+            AdcConfig::new(1, Hertz::new(10.0), 32).bytes_per_sample(),
+            4
+        );
     }
 
     #[test]
     fn samples_over_counts_all_channels() {
         let cfg = AdcConfig::new(3, Hertz::new(50.0), 12);
-        assert_eq!(cfg.samples_over(2.0), 300);
+        assert_eq!(cfg.samples_over(Seconds::new(2.0)), 300);
     }
 
     #[test]

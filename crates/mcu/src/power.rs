@@ -1,7 +1,7 @@
 //! The calibrated per-state power model.
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Energy, Power, Seconds};
+use solarml_units::{Cycles, Energy, Frequency, Power, Seconds, Volts};
 
 use crate::peripherals::{AdcConfig, PdmConfig};
 
@@ -14,7 +14,7 @@ use crate::peripherals::{AdcConfig, PdmConfig};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct McuPowerModel {
     /// Rail voltage after the boost converter.
-    pub rail_voltage: f64,
+    pub rail_voltage: Volts,
     /// Deep-sleep draw (RAM retained, RTC on, regulator quiescent).
     pub deep_sleep: Power,
     /// Standby draw (Fig. 6: config in RAM, CPU clock gated).
@@ -31,13 +31,13 @@ pub struct McuPowerModel {
     /// Active draw with the CPU at 64 MHz.
     pub active: Power,
     /// Effective CPU clock for converting cycle counts to time.
-    pub clock_hz: f64,
+    pub clock: Frequency,
 }
 
 impl Default for McuPowerModel {
     fn default() -> Self {
         Self {
-            rail_voltage: 3.3,
+            rail_voltage: Volts::new(3.3),
             deep_sleep: Power::from_micro_watts(30.0),
             standby: Power::from_micro_watts(20.0),
             wake_power: Power::from_milli_watts(8.0),
@@ -45,7 +45,7 @@ impl Default for McuPowerModel {
             cold_boot_duration: Seconds::from_millis(20.0),
             tickless_base: Power::from_micro_watts(550.0),
             active: Power::from_milli_watts(19.8),
-            clock_hz: 64e6,
+            clock: Frequency::new(64e6),
         }
     }
 }
@@ -72,18 +72,18 @@ impl McuPowerModel {
     }
 
     /// Time the CPU needs for `cycles` cycles of computation.
-    pub fn compute_time(&self, cycles: f64) -> Seconds {
-        Seconds::new(cycles.max(0.0) / self.clock_hz)
+    pub fn compute_time(&self, cycles: Cycles) -> Seconds {
+        Cycles::new(cycles.as_cycles().max(0.0)) / self.clock
     }
 
     /// Energy for `cycles` cycles of active computation.
-    pub fn compute_energy(&self, cycles: f64) -> Energy {
+    pub fn compute_energy(&self, cycles: Cycles) -> Energy {
         self.active * self.compute_time(cycles)
     }
 
     /// Energy per active CPU cycle.
     pub fn energy_per_cycle(&self) -> Energy {
-        Energy::new(self.active.as_watts() / self.clock_hz)
+        Energy::new(self.active.as_watts() / self.clock.as_hertz())
     }
 }
 
@@ -129,9 +129,9 @@ mod tests {
     fn compute_energy_matches_cycles() {
         let m = McuPowerModel::default();
         // 64e6 cycles = one second at full power.
-        let e = m.compute_energy(64e6);
+        let e = m.compute_energy(Cycles::new(64e6));
         assert!((e.as_milli_joules() - 19.8).abs() < 1e-9);
-        assert_eq!(m.compute_energy(-5.0), Energy::ZERO);
+        assert_eq!(m.compute_energy(Cycles::new(-5.0)), Energy::ZERO);
     }
 
     #[test]

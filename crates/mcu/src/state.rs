@@ -50,7 +50,11 @@ pub struct TransitionError {
 
 impl fmt::Display for TransitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal MCU transition from {} to {}", self.from, self.to)
+        write!(
+            f,
+            "illegal MCU transition from {} to {}",
+            self.from, self.to
+        )
     }
 }
 
@@ -168,7 +172,10 @@ impl Mcu {
         }
         match (self.state, to) {
             (_, PowerState::Off) => self.power_off(),
-            (PowerState::DeepSleep | PowerState::Standby, PowerState::Active | PowerState::Tickless) => {
+            (
+                PowerState::DeepSleep | PowerState::Standby,
+                PowerState::Active | PowerState::Tickless,
+            ) => {
                 self.pending = Some((self.model.wake_duration, to));
             }
             _ => self.state = to,
@@ -263,10 +270,7 @@ impl Mcu {
 
     fn account(&mut self, state: PowerState, power: Power, dt: Seconds) -> Energy {
         let e = power * dt;
-        *self
-            .energy_by_state
-            .entry(state)
-            .or_insert(Energy::ZERO) += e;
+        *self.energy_by_state.entry(state).or_insert(Energy::ZERO) += e;
         *self.time_by_state.entry(state).or_insert(Seconds::ZERO) += dt;
         self.clock += dt;
         e
@@ -308,7 +312,10 @@ mod tests {
     fn double_power_on_is_an_error() {
         let mut mcu = powered_mcu();
         let err = mcu.power_on().expect_err("already on");
-        assert_eq!(err.to_string(), "illegal MCU transition from active to active");
+        assert_eq!(
+            err.to_string(),
+            "illegal MCU transition from active to active"
+        );
     }
 
     #[test]

@@ -210,7 +210,11 @@ mod tests {
         // accurate candidate can outrank cheaper ones — so assert only that
         // the winner stays out of the most expensive quartile.
         let ctx = tiny_ctx();
-        let out = run_harvnet_style(&ctx, &BaselineConfig::quick());
+        let cfg = BaselineConfig {
+            seed: 7,
+            ..BaselineConfig::quick()
+        };
+        let out = run_harvnet_style(&ctx, &cfg);
         let mut energies: Vec<f64> = out
             .history
             .iter()

@@ -105,7 +105,10 @@ mod tests {
     fn lambda_zero_is_pure_accuracy() {
         let lo = evaluated(0.8, 100.0, true);
         let hi = evaluated(0.9, 10_000.0, true);
-        let (e0, e1) = (Energy::from_micro_joules(100.0), Energy::from_micro_joules(10_000.0));
+        let (e0, e1) = (
+            Energy::from_micro_joules(100.0),
+            Energy::from_micro_joules(10_000.0),
+        );
         assert!(hi.objective(0.0, e0, e1) > lo.objective(0.0, e0, e1));
     }
 
@@ -113,14 +116,20 @@ mod tests {
     fn lambda_one_prioritizes_energy() {
         let cheap = evaluated(0.8, 100.0, true);
         let pricey = evaluated(0.9, 10_000.0, true);
-        let (e0, e1) = (Energy::from_micro_joules(100.0), Energy::from_micro_joules(10_000.0));
+        let (e0, e1) = (
+            Energy::from_micro_joules(100.0),
+            Energy::from_micro_joules(10_000.0),
+        );
         assert!(cheap.objective(1.0, e0, e1) > pricey.objective(1.0, e0, e1));
     }
 
     #[test]
     fn energy_term_clamps_outside_envelope() {
         let way_out = evaluated(0.9, 1_000_000.0, true);
-        let (e0, e1) = (Energy::from_micro_joules(100.0), Energy::from_micro_joules(200.0));
+        let (e0, e1) = (
+            Energy::from_micro_joules(100.0),
+            Energy::from_micro_joules(200.0),
+        );
         // Clamped to 1: objective = 0.9 − λ.
         assert!((way_out.objective(0.5, e0, e1) - 0.4).abs() < 1e-12);
     }
@@ -129,7 +138,10 @@ mod tests {
     fn infeasible_loses_to_any_feasible() {
         let bad = evaluated(0.99, 100.0, false);
         let ok = evaluated(0.5, 10_000.0, true);
-        let (e0, e1) = (Energy::from_micro_joules(100.0), Energy::from_micro_joules(10_000.0));
+        let (e0, e1) = (
+            Energy::from_micro_joules(100.0),
+            Energy::from_micro_joules(10_000.0),
+        );
         assert!(ok.objective(0.5, e0, e1) > bad.objective(0.5, e0, e1));
     }
 

@@ -254,8 +254,20 @@ mod tests {
     #[test]
     fn lambda_extremes_change_the_winner_profile() {
         let ctx = tiny_ctx();
-        let accurate = run_enas(&ctx, &EnasConfig { lambda: 0.0, ..EnasConfig::quick(0.0) });
-        let frugal = run_enas(&ctx, &EnasConfig { lambda: 1.0, ..EnasConfig::quick(1.0) });
+        let accurate = run_enas(
+            &ctx,
+            &EnasConfig {
+                lambda: 0.0,
+                ..EnasConfig::quick(0.0)
+            },
+        );
+        let frugal = run_enas(
+            &ctx,
+            &EnasConfig {
+                lambda: 1.0,
+                ..EnasConfig::quick(1.0)
+            },
+        );
         // The λ=1 winner must not cost more than the λ=0 winner.
         assert!(
             frugal.best.estimated_energy <= accurate.best.estimated_energy,

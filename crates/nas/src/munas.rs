@@ -59,11 +59,7 @@ impl MunasConfig {
 /// # Panics
 ///
 /// Panics if `population` or `sample_size` is zero.
-pub fn run_munas(
-    ctx: &TaskContext,
-    sensing: SensingConfig,
-    config: &MunasConfig,
-) -> SearchOutcome {
+pub fn run_munas(ctx: &TaskContext, sensing: SensingConfig, config: &MunasConfig) -> SearchOutcome {
     assert!(config.population > 0, "population must be positive");
     assert!(config.sample_size > 0, "sample size must be positive");
     use rand::SeedableRng;
@@ -175,9 +171,7 @@ mod tests {
     }
 
     fn fixed_sensing() -> SensingConfig {
-        SensingConfig::Gesture(
-            GestureSensingParams::new(6, 60, Resolution::Int, 8).expect("valid"),
-        )
+        SensingConfig::Gesture(GestureSensingParams::new(6, 60, Resolution::Int, 8).expect("valid"))
     }
 
     #[test]

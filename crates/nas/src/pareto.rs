@@ -23,6 +23,8 @@ pub fn pareto_front(points: &[Evaluated]) -> Vec<Evaluated> {
             .partial_cmp(&b.true_energy)
             .expect("energies are finite")
     });
+    #[allow(clippy::float_cmp)]
+    // dedup of *identical* evaluation records: bitwise equality is the intent
     front.dedup_by(|a, b| a.accuracy == b.accuracy && a.true_energy == b.true_energy);
     front
 }
@@ -37,11 +39,8 @@ mod tests {
 
     fn point(accuracy: f64, energy_uj: f64) -> Evaluated {
         let params = GestureSensingParams::new(1, 10, Resolution::Int, 1).expect("valid");
-        let spec = ModelSpec::new(
-            [4, 1, 1],
-            vec![LayerSpec::flatten(), LayerSpec::dense(2)],
-        )
-        .expect("valid");
+        let spec = ModelSpec::new([4, 1, 1], vec![LayerSpec::flatten(), LayerSpec::dense(2)])
+            .expect("valid");
         Evaluated {
             candidate: Candidate {
                 sensing: SensingConfig::Gesture(params),

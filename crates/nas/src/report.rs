@@ -48,7 +48,11 @@ impl SearchSummary {
         let distinct_sensing = distinct_sensing(outcome);
         Self {
             evaluations: n,
-            feasible_fraction: if n == 0 { 0.0 } else { feasible as f64 / n as f64 },
+            feasible_fraction: if n == 0 {
+                0.0
+            } else {
+                feasible as f64 / n as f64
+            },
             best_accuracy,
             cheapest_feasible_uj,
             distinct_sensing,
@@ -154,13 +158,8 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(i, (acc, uj, feasible, cycle))| {
-                let params = GestureSensingParams::new(
-                    (1 + (i % 9)) as u8,
-                    50,
-                    Resolution::Int,
-                    8,
-                )
-                .expect("valid");
+                let params = GestureSensingParams::new((1 + (i % 9)) as u8, 50, Resolution::Int, 8)
+                    .expect("valid");
                 Evaluated {
                     candidate: Candidate {
                         sensing: SensingConfig::Gesture(params),

@@ -356,9 +356,7 @@ impl TaskContext {
                 Rc::new((train.to_class_dataset(&p), test.to_class_dataset(&p)))
             }
         };
-        self.dataset_cache
-            .borrow_mut()
-            .insert(s, Rc::clone(&pair));
+        self.dataset_cache.borrow_mut().insert(s, Rc::clone(&pair));
         pair
     }
 
@@ -393,8 +391,7 @@ fn fit_inference_models(rng: &mut impl Rng) -> (LayerwiseMacModel, TotalMacModel
     // (the paper's 300-model protocol).
     let sampler = ArchSampler::for_measurement([20, 9, 1], 10);
     let ground = InferenceGround::default();
-    let (corpus, _) =
-        inference_corpus_banded(300, &ground, &sampler, Some((20_000, 400_000)), rng);
+    let (corpus, _) = inference_corpus_banded(300, &ground, &sampler, Some((20_000, 400_000)), rng);
     let mut layerwise = LayerwiseMacModel::new();
     layerwise.fit(&corpus);
     let mut total = TotalMacModel::new();
@@ -608,6 +605,9 @@ mod tests {
         let mut r = rng();
         let cand = ctx.random_candidate(&mut r);
         let eval = ctx.evaluate(&cand, 0, &mut r).expect("feasible");
-        assert!(eval.true_energy.as_milli_joules() > 1.0, "KWS E_S is mJ-scale");
+        assert!(
+            eval.true_energy.as_milli_joules() > 1.0,
+            "KWS E_S is mJ-scale"
+        );
     }
 }

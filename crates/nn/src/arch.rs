@@ -223,7 +223,11 @@ impl fmt::Display for LayerSpec {
                 kernel,
                 stride,
                 padding,
-            } => write!(f, "conv{kernel}x{kernel}x{filters}/s{stride}{}", pad(padding)),
+            } => write!(
+                f,
+                "conv{kernel}x{kernel}x{filters}/s{stride}{}",
+                pad(padding)
+            ),
             LayerSpec::DwConv {
                 kernel,
                 stride,
@@ -260,7 +264,11 @@ pub struct ArchError {
 
 impl fmt::Display for ArchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid architecture at layer {}: {}", self.layer, self.reason)
+        write!(
+            f,
+            "invalid architecture at layer {}: {}",
+            self.layer, self.reason
+        )
     }
 }
 
@@ -330,10 +338,7 @@ impl ModelSpec {
     /// Returns an [`ArchError`] naming the first offending layer when shapes
     /// cannot propagate (e.g. a kernel larger than its input, a `Dense` on an
     /// unflattened map, or a spatial dimension shrinking to zero).
-    pub fn new(
-        input_shape: [usize; 3],
-        layers: Vec<LayerSpec>,
-    ) -> Result<Self, ArchError> {
+    pub fn new(input_shape: [usize; 3], layers: Vec<LayerSpec>) -> Result<Self, ArchError> {
         let spec = Self {
             input_shape,
             layers,
@@ -551,9 +556,10 @@ fn propagate(shape: Shape, layer: &LayerSpec) -> Result<Shape, String> {
         (Shape::Map(_), LayerSpec::Dense { .. }) => {
             Err("dense requires a flattened input (insert Flatten)".into())
         }
-        (Shape::Flat(_), LayerSpec::Conv { .. } | LayerSpec::DwConv { .. } | LayerSpec::Pool { .. }) => {
-            Err("spatial layer after flatten".into())
-        }
+        (
+            Shape::Flat(_),
+            LayerSpec::Conv { .. } | LayerSpec::DwConv { .. } | LayerSpec::Pool { .. },
+        ) => Err("spatial layer after flatten".into()),
     }
 }
 
@@ -576,9 +582,12 @@ fn layer_macs(before: Shape, after: Shape, layer: &LayerSpec) -> u64 {
 
 fn layer_params(before: Shape, layer: &LayerSpec) -> usize {
     match (before, layer) {
-        (Shape::Map([_, _, cin]), LayerSpec::Conv { filters, kernel, .. }) => {
-            kernel * kernel * cin * filters + filters
-        }
+        (
+            Shape::Map([_, _, cin]),
+            LayerSpec::Conv {
+                filters, kernel, ..
+            },
+        ) => kernel * kernel * cin * filters + filters,
         (Shape::Map([_, _, c]), LayerSpec::DwConv { kernel, .. }) => kernel * kernel * c + c,
         (Shape::Map([_, _, c]), LayerSpec::Norm) => 2 * c,
         (Shape::Flat(n), LayerSpec::Norm) => 2 * n,
@@ -648,7 +657,11 @@ mod tests {
     fn dense_macs_are_in_times_out() {
         let spec = ModelSpec::new(
             [4, 1, 1],
-            vec![LayerSpec::flatten(), LayerSpec::dense(8), LayerSpec::dense(3)],
+            vec![
+                LayerSpec::flatten(),
+                LayerSpec::dense(8),
+                LayerSpec::dense(3),
+            ],
         )
         .expect("valid");
         assert_eq!(spec.mac_summary().class(LayerClass::Dense), 4 * 8 + 8 * 3);
@@ -691,11 +704,8 @@ mod tests {
 
     #[test]
     fn model_must_end_flat() {
-        let err = ModelSpec::new(
-            [4, 4, 1],
-            vec![LayerSpec::conv(2, 2, 1, Padding::Valid)],
-        )
-        .expect_err("map output");
+        let err = ModelSpec::new([4, 4, 1], vec![LayerSpec::conv(2, 2, 1, Padding::Valid)])
+            .expect_err("map output");
         assert!(err.reason.contains("flat"));
     }
 
@@ -726,8 +736,14 @@ mod tests {
     fn mac_summary_feature_order_is_stable() {
         let spec = tiny_cnn();
         let features = spec.mac_summary().as_features();
-        assert_eq!(features[0], spec.mac_summary().class(LayerClass::Conv) as f64);
-        assert_eq!(features[2], spec.mac_summary().class(LayerClass::Dense) as f64);
+        assert_eq!(
+            features[0],
+            spec.mac_summary().class(LayerClass::Conv) as f64
+        );
+        assert_eq!(
+            features[2],
+            spec.mac_summary().class(LayerClass::Dense) as f64
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl ClassDataset {
     /// Panics if `n` is zero or not strictly less than the length (both
     /// halves must be non-empty).
     pub fn split_at(&self, n: usize) -> (ClassDataset, ClassDataset) {
-        assert!(n > 0 && n < self.len(), "split must leave both halves non-empty");
+        assert!(
+            n > 0 && n < self.len(),
+            "split must leave both halves non-empty"
+        );
         let first = ClassDataset::new(
             self.inputs[..n].to_vec(),
             self.labels[..n].to_vec(),

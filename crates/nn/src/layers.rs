@@ -65,7 +65,14 @@ impl Layer {
                     padding,
                 },
                 Shape::Map([_, w, c]),
-            ) => Layer::DwConv(DwConv2d::new(c, *kernel, (*kernel).min(w), *stride, *padding, rng)),
+            ) => Layer::DwConv(DwConv2d::new(
+                c,
+                *kernel,
+                (*kernel).min(w),
+                *stride,
+                *padding,
+                rng,
+            )),
             (LayerSpec::Pool { kind, size }, Shape::Map([_, w, _])) => {
                 Layer::Pool(Pool2d::new(*kind, *size, (*size).min(w)))
             }
@@ -121,10 +128,22 @@ impl Layer {
     /// parameterless layers.
     pub fn params_and_grads(&mut self) -> Vec<(&mut Vec<f32>, &mut Vec<f32>)> {
         match self {
-            Layer::Conv(l) => vec![(&mut l.weights, &mut l.grad_weights), (&mut l.bias, &mut l.grad_bias)],
-            Layer::DwConv(l) => vec![(&mut l.weights, &mut l.grad_weights), (&mut l.bias, &mut l.grad_bias)],
-            Layer::Dense(l) => vec![(&mut l.weights, &mut l.grad_weights), (&mut l.bias, &mut l.grad_bias)],
-            Layer::Norm(l) => vec![(&mut l.scale, &mut l.grad_scale), (&mut l.shift, &mut l.grad_shift)],
+            Layer::Conv(l) => vec![
+                (&mut l.weights, &mut l.grad_weights),
+                (&mut l.bias, &mut l.grad_bias),
+            ],
+            Layer::DwConv(l) => vec![
+                (&mut l.weights, &mut l.grad_weights),
+                (&mut l.bias, &mut l.grad_bias),
+            ],
+            Layer::Dense(l) => vec![
+                (&mut l.weights, &mut l.grad_weights),
+                (&mut l.bias, &mut l.grad_bias),
+            ],
+            Layer::Norm(l) => vec![
+                (&mut l.scale, &mut l.grad_scale),
+                (&mut l.shift, &mut l.grad_shift),
+            ],
             _ => Vec::new(),
         }
     }
@@ -143,7 +162,9 @@ fn he_std(fan_in: usize) -> f32 {
 
 fn init_weights(rng: &mut impl Rng, n: usize, fan_in: usize) -> Vec<f32> {
     let std = he_std(fan_in);
-    (0..n).map(|_| rng.gen_range(-2.0f32..2.0) * std / 2.0).collect()
+    (0..n)
+        .map(|_| rng.gen_range(-2.0f32..2.0) * std / 2.0)
+        .collect()
 }
 
 /// 2-D convolution over `[h, w, c]` maps. Kernels may be rectangular when
@@ -197,7 +218,12 @@ impl Conv2d {
 
     fn out_dims(&self, h: usize, w: usize) -> (usize, usize, isize, isize) {
         match self.padding {
-            Padding::Valid => ((h - self.kh) / self.stride + 1, (w - self.kw) / self.stride + 1, 0, 0),
+            Padding::Valid => (
+                (h - self.kh) / self.stride + 1,
+                (w - self.kw) / self.stride + 1,
+                0,
+                0,
+            ),
             Padding::Same => {
                 let oh = h.div_ceil(self.stride);
                 let ow = w.div_ceil(self.stride);
@@ -260,9 +286,8 @@ impl Conv2d {
                             }
                             let (iy, ix) = (iy as usize, ix as usize);
                             for ci in 0..self.in_channels {
-                                let widx = ((i * self.kw + j) * self.in_channels + ci)
-                                    * self.filters
-                                    + co;
+                                let widx =
+                                    ((i * self.kw + j) * self.in_channels + ci) * self.filters + co;
                                 self.grad_weights[widx] += g * input.at3(iy, ix, ci);
                                 *grad_in.at3_mut(iy, ix, ci) += g * self.weights[widx];
                             }
@@ -317,7 +342,12 @@ impl DwConv2d {
 
     fn out_dims(&self, h: usize, w: usize) -> (usize, usize, isize, isize) {
         match self.padding {
-            Padding::Valid => ((h - self.kh) / self.stride + 1, (w - self.kw) / self.stride + 1, 0, 0),
+            Padding::Valid => (
+                (h - self.kh) / self.stride + 1,
+                (w - self.kw) / self.stride + 1,
+                0,
+                0,
+            ),
             Padding::Same => {
                 let oh = h.div_ceil(self.stride);
                 let ow = w.div_ceil(self.stride);
@@ -562,8 +592,8 @@ impl ChannelNorm {
                 let var = (sqs[c] / counts[c] as f64) as f32 - mean * mean;
                 self.running_mean[c] =
                     (1.0 - Self::MOMENTUM) * self.running_mean[c] + Self::MOMENTUM * mean;
-                self.running_var[c] = (1.0 - Self::MOMENTUM) * self.running_var[c]
-                    + Self::MOMENTUM * var.max(0.0);
+                self.running_var[c] =
+                    (1.0 - Self::MOMENTUM) * self.running_var[c] + Self::MOMENTUM * var.max(0.0);
             }
         }
         let mut xhat = input.clone();

@@ -49,6 +49,13 @@
 //! # }
 //! ```
 
+// Panicking on violated shape/sampling invariants is the right contract for
+// the tensor and search internals: every shape is validated once at
+// `ModelSpec` construction, and threading `Result` through each layer
+// micro-op would bury the math. The five physics crates keep the strict
+// `unwrap_used`/`expect_used` deny — enforced by `cargo xtask lint`.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 pub mod arch;
 pub mod dataset;
 pub mod layers;
@@ -63,7 +70,6 @@ pub mod tensor;
 pub mod train;
 
 pub use arch::{ArchError, LayerClass, LayerSpec, MacSummary, ModelSpec, Padding, PoolKind};
-pub use sampler::ArchSampler;
 pub use dataset::ClassDataset;
 pub use loss::softmax_cross_entropy;
 pub use metrics::{top_k_accuracy, ConfusionMatrix};
@@ -71,5 +77,6 @@ pub use model::Model;
 pub use multi_exit::{ExitDecision, MultiExitModel};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use quantized::{quantize_weights_int8, QuantizationReport};
+pub use sampler::ArchSampler;
 pub use tensor::Tensor;
 pub use train::{evaluate, fit, TrainConfig, TrainReport};

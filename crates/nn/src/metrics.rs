@@ -93,9 +93,7 @@ impl ConfusionMatrix {
         for t in 0..self.num_classes() {
             for p in 0..self.num_classes() {
                 if t != p && self.counts[t][p] > 0 {
-                    let better = worst
-                        .map(|(_, _, c)| self.counts[t][p] > c)
-                        .unwrap_or(true);
+                    let better = worst.map(|(_, _, c)| self.counts[t][p] > c).unwrap_or(true);
                     if better {
                         worst = Some((t, p, self.counts[t][p]));
                     }
@@ -142,7 +140,12 @@ mod tests {
     fn trained_setup() -> (Model, ClassDataset) {
         let spec = ModelSpec::new(
             [4, 1, 1],
-            vec![LayerSpec::flatten(), LayerSpec::dense(8), LayerSpec::relu(), LayerSpec::dense(2)],
+            vec![
+                LayerSpec::flatten(),
+                LayerSpec::dense(8),
+                LayerSpec::relu(),
+                LayerSpec::dense(2),
+            ],
         )
         .expect("valid");
         let inputs: Vec<Tensor> = (0..40)
@@ -174,7 +177,8 @@ mod tests {
         let acc = crate::train::evaluate(&mut model, &data);
         assert!((cm.accuracy() - acc).abs() < 1e-12);
         assert_eq!(cm.num_classes(), 2);
-        let total: usize = (0..2).flat_map(|t| (0..2).map(move |p| (t, p)))
+        let total: usize = (0..2)
+            .flat_map(|t| (0..2).map(move |p| (t, p)))
             .map(|(t, p)| cm.count(t, p))
             .sum();
         assert_eq!(total, data.len());

@@ -224,7 +224,9 @@ mod tests {
         let s = spec();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut model = Model::from_spec(&s, &mut rng);
-        let err = model.import_weights(&[vec![0.0; 3]]).expect_err("count mismatch");
+        let err = model
+            .import_weights(&[vec![0.0; 3]])
+            .expect_err("count mismatch");
         assert!(err.contains("tensors"));
         let mut snap = model.export_weights();
         snap[0].push(0.0);

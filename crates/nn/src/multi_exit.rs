@@ -103,13 +103,7 @@ impl MultiExitModel {
             // Instantiate only the two head layers (the last two).
             let total = head_spec.layers().len();
             let head: Vec<Layer> = (total - 2..total)
-                .map(|i| {
-                    Layer::instantiate(
-                        &head_spec.layers()[i],
-                        head_spec.shape_before(i),
-                        rng,
-                    )
-                })
+                .map(|i| Layer::instantiate(&head_spec.layers()[i], head_spec.shape_before(i), rng))
                 .collect();
             heads.push((pos, head));
         }
@@ -203,7 +197,8 @@ impl MultiExitModel {
                 return ExitDecision {
                     scores: h,
                     exit_index,
-                    macs_spent: macs + head_macs_static(&self.backbone_spec, *pos, self.num_classes),
+                    macs_spent: macs
+                        + head_macs_static(&self.backbone_spec, *pos, self.num_classes),
                     confidence,
                 };
             }
@@ -320,11 +315,7 @@ impl MultiExitModel {
     }
 
     /// Evaluates early-exit accuracy and average MACs on a dataset.
-    pub fn evaluate_early_exit(
-        &mut self,
-        data: &ClassDataset,
-        threshold: f32,
-    ) -> (f64, f64) {
+    pub fn evaluate_early_exit(&mut self, data: &ClassDataset, threshold: f32) -> (f64, f64) {
         let mut correct = 0usize;
         let mut total_macs = 0u64;
         for i in 0..data.len() {
@@ -343,7 +334,9 @@ impl MultiExitModel {
 
     /// The MAC budget of each exit, earliest to final.
     pub fn exit_macs(&self) -> Vec<u64> {
-        (0..self.num_exits()).map(|e| self.macs_at_exit(e)).collect()
+        (0..self.num_exits())
+            .map(|e| self.macs_at_exit(e))
+            .collect()
     }
 }
 
@@ -481,7 +474,10 @@ mod tests {
         let macs = m.exit_macs();
         assert_eq!(macs.len(), 3);
         assert!(macs[0] < macs[1], "deeper exits cost more: {macs:?}");
-        assert!(macs[1] < macs[2] + macs[1], "final exit carries the full backbone");
+        assert!(
+            macs[1] < macs[2] + macs[1],
+            "final exit carries the full backbone"
+        );
         assert!(macs[0] > 0);
     }
 

@@ -149,11 +149,8 @@ mod tests {
 
     #[test]
     fn zero_model_is_handled() {
-        let spec = ModelSpec::new(
-            [2, 2, 1],
-            vec![LayerSpec::flatten(), LayerSpec::dense(2)],
-        )
-        .expect("valid");
+        let spec = ModelSpec::new([2, 2, 1], vec![LayerSpec::flatten(), LayerSpec::dense(2)])
+            .expect("valid");
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut model = Model::from_spec(&spec, &mut rng);
         for (p, _) in model.params_and_grads() {

@@ -72,7 +72,10 @@ impl ArchSampler {
                 return spec;
             }
         }
-        panic!("architecture space yields no valid models for input {:?}", self.input_shape);
+        panic!(
+            "architecture space yields no valid models for input {:?}",
+            self.input_shape
+        );
     }
 
     fn try_sample(&self, rng: &mut impl Rng) -> Result<ModelSpec, crate::arch::ArchError> {
@@ -251,7 +254,10 @@ mod tests {
         let changed = (0..20)
             .filter(|_| s.mutate(&spec, &mut rng) != spec)
             .count();
-        assert!(changed >= 15, "only {changed}/20 mutations changed the spec");
+        assert!(
+            changed >= 15,
+            "only {changed}/20 mutations changed the spec"
+        );
     }
 
     #[test]

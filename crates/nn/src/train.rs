@@ -143,7 +143,12 @@ mod tests {
     fn dense_model_learns_levels() {
         let spec = ModelSpec::new(
             [4, 1, 1],
-            vec![LayerSpec::flatten(), LayerSpec::dense(8), LayerSpec::relu(), LayerSpec::dense(2)],
+            vec![
+                LayerSpec::flatten(),
+                LayerSpec::dense(8),
+                LayerSpec::relu(),
+                LayerSpec::dense(2),
+            ],
         )
         .expect("valid");
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
@@ -158,7 +163,11 @@ mod tests {
             },
             &mut rng,
         );
-        assert!(report.train_accuracy > 0.95, "acc={}", report.train_accuracy);
+        assert!(
+            report.train_accuracy > 0.95,
+            "acc={}",
+            report.train_accuracy
+        );
         // Loss should broadly decrease.
         let first = report.epoch_losses.first().copied().expect("has epochs");
         let last = report.epoch_losses.last().copied().expect("has epochs");
@@ -230,7 +239,12 @@ mod tests {
     fn weight_decay_shrinks_weight_norm() {
         let spec = ModelSpec::new(
             [4, 1, 1],
-            vec![LayerSpec::flatten(), LayerSpec::dense(16), LayerSpec::relu(), LayerSpec::dense(2)],
+            vec![
+                LayerSpec::flatten(),
+                LayerSpec::dense(16),
+                LayerSpec::relu(),
+                LayerSpec::dense(2),
+            ],
         )
         .expect("valid");
         let data = levels_dataset(40);
@@ -262,11 +276,8 @@ mod tests {
 
     #[test]
     fn evaluate_on_untrained_model_is_chance_level() {
-        let spec = ModelSpec::new(
-            [4, 1, 1],
-            vec![LayerSpec::flatten(), LayerSpec::dense(2)],
-        )
-        .expect("valid");
+        let spec = ModelSpec::new([4, 1, 1], vec![LayerSpec::flatten(), LayerSpec::dense(2)])
+            .expect("valid");
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let mut model = Model::from_spec(&spec, &mut rng);
         let acc = evaluate(&mut model, &levels_dataset(100));
@@ -275,11 +286,8 @@ mod tests {
 
     #[test]
     fn training_is_deterministic_given_seed() {
-        let spec = ModelSpec::new(
-            [4, 1, 1],
-            vec![LayerSpec::flatten(), LayerSpec::dense(2)],
-        )
-        .expect("valid");
+        let spec = ModelSpec::new([4, 1, 1], vec![LayerSpec::flatten(), LayerSpec::dense(2)])
+            .expect("valid");
         let run = || {
             let mut rng = rand::rngs::StdRng::seed_from_u64(21);
             let mut model = Model::from_spec(&spec, &mut rng);

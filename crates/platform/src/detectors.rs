@@ -7,7 +7,7 @@
 use serde::{Deserialize, Serialize};
 use solarml_circuit::env::Illumination;
 use solarml_circuit::event::EventDetector;
-use solarml_units::{Energy, Lux, Power, Seconds, Volts};
+use solarml_units::{Energy, Lux, Power, Ratio, Seconds, Volts};
 
 /// One detector's Table III row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,12 +72,12 @@ pub fn solarml_detector_spec() -> DetectorSpec {
         let mut det = EventDetector::default();
         let ill = Illumination {
             ambient: Lux::new(lux),
-            event_cell_shading: 0.0,
+            event_cell_shading: Ratio::ZERO,
         };
         det.settle(ill, v_cap);
-        let mut out = det.step(dt, ill, 0.0, false, v_cap);
+        let mut out = det.step(dt, ill, Volts::ZERO, false, v_cap);
         for _ in 0..100 {
-            out = det.step(dt, ill, 0.0, false, v_cap);
+            out = det.step(dt, ill, Volts::ZERO, false, v_cap);
         }
         out.detector_power
     };
@@ -85,12 +85,12 @@ pub fn solarml_detector_spec() -> DetectorSpec {
         let mut det = EventDetector::default();
         let ill = Illumination {
             ambient: Lux::new(lux),
-            event_cell_shading: 0.0,
+            event_cell_shading: Ratio::ZERO,
         };
         det.settle(ill, v_cap);
-        let mut out = det.step(dt, ill, 3.3, false, v_cap);
+        let mut out = det.step(dt, ill, Volts::new(3.3), false, v_cap);
         for _ in 0..100 {
-            out = det.step(dt, ill, 3.3, false, v_cap);
+            out = det.step(dt, ill, Volts::new(3.3), false, v_cap);
         }
         out.detector_power
     };
@@ -100,12 +100,14 @@ pub fn solarml_detector_spec() -> DetectorSpec {
     let working_hi = working_at(250.0).max(working_at(1000.0));
 
     let det = EventDetector::default();
+    #[allow(clippy::expect_used)]
     let rt_bright = det
         .response_time(Lux::new(1000.0), v_cap)
-        .expect("bright light triggers");
+        .expect("bright light triggers"); // physics-lint: allow(expect): default detector triggers at 1000 lux by construction (covered by tests)
+    #[allow(clippy::expect_used)]
     let rt_dim = det
         .response_time(Lux::new(250.0), v_cap)
-        .expect("dim office light still triggers");
+        .expect("dim office light still triggers"); // physics-lint: allow(expect): 250 lux is inside the calibrated trigger range (covered by tests)
     let rt_lo = rt_bright.as_millis().min(rt_dim.as_millis());
     let rt_hi = rt_bright.as_millis().max(rt_dim.as_millis());
 
@@ -132,7 +134,11 @@ mod tests {
         assert!(row.working.0.as_micro_watts() >= 5.0);
         assert!(row.working.1.as_micro_watts() <= 30.0);
         // Response a few milliseconds.
-        assert!(row.response_time_ms.1 < 25.0, "response {:?}", row.response_time_ms);
+        assert!(
+            row.response_time_ms.1 < 25.0,
+            "response {:?}",
+            row.response_time_ms
+        );
     }
 
     #[test]
@@ -171,8 +177,16 @@ mod tests {
         let ps = REFERENCE_DETECTORS[0].wait_and_detect_energy(wait);
         assert!((35.0..800.0).contains(&ps.as_micro_joules()), "PS {}", ps);
         let tof = REFERENCE_DETECTORS[1].wait_and_detect_energy(wait);
-        assert!((50.0..1200.0).contains(&tof.as_micro_joules()), "ToF {}", tof);
+        assert!(
+            (50.0..1200.0).contains(&tof.as_micro_joules()),
+            "ToF {}",
+            tof
+        );
         let sg = REFERENCE_DETECTORS[2].wait_and_detect_energy(wait);
-        assert!((80.0..130.0).contains(&sg.as_micro_joules()), "SolarGest {}", sg);
+        assert!(
+            (80.0..130.0).contains(&sg.as_micro_joules()),
+            "SolarGest {}",
+            sg
+        );
     }
 }

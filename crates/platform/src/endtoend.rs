@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 use solarml_circuit::harvest::HarvestingArray;
 use solarml_mcu::McuPowerModel;
-use solarml_units::{Energy, Lux, Power, Seconds, Volts};
+use solarml_units::{Energy, Lux, Power, Ratio, Seconds, Volts};
 
 use crate::detectors::{solarml_detector_spec, DetectorSpec, REFERENCE_DETECTORS};
 use crate::lifecycle::EnergyBreakdown;
@@ -70,9 +70,10 @@ impl EndToEndBudget {
         self.breakdown.total()
     }
 
-    /// Fractional saving of `self` relative to `other`.
-    pub fn saving_vs(&self, other: &EndToEndBudget) -> f64 {
-        1.0 - self.total() / other.total()
+    /// Fractional saving of `self` relative to `other` (negative when
+    /// `self` costs more).
+    pub fn saving_vs(&self, other: &EndToEndBudget) -> Ratio {
+        Ratio::new(1.0 - self.total() / other.total())
     }
 }
 
@@ -98,7 +99,7 @@ impl HarvestScenario {
     /// Net harvesting power of the prototype array in this scenario.
     pub fn harvest_power(&self) -> Power {
         let array = HarvestingArray::new();
-        let i = array.charging_current(self.lux.as_lux(), self.v_cap, |_| 0.0);
+        let i = array.charging_current(self.lux, self.v_cap, |_| Ratio::ZERO);
         self.v_cap * i
     }
 }
@@ -222,14 +223,14 @@ pub fn simulate_day(config: &DaySimConfig) -> DayReport {
     let mut rejected = 0usize;
     let mut min_voltage = config.initial_voltage;
     let mut pending: Vec<Seconds> = config.interactions.clone();
-    pending.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    pending.sort_by(|a, b| a.as_seconds().total_cmp(&b.as_seconds()));
     let mut next = 0usize;
 
     let steps = 24 * 3600;
     for s in 0..steps {
         let t = Seconds::new(s as f64);
-        let lux = config.profile.lux_at(t).as_lux();
-        let i = array.charging_current(lux, cap.voltage(), |_| 0.0);
+        let lux = config.profile.lux_at(t);
+        let i = array.charging_current(lux, cap.voltage(), |_| Ratio::ZERO);
         harvested += (cap.voltage() * i) * dt;
         cap.step(dt, i, config.standby_power);
         min_voltage = min_voltage.min(cap.voltage());
@@ -261,12 +262,18 @@ mod tests {
 
     /// Representative eNAS-found energies on our simulated device.
     fn enas_gesture() -> (Energy, Energy) {
-        (Energy::from_micro_joules(1600.0), Energy::from_micro_joules(350.0))
+        (
+            Energy::from_micro_joules(1600.0),
+            Energy::from_micro_joules(350.0),
+        )
     }
 
     /// Representative µNAS energies (full-fidelity sensing, similar model).
     fn munas_gesture() -> (Energy, Energy) {
-        (Energy::from_micro_joules(2600.0), Energy::from_micro_joules(500.0))
+        (
+            Energy::from_micro_joules(2600.0),
+            Energy::from_micro_joules(500.0),
+        )
     }
 
     #[test]
@@ -276,7 +283,7 @@ mod tests {
         let solarml = EndToEndBudget::solarml(es, em, wait);
         let (bes, bem) = munas_gesture();
         let baseline = EndToEndBudget::ps_baseline(bes, bem, wait);
-        let saving = solarml.saving_vs(&baseline);
+        let saving = solarml.saving_vs(&baseline).get();
         // Paper: 27 % (digits) to 48 % (KWS) savings.
         assert!(
             (0.15..0.75).contains(&saving),
@@ -289,6 +296,7 @@ mod tests {
         let (es, em) = enas_gesture();
         let b = EndToEndBudget::solarml(es, em, Seconds::new(5.0));
         let (fe, _, _) = b.breakdown.fractions();
+        let fe = fe.get();
         assert!(fe < 0.2, "SolarML E_E fraction {fe:.2}");
     }
 
@@ -335,7 +343,10 @@ mod tests {
         assert_eq!(report.attempted, 10);
         assert_eq!(report.completed, 10);
         assert_eq!(report.rejected, 0);
-        assert!(report.harvested.as_joules() > 1.0, "daylight hours harvest joules");
+        assert!(
+            report.harvested.as_joules() > 1.0,
+            "daylight hours harvest joules"
+        );
     }
 
     #[test]

@@ -19,8 +19,11 @@ pub mod sota;
 pub mod streaming;
 
 pub use detectors::{solarml_detector_spec, DetectorSpec, REFERENCE_DETECTORS};
-pub use endtoend::{harvesting_time, simulate_day, DayProfile, DayReport, DaySimConfig, EndToEndBudget, HarvestScenario};
+pub use endtoend::{
+    harvesting_time, simulate_day, DayProfile, DayReport, DaySimConfig, EndToEndBudget,
+    HarvestScenario,
+};
 pub use lifecycle::{DutyCycleConfig, EnergyBreakdown, InteractionConfig, TaskProfile};
 pub use replay::{replay_gesture, GestureReplay, ReplayOutput};
-pub use streaming::{Detection, StreamingKws, StreamingKwsConfig, StreamingReport};
 pub use sota::{sota_systems, SotaSystem, WaitStrategy};
+pub use streaming::{Detection, StreamingKws, StreamingKwsConfig, StreamingReport};

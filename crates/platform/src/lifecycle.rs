@@ -17,10 +17,11 @@ use solarml_circuit::harvest::HarvestMode;
 use solarml_circuit::{CircuitSim, SimConfig};
 use solarml_dsp::{AudioFrontendParams, GestureSensingParams};
 use solarml_energy::device::{AudioSensingGround, GestureSensingGround, InferenceGround};
-use solarml_mcu::{AdcConfig, Mcu, McuPowerModel, PdmConfig, PowerState};
+use solarml_mcu::{AdcConfig, Mcu, McuPowerModel, PdmConfig, PowerState, TransitionError};
 use solarml_nn::ModelSpec;
 use solarml_trace::PowerTrace;
-use solarml_units::{Energy, Lux, Power, Seconds};
+use solarml_units::{Energy, Frequency, Lux, Power, Ratio, Seconds, Volts};
+use std::fmt;
 
 /// Which application drives the sampling/inference phases.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -116,13 +117,53 @@ impl EnergyBreakdown {
     }
 
     /// `(E_E, E_S, E_M)` as fractions of the total.
-    pub fn fractions(&self) -> (f64, f64, f64) {
+    pub fn fractions(&self) -> (Ratio, Ratio, Ratio) {
         let t = self.total().as_joules().max(1e-18);
         (
-            self.event.as_joules() / t,
-            self.sensing.as_joules() / t,
-            self.inference.as_joules() / t,
+            Ratio::new(self.event.as_joules() / t),
+            Ratio::new(self.sensing.as_joules() / t),
+            Ratio::new(self.inference.as_joules() / t),
         )
+    }
+}
+
+/// A lifecycle run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// An MCU power-state transition was illegal — the scenario drove the
+    /// state machine into a corner (a configuration bug, not a physics one).
+    Transition(TransitionError),
+    /// The event detector never connected the MCU rail within the scenario
+    /// window (e.g. a lockout condition or a hover outside the trace).
+    DetectorNeverTriggered,
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Transition(e) => write!(f, "lifecycle run failed: {e}"),
+            Self::DetectorNeverTriggered => {
+                write!(
+                    f,
+                    "event detector never connected the MCU within the scenario"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Transition(e) => Some(e),
+            Self::DetectorNeverTriggered => None,
+        }
+    }
+}
+
+impl From<TransitionError> for LifecycleError {
+    fn from(e: TransitionError) -> Self {
+        Self::Transition(e)
     }
 }
 
@@ -136,34 +177,46 @@ pub struct DutyCycleConfig {
     /// MCU power model.
     pub mcu: McuPowerModel,
     /// Trace sample rate (the simulated power analyzer).
-    pub trace_rate_hz: f64,
+    pub trace_rate: Frequency,
 }
 
 impl DutyCycleConfig {
     /// Runs the duty cycle, returning the labelled trace and breakdown.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics only on internal state-machine misuse (a bug).
-    pub fn run(&self) -> (PowerTrace, EnergyBreakdown) {
+    /// Returns [`LifecycleError::Transition`] if the scripted state sequence
+    /// is illegal for the MCU state machine (a configuration bug).
+    pub fn run(&self) -> Result<(PowerTrace, EnergyBreakdown), LifecycleError> {
         let mut mcu = Mcu::new(self.mcu);
-        let mut trace = PowerTrace::with_sample_rate(self.trace_rate_hz);
-        let dt = Seconds::new(1.0 / self.trace_rate_hz);
+        let mut trace = PowerTrace::with_sample_rate(self.trace_rate);
+        let dt = self.trace_rate.period();
 
-        mcu.power_on().expect("mcu starts off");
+        mcu.power_on()?;
         // Treat the initial boot as part of event overhead, then sleep.
-        advance(&mut mcu, &mut trace, "wake", self.mcu.cold_boot_duration, dt);
-        mcu.enter(PowerState::DeepSleep).expect("boot done");
+        advance(
+            &mut mcu,
+            &mut trace,
+            "wake",
+            self.mcu.cold_boot_duration,
+            dt,
+        );
+        mcu.enter(PowerState::DeepSleep)?;
         advance(&mut mcu, &mut trace, "sleep", self.sleep, dt);
         // Wake for sampling.
-        mcu.enter(PowerState::Tickless).expect("sleeping");
+        mcu.enter(PowerState::Tickless)?;
         advance(&mut mcu, &mut trace, "wake", self.mcu.wake_duration, dt);
         // Now in tickless; use task sampling power.
-        mcu.begin_sampling(self.task.sampling_power(&self.mcu))
-            .expect("tickless reachable");
-        advance(&mut mcu, &mut trace, "sampling", self.task.sampling_duration(), dt);
+        mcu.begin_sampling(self.task.sampling_power(&self.mcu))?;
+        advance(
+            &mut mcu,
+            &mut trace,
+            "sampling",
+            self.task.sampling_duration(),
+            dt,
+        );
         // Preprocessing compute.
-        mcu.enter(PowerState::Active).expect("sampling done");
+        mcu.enter(PowerState::Active)?;
         advance(
             &mut mcu,
             &mut trace,
@@ -179,19 +232,19 @@ impl DutyCycleConfig {
             self.task.inference_duration(&self.mcu),
             dt,
         );
-        mcu.enter(PowerState::DeepSleep).expect("inference done");
+        mcu.enter(PowerState::DeepSleep)?;
 
         let event = trace.labelled_energy("sleep") + trace.labelled_energy("wake");
         let sensing = trace.labelled_energy("sampling") + trace.labelled_energy("processing");
         let inference = trace.labelled_energy("inference");
-        (
+        Ok((
             trace,
             EnergyBreakdown {
                 event,
                 sensing,
                 inference,
             },
-        )
+        ))
     }
 }
 
@@ -223,7 +276,7 @@ pub struct InteractionConfig {
     /// MCU power model.
     pub mcu: McuPowerModel,
     /// Trace sample rate.
-    pub trace_rate_hz: f64,
+    pub trace_rate: Frequency,
 }
 
 impl InteractionConfig {
@@ -237,7 +290,7 @@ impl InteractionConfig {
             second_interaction: false,
             task,
             mcu: McuPowerModel::default(),
-            trace_rate_hz: 1000.0,
+            trace_rate: Frequency::new(1000.0),
         }
     }
 
@@ -245,12 +298,14 @@ impl InteractionConfig {
     /// labelled platform power trace (detector + MCU + sensing dividers)
     /// and the breakdown.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the event detector never connects the MCU (e.g. lockout
-    /// conditions) — a misconfigured scenario.
-    pub fn run(&self) -> (PowerTrace, EnergyBreakdown) {
-        let dt = Seconds::new(1.0 / self.trace_rate_hz);
+    /// Returns [`LifecycleError::DetectorNeverTriggered`] if the event
+    /// detector never connects the MCU (e.g. lockout conditions), or
+    /// [`LifecycleError::Transition`] on an illegal MCU state sequence —
+    /// both indicate a misconfigured scenario.
+    pub fn run(&self) -> Result<(PowerTrace, EnergyBreakdown), LifecycleError> {
+        let dt = self.trace_rate.period();
         let hovers = HoverSchedule::interaction(self.wait_before, self.gesture);
         let env = LightEnvironment::with_hovers(self.ambient, hovers);
         let mut sim = CircuitSim::new(
@@ -261,35 +316,39 @@ impl InteractionConfig {
             env,
         );
         let mut mcu = Mcu::new(self.mcu);
-        let mut trace = PowerTrace::with_sample_rate(self.trace_rate_hz);
+        let mut trace = PowerTrace::with_sample_rate(self.trace_rate);
 
         // Phase: off, waiting for the event.
         trace.begin_segment("off");
         let mut connected_at: Option<Seconds> = None;
         let deadline = self.wait_before + Seconds::new(1.0);
         while sim.time() < deadline {
-            let step = sim.step(mcu.power(), hold_voltage(&mcu), |_| 0.0);
+            let step = sim.step(mcu.power(), hold_voltage(&mcu), |_| Ratio::ZERO);
             trace.push(step.load_power);
             if step.detector.mcu_connected {
                 connected_at = Some(step.time);
                 break;
             }
         }
-        let connected_at = connected_at.expect("detector must trigger within the scenario");
-        let _ = connected_at;
+        let _connected_at = connected_at.ok_or(LifecycleError::DetectorNeverTriggered)?;
 
         // Phase: boot (the MCU rail just connected; MCU asserts hold).
-        mcu.power_on().expect("mcu was off");
+        mcu.power_on()?;
         trace.begin_segment("wake");
-        run_span(&mut sim, &mut mcu, &mut trace, self.mcu.cold_boot_duration, dt);
+        run_span(
+            &mut sim,
+            &mut mcu,
+            &mut trace,
+            self.mcu.cold_boot_duration,
+            dt,
+        );
 
         // Phase: sampling. For gestures the platform samples until the
         // *end-of-gesture hover* drops the V5 sense tap (§III-B2 function
         // iii) — the duration is emergent, not scripted — with a timeout at
         // twice the nominal window. KWS captures a fixed-length clip.
         sim.set_mode(HarvestMode::Sensing);
-        mcu.begin_sampling(self.task.sampling_power(&self.mcu))
-            .expect("boot finished");
+        mcu.begin_sampling(self.task.sampling_power(&self.mcu))?;
         trace.begin_segment("sampling");
         match &self.task {
             TaskProfile::Gesture { .. } => {
@@ -299,7 +358,7 @@ impl InteractionConfig {
                 // released), then drop again.
                 let mut armed = false;
                 while elapsed < timeout {
-                    let step = sim.step(mcu.power(), hold_voltage(&mcu), |_| 0.0);
+                    let step = sim.step(mcu.power(), hold_voltage(&mcu), |_| Ratio::ZERO);
                     trace.push(step.load_power);
                     mcu.advance(dt);
                     elapsed += dt;
@@ -313,13 +372,19 @@ impl InteractionConfig {
                 }
             }
             TaskProfile::Kws { .. } => {
-                run_span(&mut sim, &mut mcu, &mut trace, self.task.sampling_duration(), dt);
+                run_span(
+                    &mut sim,
+                    &mut mcu,
+                    &mut trace,
+                    self.task.sampling_duration(),
+                    dt,
+                );
             }
         }
         sim.set_mode(HarvestMode::Harvesting);
 
         // Phase: preprocessing + inference.
-        mcu.enter(PowerState::Active).expect("sampling done");
+        mcu.enter(PowerState::Active)?;
         trace.begin_segment("processing");
         run_span(
             &mut sim,
@@ -338,22 +403,27 @@ impl InteractionConfig {
         );
 
         // Phase: standby window (config retained in RAM).
-        mcu.enter(PowerState::Standby).expect("inference done");
+        mcu.enter(PowerState::Standby)?;
         trace.begin_segment("standby");
         run_span(&mut sim, &mut mcu, &mut trace, self.standby_window, dt);
 
         if self.second_interaction {
             // Resume: warm wake, sample, infer again.
-            mcu.enter(PowerState::Tickless).expect("standby");
+            mcu.enter(PowerState::Tickless)?;
             trace.begin_segment("wake");
             run_span(&mut sim, &mut mcu, &mut trace, self.mcu.wake_duration, dt);
-            mcu.begin_sampling(self.task.sampling_power(&self.mcu))
-                .expect("woken");
+            mcu.begin_sampling(self.task.sampling_power(&self.mcu))?;
             sim.set_mode(HarvestMode::Sensing);
             trace.begin_segment("sampling");
-            run_span(&mut sim, &mut mcu, &mut trace, self.task.sampling_duration(), dt);
+            run_span(
+                &mut sim,
+                &mut mcu,
+                &mut trace,
+                self.task.sampling_duration(),
+                dt,
+            );
             sim.set_mode(HarvestMode::Harvesting);
-            mcu.enter(PowerState::Active).expect("sampled");
+            mcu.enter(PowerState::Active)?;
             trace.begin_segment("inference");
             run_span(
                 &mut sim,
@@ -374,23 +444,23 @@ impl InteractionConfig {
             + trace.labelled_energy("standby");
         let sensing = trace.labelled_energy("sampling") + trace.labelled_energy("processing");
         let inference = trace.labelled_energy("inference");
-        (
+        Ok((
             trace,
             EnergyBreakdown {
                 event,
                 sensing,
                 inference,
             },
-        )
+        ))
     }
 }
 
-fn hold_voltage(mcu: &Mcu) -> f64 {
+fn hold_voltage(mcu: &Mcu) -> Volts {
     // The MCU holds V4 high whenever it is running (not off).
     if matches!(mcu.state(), PowerState::Off) {
-        0.0
+        Volts::ZERO
     } else {
-        3.3
+        Volts::new(3.3)
     }
 }
 
@@ -403,7 +473,7 @@ fn run_span(
 ) {
     let steps = (span.as_seconds() / dt.as_seconds()).round().max(0.0) as usize;
     for _ in 0..steps {
-        let step = sim.step(mcu.power(), hold_voltage(mcu), |_| 0.0);
+        let step = sim.step(mcu.power(), hold_voltage(mcu), |_| Ratio::ZERO);
         trace.push(step.load_power);
         mcu.advance(dt);
     }
@@ -461,10 +531,12 @@ mod tests {
             sleep: Seconds::from_minutes(1.0),
             task: gesture_task(),
             mcu: McuPowerModel::default(),
-            trace_rate_hz: 1000.0,
+            trace_rate: Frequency::new(1000.0),
         }
-        .run();
+        .run()
+        .expect("duty cycle runs");
         let (fe, fs, fm) = gesture.fractions();
+        let (fe, fs, fm) = (fe.get(), fs.get(), fm.get());
         assert!((0.2..0.55).contains(&fe), "gesture E_E fraction {fe:.2}");
         assert!((0.3..0.65).contains(&fs), "gesture E_S fraction {fs:.2}");
         assert!(fm < 0.3, "gesture E_M fraction {fm:.2}");
@@ -473,10 +545,12 @@ mod tests {
             sleep: Seconds::from_minutes(1.0),
             task: kws_task(),
             mcu: McuPowerModel::default(),
-            trace_rate_hz: 1000.0,
+            trace_rate: Frequency::new(1000.0),
         }
-        .run();
+        .run()
+        .expect("duty cycle runs");
         let (ke, ks, km) = kws.fractions();
+        let (ke, ks, km) = (ke.get(), ks.get(), km.get());
         assert!((0.15..0.5).contains(&ke), "kws E_E fraction {ke:.2}");
         assert!((0.35..0.7).contains(&ks), "kws E_S fraction {ks:.2}");
         assert!(km < 0.3, "kws E_M fraction {km:.2}");
@@ -490,9 +564,10 @@ mod tests {
             sleep: Seconds::new(2.0),
             task: gesture_task(),
             mcu: McuPowerModel::default(),
-            trace_rate_hz: 500.0,
+            trace_rate: Frequency::new(500.0),
         }
-        .run();
+        .run()
+        .expect("duty cycle runs");
         for label in ["sleep", "wake", "sampling", "processing", "inference"] {
             assert!(
                 trace.segment_energy(label).is_some(),
@@ -504,7 +579,7 @@ mod tests {
     #[test]
     fn fig6_interaction_runs_and_breaks_down() {
         let config = InteractionConfig::standard(gesture_task());
-        let (trace, breakdown) = config.run();
+        let (trace, breakdown) = config.run().expect("interaction runs");
         assert!(breakdown.total().as_micro_joules() > 0.0);
         // Event-driven: waiting costs only the detector's microwatts, so
         // E_E (including 5 s of off-wait + standby) stays below E_S.
@@ -526,7 +601,7 @@ mod tests {
             gesture: Seconds::new(1.0),
             ..InteractionConfig::standard(gesture_task())
         };
-        let (trace, _) = config.run();
+        let (trace, _) = config.run().expect("interaction runs");
         let sampling = trace
             .summarize_segment("sampling")
             .expect("sampling segment exists");
@@ -539,12 +614,16 @@ mod tests {
 
     #[test]
     fn second_interaction_adds_energy() {
-        let once = InteractionConfig::standard(gesture_task()).run().1;
+        let once = InteractionConfig::standard(gesture_task())
+            .run()
+            .expect("runs")
+            .1;
         let twice = InteractionConfig {
             second_interaction: true,
             ..InteractionConfig::standard(gesture_task())
         }
         .run()
+        .expect("runs")
         .1;
         assert!(twice.total() > once.total());
         assert!(twice.inference > once.inference * 1.5);
@@ -558,10 +637,13 @@ mod tests {
             sleep: Seconds::new(5.0),
             task: gesture_task(),
             mcu: McuPowerModel::default(),
-            trace_rate_hz: 1000.0,
+            trace_rate: Frequency::new(1000.0),
         }
-        .run();
-        let (_, solar) = InteractionConfig::standard(gesture_task()).run();
+        .run()
+        .expect("duty cycle runs");
+        let (_, solar) = InteractionConfig::standard(gesture_task())
+            .run()
+            .expect("interaction runs");
         // Compare only the waiting part: duty sleeps at 45 µW for 5 s
         // (225 µJ) while SolarML's detector idles at ~2.4 µW (12 µJ); with
         // boot overheads SolarML stays well below.
@@ -575,8 +657,10 @@ mod tests {
 
     #[test]
     fn breakdown_fractions_sum_to_one() {
-        let (_, b) = InteractionConfig::standard(kws_task()).run();
+        let (_, b) = InteractionConfig::standard(kws_task())
+            .run()
+            .expect("interaction runs");
         let (e, s, m) = b.fractions();
-        assert!((e + s + m - 1.0).abs() < 1e-9);
+        assert!((e.get() + s.get() + m.get() - 1.0).abs() < 1e-9);
     }
 }

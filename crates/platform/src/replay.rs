@@ -13,7 +13,7 @@ use solarml_circuit::env::LightEnvironment;
 use solarml_circuit::harvest::{CellRole, HarvestMode};
 use solarml_circuit::{CircuitSim, SimConfig};
 use solarml_datasets::gesture::canonical_shading;
-use solarml_units::{Lux, Power, Seconds};
+use solarml_units::{Lux, Power, Ratio, Seconds, Volts};
 
 /// Configuration of an analog gesture replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,7 +63,10 @@ pub struct ReplayOutput {
 pub fn replay_gesture(config: &GestureReplay) -> ReplayOutput {
     assert!(config.digit <= 9, "digit must be 0..=9");
     assert!(config.rate_hz > 0.0, "rate must be positive");
-    assert!(config.duration.as_seconds() > 0.0, "duration must be positive");
+    assert!(
+        config.duration.as_seconds() > 0.0,
+        "duration must be positive"
+    );
 
     let dt = Seconds::new(1.0 / config.rate_hz);
     let mut sim = CircuitSim::new(
@@ -89,13 +92,15 @@ pub fn replay_gesture(config: &GestureReplay) -> ReplayOutput {
         };
         let field = canonical_shading(config.digit, t01, config.hand_radius);
         let grid = sensing_grid.clone();
-        let shading = move |cell: usize| -> f64 {
-            grid.iter()
-                .position(|&g| g == cell)
-                .map(|i| field[i])
-                .unwrap_or(0.0)
+        let shading = move |cell: usize| -> Ratio {
+            Ratio::new(
+                grid.iter()
+                    .position(|&g| g == cell)
+                    .map(|i| field[i])
+                    .unwrap_or(0.0),
+            )
         };
-        let step = sim.step(Power::ZERO, 3.3, shading);
+        let step = sim.step(Power::ZERO, Volts::new(3.3), shading);
         for (c, tap) in step.sensing_taps.iter().enumerate() {
             channels[c].push(tap.as_volts() as f32);
         }
@@ -105,11 +110,13 @@ pub fn replay_gesture(config: &GestureReplay) -> ReplayOutput {
     // SimStep folds it into load_power).
     let field = canonical_shading(config.digit, 0.5, config.hand_radius);
     let grid = sensing_grid.clone();
-    let sensing_power = sim.array().sensing_power(config.ambient.as_lux(), move |cell| {
-        grid.iter()
-            .position(|&g| g == cell)
-            .map(|i| field[i])
-            .unwrap_or(0.0)
+    let sensing_power = sim.array().sensing_power(config.ambient, move |cell| {
+        Ratio::new(
+            grid.iter()
+                .position(|&g| g == cell)
+                .map(|i| field[i])
+                .unwrap_or(0.0),
+        )
     });
 
     ReplayOutput {
@@ -140,7 +147,10 @@ mod tests {
         let max = mid.iter().copied().fold(f32::MIN, f32::max);
         let min = mid.iter().copied().fold(f32::MAX, f32::min);
         assert!(max > 0.3, "lit tap voltage should be sizeable, max={max}");
-        assert!(min < 0.5 * max, "shadow must dip the tap: min={min}, max={max}");
+        assert!(
+            min < 0.5 * max,
+            "shadow must dip the tap: min={min}, max={max}"
+        );
     }
 
     #[test]

@@ -209,6 +209,7 @@ mod tests {
         let wait = Seconds::new(3.0);
         for sys in &systems[..2] {
             let (fe, _, _) = sys.breakdown(wait).fractions();
+            let fe = fe.get();
             assert!(fe > 0.5, "{}: E_E fraction {fe:.2}", sys.name);
         }
     }
@@ -221,7 +222,12 @@ mod tests {
         let wait = Seconds::new(3.0);
         for sys in &systems[2..4] {
             let (fe, _, _) = sys.breakdown(wait).fractions();
-            assert!((0.05..0.4).contains(&fe), "{}: E_E fraction {fe:.2}", sys.name);
+            let fe = fe.get();
+            assert!(
+                (0.05..0.4).contains(&fe),
+                "{}: E_E fraction {fe:.2}",
+                sys.name
+            );
         }
     }
 
@@ -235,6 +241,7 @@ mod tests {
         for sys in &systems[4..] {
             let b = sys.breakdown(wait);
             let (_, fs, fm) = b.fractions();
+            let (fs, fm) = (fs.get(), fm.get());
             assert!(fs > fm, "{}: sensing must dominate inference", sys.name);
             assert!(fm < 0.35, "{}: E_M fraction {fm:.2}", sys.name);
         }

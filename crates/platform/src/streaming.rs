@@ -91,8 +91,14 @@ impl StreamingKws {
     ///
     /// Panics if the configuration is degenerate (zero hop or window).
     pub fn new(model: Model, config: StreamingKwsConfig) -> Self {
-        assert!(config.window_ms > 0 && config.hop_ms > 0, "degenerate windowing");
-        assert!(config.smoothing_windows > 0, "need at least one smoothing window");
+        assert!(
+            config.window_ms > 0 && config.hop_ms > 0,
+            "degenerate windowing"
+        );
+        assert!(
+            config.smoothing_windows > 0,
+            "need at least one smoothing window"
+        );
         let extractor = MfccExtractor::new(config.frontend, config.sample_rate);
         Self {
             model,
@@ -126,8 +132,7 @@ impl StreamingKws {
             windows += 1;
             let slice = &stream[start..start + window];
             let t = start as f64 / cfg.sample_rate;
-            let rms =
-                (slice.iter().map(|s| s * s).sum::<f32>() / window as f32).sqrt();
+            let rms = (slice.iter().map(|s| s * s).sum::<f32>() / window as f32).sqrt();
             if rms < cfg.min_rms {
                 gated += 1;
                 posterior_history.clear();
@@ -138,8 +143,7 @@ impl StreamingKws {
                 let mut flat: Vec<f32> = feats.into_iter().flatten().collect();
                 // Same per-clip standardization as the training pipeline.
                 let mean = flat.iter().sum::<f32>() / flat.len() as f32;
-                let var =
-                    flat.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / flat.len() as f32;
+                let var = flat.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / flat.len() as f32;
                 let std = var.sqrt().max(1e-6);
                 for v in flat.iter_mut() {
                     *v = (*v - mean) / std;
@@ -159,18 +163,19 @@ impl StreamingKws {
                                 / cfg.smoothing_windows as f32
                         })
                         .collect();
-                    let (class, &confidence) = smoothed
+                    let (class, confidence) = smoothed
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                        .expect("non-empty posterior");
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(c, &v)| (c, v))
+                        .unwrap_or((0, 0.0));
                     // Partial-overlap windows produce confident nonsense, but
                     // rarely the *same* nonsense twice: require every window
                     // in the smoothing history to agree on the argmax.
                     let stable = posterior_history.iter().all(|p| {
                         p.iter()
                             .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                            .max_by(|a, b| a.1.total_cmp(b.1))
                             .map(|(c, _)| c == class)
                             .unwrap_or(false)
                     });
@@ -279,9 +284,9 @@ mod tests {
         );
         // Every detection is near a planted onset with the right label.
         for d in &report.detections {
-            let matched = truth.iter().any(|&(onset, label)| {
-                (d.at.as_seconds() - onset).abs() < 1.2 && d.class == label
-            });
+            let matched = truth
+                .iter()
+                .any(|&(onset, label)| (d.at.as_seconds() - onset).abs() < 1.2 && d.class == label);
             assert!(matched, "spurious detection {d:?} (truth: {truth:?})");
         }
     }

@@ -9,7 +9,7 @@
 //! cross-checked against them (see the integration tests).
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Energy, Power, Seconds};
+use solarml_units::{Energy, Frequency, Power, Seconds};
 
 use crate::trace::PowerTrace;
 
@@ -85,10 +85,7 @@ pub fn detect_phases(trace: &PowerTrace, threshold_db: f64, min_samples: usize) 
         .into_iter()
         .map(|(a, b)| {
             let n = b - a;
-            let energy: Energy = trace.powers()[a..b]
-                .iter()
-                .map(|&p| p * period)
-                .sum();
+            let energy: Energy = trace.powers()[a..b].iter().map(|&p| p * period).sum();
             let duration = period * n as f64;
             Phase {
                 start_index: a,
@@ -110,7 +107,7 @@ pub fn detect_phases(trace: &PowerTrace, threshold_db: f64, min_samples: usize) 
 /// Panics if `factor` is zero.
 pub fn downsample(trace: &PowerTrace, factor: usize) -> PowerTrace {
     assert!(factor > 0, "factor must be positive");
-    let new_rate = 1.0 / (trace.sample_period().as_seconds() * factor as f64);
+    let new_rate = Frequency::new(1.0 / (trace.sample_period().as_seconds() * factor as f64));
     let mut out = PowerTrace::with_sample_rate(new_rate);
     for chunk in trace.powers().chunks(factor) {
         let mean = chunk.iter().map(|p| p.as_watts()).sum::<f64>() / chunk.len() as f64;
@@ -139,7 +136,7 @@ mod tests {
 
     fn staircase() -> PowerTrace {
         // 1 s at 10 µW, 0.5 s at 5 mW, 1 s at 100 µW @ 1 kHz.
-        let mut t = PowerTrace::with_sample_rate(1000.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(1000.0));
         for _ in 0..1000 {
             t.push(Power::from_micro_watts(10.0));
         }
@@ -177,7 +174,7 @@ mod tests {
 
     #[test]
     fn constant_trace_is_one_phase() {
-        let mut t = PowerTrace::with_sample_rate(100.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(100.0));
         for _ in 0..500 {
             t.push(Power::from_milli_watts(1.0));
         }
@@ -187,7 +184,7 @@ mod tests {
 
     #[test]
     fn glitches_are_merged() {
-        let mut t = PowerTrace::with_sample_rate(1000.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(1000.0));
         for _ in 0..500 {
             t.push(Power::from_micro_watts(10.0));
         }
@@ -205,7 +202,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty trace")]
     fn empty_trace_panics() {
-        let t = PowerTrace::with_sample_rate(100.0);
+        let t = PowerTrace::with_sample_rate(Frequency::new(100.0));
         let _ = detect_phases(&t, 3.0, 5);
     }
 

@@ -11,9 +11,9 @@
 //!
 //! ```
 //! use solarml_trace::PowerTrace;
-//! use solarml_units::{Power, Seconds};
+//! use solarml_units::{Frequency, Power};
 //!
-//! let mut trace = PowerTrace::with_sample_rate(1000.0);
+//! let mut trace = PowerTrace::with_sample_rate(Frequency::new(1000.0));
 //! trace.begin_segment("sleep");
 //! for _ in 0..100 {
 //!     trace.push(Power::from_micro_watts(2.0));
@@ -32,5 +32,7 @@ mod stats;
 mod trace;
 
 pub use analysis::{detect_phases, downsample, energy_between, Phase};
-pub use stats::{error_cdf, mean, mean_absolute_percent_error, median, percentile, r_squared, rmse, std_dev};
+pub use stats::{
+    error_cdf, mean, mean_absolute_percent_error, median, percentile, r_squared, rmse, std_dev,
+};
 pub use trace::{PowerTrace, Sample, Segment, SegmentSummary};

@@ -102,7 +102,7 @@ pub fn error_cdf(observed: &[f64], predicted: &[f64]) -> Vec<(f64, f64)> {
         .filter(|(o, _)| o.abs() > 1e-15)
         .map(|(o, p)| 100.0 * ((o - p) / o).abs())
         .collect();
-    errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    errors.sort_by(f64::total_cmp);
     let n = errors.len();
     errors
         .into_iter()
@@ -152,7 +152,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty sample");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

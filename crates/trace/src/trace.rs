@@ -1,7 +1,7 @@
 //! The [`PowerTrace`] recorder.
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Energy, Power, Seconds};
+use solarml_units::{Energy, Frequency, Power, Ratio, Seconds};
 
 /// One timestamped power sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,18 +50,19 @@ pub struct PowerTrace {
 }
 
 impl PowerTrace {
-    /// Creates a trace sampled at `rate_hz` samples per second.
+    /// Creates a trace sampled at `rate` samples per second.
     ///
     /// # Panics
     ///
-    /// Panics if `rate_hz` is not strictly positive and finite.
-    pub fn with_sample_rate(rate_hz: f64) -> Self {
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn with_sample_rate(rate: Frequency) -> Self {
+        let rate_hz = rate.as_hertz();
         assert!(
             rate_hz.is_finite() && rate_hz > 0.0,
-            "sample rate must be positive and finite, got {rate_hz}"
+            "sample rate must be positive and finite, got {rate_hz} Hz"
         );
         Self {
-            sample_period: Seconds::new(1.0 / rate_hz),
+            sample_period: rate.period(),
             powers: Vec::new(),
             segments: Vec::new(),
         }
@@ -117,10 +118,13 @@ impl PowerTrace {
     /// Iterates over `(timestamp, power)` samples.
     pub fn iter(&self) -> impl Iterator<Item = Sample> + '_ {
         let period = self.sample_period;
-        self.powers.iter().enumerate().map(move |(i, &power)| Sample {
-            at: period * i as f64,
-            power,
-        })
+        self.powers
+            .iter()
+            .enumerate()
+            .map(move |(i, &power)| Sample {
+                at: period * i as f64,
+                power,
+            })
     }
 
     /// The raw power samples.
@@ -185,12 +189,12 @@ impl PowerTrace {
     /// Fraction of total energy consumed by all segments with `label`.
     ///
     /// Returns zero for an empty trace.
-    pub fn energy_fraction(&self, label: &str) -> f64 {
+    pub fn energy_fraction(&self, label: &str) -> Ratio {
         let total = self.total_energy();
         if total.as_joules() <= 0.0 {
-            return 0.0;
+            return Ratio::ZERO;
         }
-        self.labelled_energy(label) / total
+        Ratio::new(self.labelled_energy(label) / total)
     }
 
     /// Renders the trace as CSV with `time_s,power_w,segment` columns.
@@ -201,7 +205,7 @@ impl PowerTrace {
         for (i, sample) in self.iter().enumerate() {
             while let Some(next) = seg_iter.peek() {
                 if next.start_index <= i {
-                    current = Some(seg_iter.next().expect("peeked segment exists"));
+                    current = seg_iter.next();
                 } else {
                     break;
                 }
@@ -221,20 +225,20 @@ impl PowerTrace {
     }
 
     /// Parses a trace from the CSV format produced by [`PowerTrace::to_csv`]
-    /// (`time_s,power_w,segment`). Sample timing is taken from `rate_hz`;
+    /// (`time_s,power_w,segment`). Sample timing is taken from `rate`;
     /// the time column is ignored beyond ordering. Consecutive rows with the
     /// same non-empty segment label are grouped into segments.
     ///
     /// # Errors
     ///
     /// Returns a message naming the offending line on malformed input.
-    pub fn from_csv(csv: &str, rate_hz: f64) -> Result<Self, String> {
+    pub fn from_csv(csv: &str, rate: Frequency) -> Result<Self, String> {
         let mut lines = csv.lines();
         match lines.next() {
             Some(header) if header.trim() == "time_s,power_w,segment" => {}
             other => return Err(format!("unexpected header: {other:?}")),
         }
-        let mut trace = PowerTrace::with_sample_rate(rate_hz);
+        let mut trace = PowerTrace::with_sample_rate(rate);
         let mut current_label: Option<String> = None;
         for (i, line) in lines.enumerate() {
             if line.trim().is_empty() {
@@ -299,7 +303,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn trace_with(rate: f64, powers: &[f64]) -> PowerTrace {
-        let mut t = PowerTrace::with_sample_rate(rate);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(rate));
         for &p in powers {
             t.push(Power::new(p));
         }
@@ -315,7 +319,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_zero() {
-        let t = PowerTrace::with_sample_rate(100.0);
+        let t = PowerTrace::with_sample_rate(Frequency::new(100.0));
         assert!(t.is_empty());
         assert_eq!(t.total_energy(), Energy::ZERO);
         assert_eq!(t.average_power(), Power::ZERO);
@@ -325,12 +329,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "sample rate must be positive")]
     fn zero_rate_panics() {
-        let _ = PowerTrace::with_sample_rate(0.0);
+        let _ = PowerTrace::with_sample_rate(Frequency::new(0.0));
     }
 
     #[test]
     fn segments_partition_energy() {
-        let mut t = PowerTrace::with_sample_rate(100.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(100.0));
         t.begin_segment("a");
         for _ in 0..50 {
             t.push(Power::from_milli_watts(10.0));
@@ -349,7 +353,7 @@ mod tests {
 
     #[test]
     fn labelled_energy_sums_repeats() {
-        let mut t = PowerTrace::with_sample_rate(10.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(10.0));
         for _ in 0..3 {
             t.begin_segment("standby");
             t.push(Power::new(1.0));
@@ -368,20 +372,20 @@ mod tests {
 
     #[test]
     fn energy_fraction_sums_to_one_over_labels() {
-        let mut t = PowerTrace::with_sample_rate(10.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(10.0));
         t.begin_segment("x");
         t.push(Power::new(3.0));
         t.begin_segment("y");
         t.push(Power::new(1.0));
-        let fx = t.energy_fraction("x");
-        let fy = t.energy_fraction("y");
+        let fx = t.energy_fraction("x").get();
+        let fy = t.energy_fraction("y").get();
         assert!((fx - 0.75).abs() < 1e-12);
         assert!((fx + fy - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn summaries_report_duration_and_peak() {
-        let mut t = PowerTrace::with_sample_rate(1000.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(1000.0));
         t.begin_segment("burst");
         t.push(Power::from_milli_watts(1.0));
         t.push(Power::from_milli_watts(9.0));
@@ -393,7 +397,7 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let mut t = PowerTrace::with_sample_rate(10.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(10.0));
         t.begin_segment("s");
         t.push(Power::new(0.5));
         let csv = t.to_csv();
@@ -405,7 +409,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip_preserves_powers_and_labels() {
-        let mut t = PowerTrace::with_sample_rate(100.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(100.0));
         t.push(Power::new(0.25)); // unlabelled lead-in
         t.begin_segment("sleep");
         for _ in 0..5 {
@@ -416,7 +420,7 @@ mod tests {
             t.push(Power::from_milli_watts(20.0));
         }
         let csv = t.to_csv();
-        let back = PowerTrace::from_csv(&csv, 100.0).expect("well-formed");
+        let back = PowerTrace::from_csv(&csv, Frequency::new(100.0)).expect("well-formed");
         assert_eq!(back.len(), t.len());
         for (a, b) in t.powers().iter().zip(back.powers()) {
             assert!((a.as_watts() - b.as_watts()).abs() < 1e-12);
@@ -429,23 +433,23 @@ mod tests {
 
     #[test]
     fn from_csv_rejects_malformed_input() {
-        assert!(PowerTrace::from_csv("bogus\n", 10.0).is_err());
+        assert!(PowerTrace::from_csv("bogus\n", Frequency::new(10.0)).is_err());
         let bad_power = "time_s,power_w,segment\n0.0,notanumber,x\n";
-        let err = PowerTrace::from_csv(bad_power, 10.0).expect_err("bad power");
+        let err = PowerTrace::from_csv(bad_power, Frequency::new(10.0)).expect_err("bad power");
         assert!(err.contains("line 2"));
     }
 
     #[test]
     fn from_csv_separates_trailing_unlabelled_rows() {
         let csv = "time_s,power_w,segment\n0.0,1.0,work\n0.1,1.0,work\n0.2,5.0,\n";
-        let t = PowerTrace::from_csv(csv, 10.0).expect("well-formed");
+        let t = PowerTrace::from_csv(csv, Frequency::new(10.0)).expect("well-formed");
         // The 5 W row must not be billed to "work".
         assert!((t.labelled_energy("work").as_joules() - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn empty_segment_summarizes_to_zero() {
-        let mut t = PowerTrace::with_sample_rate(10.0);
+        let mut t = PowerTrace::with_sample_rate(Frequency::new(10.0));
         t.begin_segment("empty");
         t.begin_segment("full");
         t.push(Power::new(1.0));
@@ -461,7 +465,7 @@ mod tests {
             cut in 0usize..200,
         ) {
             let cut = cut.min(powers.len());
-            let mut t = PowerTrace::with_sample_rate(50.0);
+            let mut t = PowerTrace::with_sample_rate(Frequency::new(50.0));
             t.begin_segment("head");
             for &p in &powers[..cut] {
                 t.push(Power::new(p));

@@ -28,7 +28,7 @@ const PREFIXES: &[(f64, &str)] = &[
 impl fmt::Display for SiValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let v = self.0;
-        if v == 0.0 {
+        if matches!(v.classify(), std::num::FpCategory::Zero) {
             return write!(f, "0.00 ");
         }
         if !v.is_finite() {
@@ -39,7 +39,8 @@ impl fmt::Display for SiValue {
             .iter()
             .find(|(s, _)| mag >= *s)
             .copied()
-            .unwrap_or(*PREFIXES.last().expect("prefix table is non-empty"));
+            // Sub-pico magnitudes clamp to the table floor.
+            .unwrap_or((1e-12, "p"));
         let scaled = v / scale;
         // Three significant digits.
         let digits = if scaled.abs() >= 100.0 {

@@ -1,0 +1,75 @@
+//! Errors from the checked quantity constructors.
+
+use std::fmt;
+
+/// Rejection reasons from `try_new` / `try_fraction`.
+///
+/// Carries the quantity name and the offending value so the message alone
+/// pins down the bad call site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitError {
+    /// The value was NaN (or otherwise not usable as a physical value).
+    NotFinite {
+        /// Name of the quantity type being constructed.
+        quantity: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The value was negative but the quantity is physically non-negative.
+    Negative {
+        /// Name of the quantity type being constructed.
+        quantity: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The value fell outside the required interval (e.g. a fraction
+    /// outside `[0, 1]`).
+    OutOfRange {
+        /// Name of the quantity type being constructed.
+        quantity: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            UnitError::NotFinite { quantity, value } => {
+                write!(f, "{quantity}: value {value} is not a number")
+            }
+            UnitError::Negative { quantity, value } => {
+                write!(f, "{quantity}: value {value} is negative but the quantity is physically non-negative")
+            }
+            UnitError::OutOfRange {
+                quantity,
+                value,
+                lo,
+                hi,
+            } => {
+                write!(f, "{quantity}: value {value} is outside [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_quantity() {
+        let e = UnitError::Negative {
+            quantity: "Capacitance",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("Capacitance"));
+        assert!(e.to_string().contains("-1"));
+    }
+}

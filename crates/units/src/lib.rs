@@ -19,12 +19,14 @@
 //! ```
 
 mod display;
+mod error;
 mod quantities;
 
 pub use display::SiValue;
+pub use error::UnitError;
 pub use quantities::{
-    Amps, Capacitance, Charge, Energy, Farads, Frequency, Hertz, Joules, Lux, Ohms, Power,
-    Resistance, Seconds, Volts, Watts,
+    Amps, Capacitance, Charge, Cycles, Energy, Farads, Frequency, Hertz, Joules, Lux, Ohms, Power,
+    Ratio, Resistance, Seconds, Volts, Watts,
 };
 
 #[cfg(test)]

@@ -7,11 +7,23 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 use crate::display::SiValue;
+use crate::error::UnitError;
 
 /// Defines a quantity newtype with the shared boilerplate: constructors,
 /// accessors, same-type arithmetic, scalar scaling, ordering helpers.
+///
+/// The trailing `nonneg` marker declares the quantity physically
+/// non-negative: its `try_new` rejects values below zero (a capacitance or
+/// an illuminance below zero has no meaning; a signed power or current
+/// does — it is just flow in the other direction).
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit:literal, $base_new:ident, $base_get:ident) => {
+        quantity!(@impl $(#[$meta])* $name, $unit, $base_new, $base_get, f64::NEG_INFINITY);
+    };
+    ($(#[$meta:meta])* $name:ident, $unit:literal, $base_new:ident, $base_get:ident, nonneg) => {
+        quantity!(@impl $(#[$meta])* $name, $unit, $base_new, $base_get, 0.0);
+    };
+    (@impl $(#[$meta:meta])* $name:ident, $unit:literal, $base_new:ident, $base_get:ident, $min:expr) => {
         $(#[$meta])*
         #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
         #[serde(transparent)]
@@ -22,15 +34,42 @@ macro_rules! quantity {
             pub const ZERO: Self = Self(0.0);
 
             /// Creates the quantity from a value in base SI units.
+            ///
+            /// Debug builds reject NaN here — a NaN quantity is always an
+            /// upstream bug, and catching it at construction pins the blame
+            /// to the right call site instead of a downstream comparison.
             #[inline]
             pub const fn new(value: f64) -> Self {
+                debug_assert!(
+                    !value.is_nan(),
+                    concat!(stringify!($name), "::new called with NaN")
+                );
                 Self(value)
+            }
+
+            /// Checked constructor: rejects NaN always, and negative values
+            /// for physically non-negative quantities.
+            #[inline]
+            pub fn try_new(value: f64) -> Result<Self, UnitError> {
+                if value.is_nan() {
+                    Err(UnitError::NotFinite {
+                        quantity: stringify!($name),
+                        value,
+                    })
+                } else if value < $min {
+                    Err(UnitError::Negative {
+                        quantity: stringify!($name),
+                        value,
+                    })
+                } else {
+                    Ok(Self(value))
+                }
             }
 
             /// Creates the quantity from a value in base SI units.
             #[inline]
             pub const fn $base_new(value: f64) -> Self {
-                Self(value)
+                Self::new(value)
             }
 
             /// Returns the value in base SI units.
@@ -138,6 +177,22 @@ macro_rules! quantity {
             }
         }
 
+        impl Mul<Ratio> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Ratio) -> Self {
+                Self(self.0 * rhs.get())
+            }
+        }
+
+        impl Mul<$name> for Ratio {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self.get() * rhs.0)
+            }
+        }
+
         impl Div<$name> for $name {
             /// Dividing two like quantities yields a dimensionless ratio.
             type Output = f64;
@@ -186,21 +241,178 @@ quantity!(
     Charge, "C", from_coulombs, as_coulombs
 );
 quantity!(
-    /// A capacitance, stored in farads.
-    Capacitance, "F", from_farads, as_farads
+    /// A capacitance, stored in farads. Physically non-negative.
+    Capacitance, "F", from_farads, as_farads, nonneg
 );
 quantity!(
-    /// A resistance, stored in ohms.
-    Resistance, "Ω", from_ohms, as_ohms
+    /// A resistance, stored in ohms. Physically non-negative.
+    Resistance, "Ω", from_ohms, as_ohms, nonneg
 );
 quantity!(
-    /// A frequency, stored in hertz.
-    Frequency, "Hz", from_hertz, as_hertz
+    /// A frequency, stored in hertz. Physically non-negative.
+    Frequency, "Hz", from_hertz, as_hertz, nonneg
 );
 quantity!(
-    /// An illuminance, stored in lux.
-    Lux, "lx", from_lux, as_lux
+    /// An illuminance, stored in lux. Physically non-negative.
+    Lux, "lx", from_lux, as_lux, nonneg
 );
+quantity!(
+    /// A count of MCU clock cycles (may be fractional after scaling).
+    /// Physically non-negative.
+    Cycles, "cy", from_cycles, as_cycles, nonneg
+);
+
+/// A dimensionless ratio: shading factors, efficiencies, duty cycles,
+/// energy fractions.
+///
+/// Defined by hand rather than via `quantity!` because its arithmetic is
+/// different in kind: a ratio times a ratio is still a ratio, and every
+/// quantity may be scaled by one (`Power * Ratio -> Power`, generated in
+/// the `quantity!` macro).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero ratio.
+    pub const ZERO: Self = Self(0.0);
+    /// The unit ratio (no attenuation, 100 % efficiency, …).
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a ratio. Debug builds reject NaN.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        debug_assert!(!value.is_nan(), "Ratio::new called with NaN");
+        Self(value)
+    }
+
+    /// Checked constructor: rejects NaN.
+    #[inline]
+    pub fn try_new(value: f64) -> Result<Self, UnitError> {
+        if value.is_nan() {
+            Err(UnitError::NotFinite {
+                quantity: "Ratio",
+                value,
+            })
+        } else {
+            Ok(Self(value))
+        }
+    }
+
+    /// Creates a ratio that must lie in `[0, 1]` (a fraction: shading,
+    /// duty cycle, survival rate). Debug builds reject values outside.
+    #[inline]
+    pub fn fraction(value: f64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&value),
+            "Ratio::fraction called with a value outside [0, 1]"
+        );
+        Self(value)
+    }
+
+    /// Checked `[0, 1]` constructor.
+    #[inline]
+    pub fn try_fraction(value: f64) -> Result<Self, UnitError> {
+        if value.is_nan() {
+            Err(UnitError::NotFinite {
+                quantity: "Ratio",
+                value,
+            })
+        } else if !(0.0..=1.0).contains(&value) {
+            Err(UnitError::OutOfRange {
+                quantity: "Ratio",
+                value,
+                lo: 0.0,
+                hi: 1.0,
+            })
+        } else {
+            Ok(Self(value))
+        }
+    }
+
+    /// Returns the raw dimensionless value.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the raw dimensionless value (alias of [`Ratio::get`], for
+    /// symmetry with the other quantities).
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Clamps into `[0, 1]`.
+    #[inline]
+    pub fn clamp01(self) -> Self {
+        Self(self.0.clamp(0.0, 1.0))
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns `true` if the underlying value is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(self.0 * rhs.0)
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Mul<Ratio> for f64 {
+    type Output = Ratio;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio(self * rhs.0)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
 
 /// Alias: energy in joules.
 pub type Joules = Energy;
@@ -214,6 +426,19 @@ pub type Ohms = Resistance;
 pub type Hertz = Frequency;
 
 impl Energy {
+    /// Creates an energy from nanojoules (the natural scale for per-MAC
+    /// compute costs).
+    #[inline]
+    pub fn from_nano_joules(nj: f64) -> Self {
+        Self::new(nj * 1e-9)
+    }
+
+    /// Returns the energy in nanojoules.
+    #[inline]
+    pub fn as_nano_joules(self) -> f64 {
+        self.as_joules() * 1e9
+    }
+
     /// Creates an energy from millijoules.
     #[inline]
     pub fn from_milli_joules(mj: f64) -> Self {
@@ -446,6 +671,24 @@ impl Div<Volts> for Power {
     #[inline]
     fn div(self, rhs: Volts) -> Amps {
         Amps::new(self.as_watts() / rhs.as_volts())
+    }
+}
+
+impl Div<Frequency> for Cycles {
+    /// Cycles at a clock rate take `n / f` seconds.
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Frequency) -> Seconds {
+        Seconds::new(self.as_cycles() / rhs.as_hertz())
+    }
+}
+
+impl Mul<Seconds> for Frequency {
+    /// A clock running for a duration accumulates `f · t` cycles.
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Cycles {
+        Cycles::new(self.as_hertz() * rhs.as_seconds())
     }
 }
 

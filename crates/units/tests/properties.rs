@@ -1,0 +1,164 @@
+//! Property suites for the quantity newtypes: conversion round-trips,
+//! dimensional identities, and checked-constructor rejection.
+
+use proptest::prelude::*;
+use solarml_units::{
+    Amps, Capacitance, Cycles, Energy, Frequency, Lux, Power, Ratio, Resistance, Seconds,
+    UnitError, Volts,
+};
+
+/// Relative tolerance for one multiply/divide round-trip in f64.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    // ---- conversion round-trips -----------------------------------------
+
+    #[test]
+    fn energy_micro_joule_roundtrip(uj in -1e12f64..1e12) {
+        let e = Energy::from_micro_joules(uj);
+        prop_assert!(close(e.as_micro_joules(), uj));
+        prop_assert!(close(e.as_joules() * 1e6, uj));
+    }
+
+    #[test]
+    fn energy_milli_joule_roundtrip(mj in -1e9f64..1e9) {
+        let e = Energy::from_milli_joules(mj);
+        prop_assert!(close(e.as_milli_joules(), mj));
+        prop_assert!(close(e.as_joules() * 1e3, mj));
+    }
+
+    #[test]
+    fn energy_nano_joule_roundtrip(nj in -1e15f64..1e15) {
+        let e = Energy::from_nano_joules(nj);
+        prop_assert!(close(e.as_nano_joules(), nj));
+        // nJ -> J -> µJ -> mJ -> J chains stay consistent.
+        prop_assert!(close(e.as_micro_joules() * 1e3, nj));
+        prop_assert!(close(e.as_milli_joules() * 1e6, nj));
+    }
+
+    #[test]
+    fn power_and_current_scale_roundtrips(x in -1e9f64..1e9) {
+        prop_assert!(close(Power::from_micro_watts(x).as_micro_watts(), x));
+        prop_assert!(close(Power::from_milli_watts(x).as_milli_watts(), x));
+        prop_assert!(close(Amps::from_micro_amps(x).as_micro_amps(), x));
+        prop_assert!(close(Seconds::from_millis(x).as_millis(), x));
+    }
+
+    // ---- dimensional identities -----------------------------------------
+
+    #[test]
+    fn power_times_time_over_time_is_power(p in 1e-9f64..1e3, t in 1e-6f64..1e6) {
+        let e = Power::new(p) * Seconds::new(t);
+        let p2 = e / Seconds::new(t);
+        prop_assert!(close(p2.as_watts(), p));
+        // And the commuted product agrees.
+        let e2 = Seconds::new(t) * Power::new(p);
+        prop_assert!(close(e.as_joules(), e2.as_joules()));
+    }
+
+    #[test]
+    fn volts_amps_time_is_energy(v in 0.1f64..100.0, i in 1e-9f64..1.0, t in 1e-3f64..1e4) {
+        let e = (Volts::new(v) * Amps::new(i)) * Seconds::new(t);
+        prop_assert!(close(e.as_joules(), v * i * t));
+    }
+
+    #[test]
+    fn ohms_law_consistency(v in 0.1f64..100.0, r in 1.0f64..1e7) {
+        let i = Volts::new(v) / Resistance::new(r);
+        let back = i * Resistance::new(r);
+        prop_assert!(close(back.as_volts(), v));
+    }
+
+    #[test]
+    fn cycles_over_frequency_times_frequency(n in 1.0f64..1e9, f in 1e3f64..1e9) {
+        let t = Cycles::new(n) / Frequency::new(f);
+        let n2 = Frequency::new(f) * t;
+        prop_assert!(close(n2.as_cycles(), n));
+    }
+
+    #[test]
+    fn ratio_scaling_matches_raw_multiplication(p in 0.0f64..1e3, s in 0.0f64..1.0) {
+        let scaled = Power::new(p) * Ratio::fraction(s);
+        prop_assert!(close(scaled.as_watts(), p * s));
+        let commuted = Ratio::fraction(s) * Power::new(p);
+        prop_assert!(close(commuted.as_watts(), p * s));
+    }
+
+    #[test]
+    fn capacitor_energy_quadratic_in_voltage(c in 1e-6f64..10.0, v in 0.0f64..10.0) {
+        let e1 = Capacitance::new(c).stored_energy(Volts::new(v));
+        let e4 = Capacitance::new(c).stored_energy(Volts::new(2.0 * v));
+        prop_assert!(close(e4.as_joules(), 4.0 * e1.as_joules()));
+    }
+
+    // ---- checked-constructor rejection ----------------------------------
+
+    #[test]
+    fn try_new_accepts_physical_values(x in 0.0f64..1e12) {
+        prop_assert!(Capacitance::try_new(x).is_ok());
+        prop_assert!(Resistance::try_new(x).is_ok());
+        prop_assert!(Frequency::try_new(x).is_ok());
+        prop_assert!(Lux::try_new(x).is_ok());
+        prop_assert!(Cycles::try_new(x).is_ok());
+        // Signed quantities accept the negation too.
+        prop_assert!(Energy::try_new(-x).is_ok());
+        prop_assert!(Power::try_new(-x).is_ok());
+        prop_assert!(Amps::try_new(-x).is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_negative_physical_quantities(x in 1e-12f64..1e12) {
+        for res in [
+            Capacitance::try_new(-x).map(|_| ()),
+            Resistance::try_new(-x).map(|_| ()),
+            Frequency::try_new(-x).map(|_| ()),
+            Lux::try_new(-x).map(|_| ()),
+            Cycles::try_new(-x).map(|_| ()),
+        ] {
+            prop_assert!(matches!(res, Err(UnitError::Negative { .. })));
+        }
+    }
+
+    #[test]
+    fn try_fraction_rejects_outside_unit_interval(x in 1.0f64..1e6) {
+        prop_assert!(matches!(
+            Ratio::try_fraction(1.0 + x),
+            Err(UnitError::OutOfRange { .. })
+        ));
+        prop_assert!(matches!(
+            Ratio::try_fraction(-x),
+            Err(UnitError::OutOfRange { .. })
+        ));
+        prop_assert!(Ratio::try_fraction(x / (1.0 + x)).is_ok());
+    }
+}
+
+#[test]
+fn try_new_rejects_nan_everywhere() {
+    assert!(matches!(
+        Energy::try_new(f64::NAN),
+        Err(UnitError::NotFinite { .. })
+    ));
+    assert!(matches!(
+        Lux::try_new(f64::NAN),
+        Err(UnitError::NotFinite { .. })
+    ));
+    assert!(matches!(
+        Ratio::try_new(f64::NAN),
+        Err(UnitError::NotFinite { .. })
+    ));
+    assert!(matches!(
+        Ratio::try_fraction(f64::NAN),
+        Err(UnitError::NotFinite { .. })
+    ));
+}
+
+#[test]
+fn error_display_is_actionable() {
+    let err = Capacitance::try_new(-3.0).expect_err("negative capacitance");
+    let msg = err.to_string();
+    assert!(msg.contains("Capacitance"), "{msg}");
+    assert!(msg.contains("-3"), "{msg}");
+}

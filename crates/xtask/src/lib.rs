@@ -1,0 +1,84 @@
+//! Static-analysis passes behind `cargo xtask lint`.
+//!
+//! The SolarML workspace's headline claims are energy-accounting claims, and
+//! the classic failure modes of energy-accounting code are silent unit
+//! mix-ups (a µJ where a mJ was meant) and NaNs propagating through a
+//! transient step. `rustc` cannot see either: every physical quantity is an
+//! `f64` to the type system unless the code says otherwise. This crate is
+//! the "says otherwise" enforcement:
+//!
+//! * [`scan`] — the **physics lint**: a lexical scanner that rejects raw
+//!   `f64`/`f32` in public signatures of the physics crates (forcing
+//!   `solarml-units` newtypes), float `==`/`!=` against literals, and
+//!   `unwrap()`/`expect()` in non-test library code.
+//! * [`manifest`] — the **workspace lint gate**: every crate must opt into
+//!   the `[workspace.lints]` table so the curated clippy deny-set applies
+//!   tree-wide.
+//!
+//! The binary (`cargo xtask lint`) additionally shells out to
+//! `cargo fmt --check` and `cargo clippy` for the gates that need type
+//! information. See DESIGN.md §"Correctness tooling" for the allow-list
+//! format and escape hatches.
+
+pub mod manifest;
+pub mod scan;
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One finding from any lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File the finding is in, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// What rule fired.
+    pub kind: ViolationKind,
+    /// Human-readable context (the offending signature, token, …).
+    pub detail: String,
+}
+
+/// The rules the scanner and manifest gate enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A `pub fn` in a physics crate mentions raw `f64`/`f32`.
+    RawFloatSignature,
+    /// `==` or `!=` with a float literal operand.
+    FloatEq,
+    /// `.unwrap()` in non-test library code.
+    Unwrap,
+    /// `.expect(...)` in non-test library code.
+    Expect,
+    /// A crate manifest does not opt into `[workspace.lints]`.
+    MissingLintsTable,
+    /// The root manifest lacks the `[workspace.lints.clippy]` deny-set.
+    MissingWorkspaceLints,
+}
+
+impl ViolationKind {
+    /// Short rule name used in reports and allow-list docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::RawFloatSignature => "raw-float-signature",
+            ViolationKind::FloatEq => "float-eq",
+            ViolationKind::Unwrap => "unwrap",
+            ViolationKind::Expect => "expect",
+            ViolationKind::MissingLintsTable => "missing-lints-table",
+            ViolationKind::MissingWorkspaceLints => "missing-workspace-lints",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.kind.name(),
+            self.detail
+        )
+    }
+}

@@ -1,0 +1,149 @@
+//! `cargo xtask lint` — the workspace's static-analysis driver.
+//!
+//! Passes, in order:
+//! 1. physics lint (lexical scan; see [`xtask::scan`])
+//! 2. manifest gate ([`xtask::manifest`])
+//! 3. `cargo fmt --check` (skipped with `--fast`)
+//! 4. `cargo clippy --workspace` with the `[workspace.lints]` deny-set
+//!    (skipped with `--fast`)
+//!
+//! Exit status 0 means every pass was clean; 1 means violations (printed
+//! one per line as `file:line: [rule] detail`); 2 means the driver itself
+//! failed (I/O, missing cargo, …).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use xtask::scan::{scan_workspace, AllowList, ScanConfig};
+use xtask::{manifest, Violation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(fast),
+        Some("--help" | "-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask lint [--fast]\n\n\
+         Runs the physics lint, the manifest gate, `cargo fmt --check` and\n\
+         `cargo clippy` over the workspace. `--fast` skips the two cargo\n\
+         subprocess gates (useful in tight edit loops)."
+    );
+}
+
+fn run_lint(fast: bool) -> ExitCode {
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("xtask: cannot locate workspace root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut driver_failed = false;
+
+    match load_allow_list(&root) {
+        Ok(allow) => {
+            let config = ScanConfig::default_policy(allow);
+            match scan_workspace(&root, &config) {
+                Ok(vs) => violations.extend(vs),
+                Err(e) => {
+                    eprintln!("xtask: physics lint failed: {e}");
+                    driver_failed = true;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot read allow-list: {e}");
+            driver_failed = true;
+        }
+    }
+
+    match manifest::check_manifests(&root) {
+        Ok(vs) => violations.extend(vs),
+        Err(e) => {
+            eprintln!("xtask: manifest gate failed: {e}");
+            driver_failed = true;
+        }
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    let mut failed = !violations.is_empty();
+
+    if !fast {
+        for (label, cmd_args) in [
+            ("cargo fmt --check", vec!["fmt", "--", "--check"]),
+            (
+                "cargo clippy",
+                vec!["clippy", "--workspace", "--lib", "--bins", "--quiet"],
+            ),
+        ] {
+            eprintln!("xtask: running {label}…");
+            match Command::new("cargo")
+                .args(&cmd_args)
+                .current_dir(&root)
+                .status()
+            {
+                Ok(status) if status.success() => {}
+                Ok(_) => {
+                    eprintln!("xtask: {label} reported problems");
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("xtask: could not run {label}: {e}");
+                    driver_failed = true;
+                }
+            }
+        }
+    }
+
+    if driver_failed {
+        ExitCode::from(2)
+    } else if failed {
+        eprintln!(
+            "xtask: lint FAILED ({} violation{})",
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::from(1)
+    } else {
+        eprintln!("xtask: lint clean");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The allow-list ships next to the xtask crate so edits to it show up in
+/// the same review as the code they exempt.
+fn load_allow_list(root: &Path) -> std::io::Result<AllowList> {
+    let path = root.join("crates/xtask/physics-lint.allow");
+    Ok(AllowList::parse(&std::fs::read_to_string(path)?))
+}
+
+/// Walks up from the binary's manifest dir to the workspace root.
+fn workspace_root() -> std::io::Result<PathBuf> {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "xtask crate is not at <root>/crates/xtask",
+            )
+        })
+}

@@ -1,0 +1,758 @@
+//! The physics lint: a lexical scanner over workspace sources.
+//!
+//! No `syn` is available in the offline build environment, so this is a
+//! hand-rolled pass: comments and string literals are blanked first, then
+//! `#[cfg(test)]` regions are masked, and the remaining code is scanned for
+//! the three rule families. Lexical rather than type-aware means the rules
+//! are deliberately conservative in what they match (a float *literal* next
+//! to `==`, a textual `f64` inside a `pub fn` signature) — everything type-
+//! aware is delegated to the clippy gate.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use crate::{Violation, ViolationKind};
+
+/// Which rule families to run over which crates.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Crates (by `crates/<name>` directory name) whose public signatures
+    /// must use `solarml-units` newtypes instead of raw floats.
+    pub signature_crates: Vec<String>,
+    /// Crates whose non-test library code may not call `unwrap`/`expect`
+    /// or compare floats with `==`.
+    pub strict_crates: Vec<String>,
+    /// Parsed allow-list (see [`AllowList`]).
+    pub allow: AllowList,
+}
+
+impl ScanConfig {
+    /// The shipped policy: the five physics crates get both rule families;
+    /// `units` and the user-facing `cli` get the strict rules.
+    pub fn default_policy(allow: AllowList) -> Self {
+        let physics = ["circuit", "mcu", "energy", "platform", "trace"];
+        let mut strict: Vec<String> = physics.iter().map(|s| s.to_string()).collect();
+        strict.push("units".to_string());
+        strict.push("cli".to_string());
+        Self {
+            signature_crates: physics.iter().map(|s| s.to_string()).collect(),
+            strict_crates: strict,
+            allow,
+        }
+    }
+}
+
+/// The allow-list: one entry per line, `path/to/file.rs::item`, where `item`
+/// is a function name (for `raw-float-signature`) or `*` (whole file, any
+/// rule). `#` starts a comment. Inline escapes are spelled in the source
+/// itself: a line containing `physics-lint: allow(<rule>)` in a comment
+/// suppresses that rule on that line and on both adjacent lines (rustfmt
+/// may push a trailing comment onto its own line).
+#[derive(Debug, Clone, Default)]
+pub struct AllowList {
+    entries: HashSet<(String, String)>,
+}
+
+impl AllowList {
+    /// Parses the allow-list file contents.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = HashSet::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((path, item)) = line.rsplit_once("::") {
+                entries.insert((path.trim().to_string(), item.trim().to_string()));
+            }
+        }
+        Self { entries }
+    }
+
+    /// Whether `item` (a fn name, or any rule via `*`) is allowed in `file`.
+    pub fn allows(&self, file: &Path, item: &str) -> bool {
+        let key = file.to_string_lossy().replace('\\', "/");
+        self.entries.contains(&(key.clone(), item.to_string()))
+            || self.entries.contains(&(key, "*".to_string()))
+    }
+}
+
+/// Replaces comments, string literals and char literals with spaces,
+/// preserving length and line structure, so later passes can scan tokens
+/// without tripping over `"== 1.0"` in a message or doc comment.
+pub fn blank_noncode(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, bytes: &[u8]| {
+        for &c in bytes {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
+                blank(&mut out, &b[i..end]);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, &b[i..j]);
+                i = j;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    match b[j] {
+                        b'\\' => j += 2,
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                blank(&mut out, &b[i..j.min(b.len())]);
+                i = j.min(b.len());
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"..." / r#"..."# / r##...
+                let mut hashes = 0;
+                let mut j = i + 1;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    while j < b.len() && !b[j..].starts_with(&closer) {
+                        j += 1;
+                    }
+                    j = (j + closer.len()).min(b.len());
+                    blank(&mut out, &b[i..j]);
+                    i = j;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes with a '
+                // within a couple of bytes; a lifetime never closes.
+                let rest = &b[i + 1..];
+                let lit_len = if rest.first() == Some(&b'\\') {
+                    rest.iter().skip(1).position(|&c| c == b'\'').map(|p| p + 3)
+                } else if rest.len() >= 2 && rest[1] == b'\'' {
+                    Some(3)
+                } else {
+                    None
+                };
+                match lit_len {
+                    Some(n) => {
+                        blank(&mut out, &b[i..(i + n).min(b.len())]);
+                        i = (i + n).min(b.len());
+                    }
+                    None => {
+                        out.push(b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    #[allow(clippy::expect_used)] // blanking replaces ASCII bytes with ASCII, so UTF-8 is preserved
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated items (the brace-delimited item that
+/// follows the attribute), so test modules are exempt from the strict rules.
+pub fn test_regions(blanked: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_cfg_test(blanked, from) {
+        let Some(open_rel) = blanked[pos..].find('{') else {
+            break;
+        };
+        let open = pos + open_rel;
+        let mut depth = 0usize;
+        let mut end = blanked.len();
+        for (off, c) in blanked[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + off + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        regions.push((pos, end));
+        from = end;
+    }
+    regions
+}
+
+/// Finds `#[cfg(test)]` allowing arbitrary internal whitespace.
+fn find_cfg_test(s: &str, from: usize) -> Option<usize> {
+    let compact: &[u8] = b"#[cfg(test)]";
+    let b = s.as_bytes();
+    let mut i = from;
+    while i < b.len() {
+        if b[i] == b'#' {
+            let mut j = i;
+            let mut k = 0;
+            while j < b.len() && k < compact.len() {
+                if b[j].is_ascii_whitespace() && compact[k] != b' ' {
+                    j += 1;
+                    continue;
+                }
+                if b[j] == compact[k] {
+                    j += 1;
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            if k == compact.len() {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn line_of(src: &str, byte: usize) -> usize {
+    src[..byte].bytes().filter(|&c| c == b'\n').count() + 1
+}
+
+fn in_regions(regions: &[(usize, usize)], byte: usize) -> bool {
+    regions.iter().any(|&(a, b)| byte >= a && byte < b)
+}
+
+/// Lines covered by an inline `physics-lint: allow(<rule>)` escape, per
+/// rule. The escape covers its own line plus the lines directly above and
+/// below, so a comment survives rustfmt rewrapping a long trailing comment
+/// onto its own line.
+fn inline_allows(src: &str, rule: &str) -> HashSet<usize> {
+    let needle = format!("physics-lint: allow({rule})");
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(&needle))
+        .flat_map(|(i, _)| [i.max(1), i + 1, i + 2])
+        .collect()
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scans one source file. `rel` is the path relative to the workspace root
+/// (used for reporting and allow-list matching); rule families are chosen by
+/// the booleans so callers can apply the per-crate policy.
+pub fn scan_source(
+    rel: &Path,
+    src: &str,
+    check_signatures: bool,
+    check_strict: bool,
+    allow: &AllowList,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if allow.allows(rel, "*") {
+        return out;
+    }
+    let blanked = blank_noncode(src);
+    let tests = test_regions(&blanked);
+
+    if check_signatures {
+        scan_pub_fn_signatures(rel, src, &blanked, &tests, allow, &mut out);
+    }
+    if check_strict {
+        scan_unwraps(rel, src, &blanked, &tests, &mut out);
+        scan_float_eq(rel, src, &blanked, &tests, &mut out);
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+fn scan_pub_fn_signatures(
+    rel: &Path,
+    src: &str,
+    blanked: &str,
+    tests: &[(usize, usize)],
+    allow: &AllowList,
+    out: &mut Vec<Violation>,
+) {
+    let b = blanked.as_bytes();
+    let mut i = 0;
+    while let Some(rel_pos) = blanked[i..].find("pub") {
+        let pos = i + rel_pos;
+        i = pos + 3;
+        // Token boundary on both sides.
+        if pos > 0 && is_ident_byte(b[pos - 1]) {
+            continue;
+        }
+        if pos + 3 < b.len() && is_ident_byte(b[pos + 3]) {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are not public API.
+        let mut j = pos + 3;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'(' {
+            continue;
+        }
+        // Skip qualifier keywords until `fn` (or bail on non-fn items).
+        let mut fn_at = None;
+        for _ in 0..4 {
+            let word_end = {
+                let mut e = j;
+                while e < b.len() && is_ident_byte(b[e]) {
+                    e += 1;
+                }
+                e
+            };
+            match &blanked[j..word_end] {
+                "fn" => {
+                    fn_at = Some(word_end);
+                    break;
+                }
+                "const" | "async" | "unsafe" | "extern" => {
+                    j = word_end;
+                    while j < b.len() && (b[j].is_ascii_whitespace() || b[j] == b'"') {
+                        j += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(after_fn) = fn_at else { continue };
+        if in_regions(tests, pos) {
+            continue;
+        }
+        // Function name.
+        let mut k = after_fn;
+        while k < b.len() && b[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        let name_start = k;
+        while k < b.len() && is_ident_byte(b[k]) {
+            k += 1;
+        }
+        let fn_name = &blanked[name_start..k];
+        // Signature runs to the first `{` or `;` (brace bodies of const
+        // generic expressions do not occur in this workspace).
+        let sig_end = blanked[k..]
+            .find(['{', ';'])
+            .map_or(blanked.len(), |n| k + n);
+        let sig = &blanked[k..sig_end];
+        let has_raw_float = ["f64", "f32"].iter().any(|t| {
+            sig.match_indices(t).any(|(p, _)| {
+                let before_ok = p == 0 || !is_ident_byte(sig.as_bytes()[p - 1]);
+                let after = p + t.len();
+                let after_ok = after >= sig.len() || !is_ident_byte(sig.as_bytes()[after]);
+                before_ok && after_ok
+            })
+        });
+        if has_raw_float && !allow.allows(rel, fn_name) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: line_of(src, pos),
+                kind: ViolationKind::RawFloatSignature,
+                detail: format!(
+                    "`pub fn {fn_name}` exposes raw f64/f32 — use a solarml-units newtype \
+                     or add `{}::{fn_name}` to the allow-list",
+                    rel.display()
+                ),
+            });
+        }
+        i = sig_end;
+    }
+}
+
+fn scan_unwraps(
+    rel: &Path,
+    src: &str,
+    blanked: &str,
+    tests: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    for (needle, kind, rule) in [
+        (".unwrap()", ViolationKind::Unwrap, "unwrap"),
+        (".expect(", ViolationKind::Expect, "expect"),
+    ] {
+        let allowed_lines = inline_allows(src, rule);
+        for (pos, _) in blanked.match_indices(needle) {
+            if in_regions(tests, pos) {
+                continue;
+            }
+            let line = line_of(src, pos);
+            if allowed_lines.contains(&line) {
+                continue;
+            }
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line,
+                kind,
+                detail: format!(
+                    "`{needle}…` in library code — thread a Result or use \
+                     `// physics-lint: allow({rule})` with a reason"
+                ),
+            });
+        }
+    }
+}
+
+/// Does this token text look like a float literal (`1.0`, `1e-9`, `2f64`)?
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_');
+    if t.is_empty() {
+        // Bare `f64`/`f32` suffix means the original was e.g. `2f64`… but an
+        // empty remainder means the token was just the suffix text: not a
+        // literal unless digits preceded, which trim would have kept.
+        return tok != "f64" && tok != "f32" && !tok.is_empty();
+    }
+    if !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let has_dot = t.contains('.');
+    let has_exp =
+        t.chars().any(|c| c == 'e' || c == 'E') && !t.starts_with("0x") && !t.starts_with("0b");
+    let had_suffix = tok.ends_with("f64") || tok.ends_with("f32");
+    (has_dot || has_exp || had_suffix)
+        && t.chars().all(|c| {
+            c.is_ascii_digit()
+                || c == '.'
+                || c == 'e'
+                || c == 'E'
+                || c == '-'
+                || c == '+'
+                || c == '_'
+        })
+}
+
+fn scan_float_eq(
+    rel: &Path,
+    src: &str,
+    blanked: &str,
+    tests: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let allowed_lines = inline_allows(src, "float-eq");
+    let b = blanked.as_bytes();
+    let eqs = blanked.match_indices("==").map(|(p, _)| (p, false));
+    let neqs = blanked.match_indices("!=").map(|(p, _)| (p, true));
+    for (pos, is_neq) in eqs.chain(neqs) {
+        // Skip `<=`, `>=`, `=>`-adjacent noise: the operator must stand
+        // alone (not preceded by another comparison/assignment byte, not
+        // followed by `=`).
+        if !is_neq && pos > 0 && matches!(b[pos - 1], b'<' | b'>' | b'=' | b'!') {
+            continue;
+        }
+        if pos + 2 < b.len() && b[pos + 2] == b'=' {
+            continue;
+        }
+        if in_regions(tests, pos) {
+            continue;
+        }
+        let line = line_of(src, pos);
+        if allowed_lines.contains(&line) {
+            continue;
+        }
+        // Token immediately before (skipping whitespace and a closing paren
+        // is NOT attempted: lexical rule, literals only).
+        let before = {
+            let mut e = pos;
+            while e > 0 && b[e - 1].is_ascii_whitespace() {
+                e -= 1;
+            }
+            let mut s = e;
+            while s > 0
+                && (is_ident_byte(b[s - 1])
+                    || b[s - 1] == b'.'
+                    // exponent sign: the `-`/`+` inside `1.5e-3`
+                    || (matches!(b[s - 1], b'-' | b'+')
+                        && s >= 2
+                        && matches!(b[s - 2], b'e' | b'E')))
+            {
+                s -= 1;
+            }
+            &blanked[s..e]
+        };
+        let after = {
+            let mut s = pos + 2;
+            while s < b.len() && b[s].is_ascii_whitespace() {
+                s += 1;
+            }
+            let mut e = s;
+            // Allow a leading sign on the literal.
+            if e < b.len() && b[e] == b'-' {
+                e += 1;
+            }
+            while e < b.len()
+                && (is_ident_byte(b[e])
+                    || b[e] == b'.'
+                    || (matches!(b[e], b'-' | b'+') && e >= 1 && matches!(b[e - 1], b'e' | b'E')))
+            {
+                e += 1;
+            }
+            blanked[s..e].trim_start_matches('-')
+        };
+        if is_float_literal(before) || is_float_literal(after) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line,
+                kind: ViolationKind::FloatEq,
+                detail: format!(
+                    "float literal compared with `{}` — use a tolerance or \
+                     `// physics-lint: allow(float-eq)` with a reason",
+                    if is_neq { "!=" } else { "==" }
+                ),
+            });
+        }
+    }
+}
+
+/// Walks `crates/<name>/src` for every crate in the policy and scans each
+/// `.rs` file. `root` is the workspace root.
+pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    let mut crates: Vec<&String> = config
+        .signature_crates
+        .iter()
+        .chain(config.strict_crates.iter())
+        .collect();
+    crates.sort();
+    crates.dedup();
+    for name in crates {
+        let check_sigs = config.signature_crates.iter().any(|c| c == name);
+        let check_strict = config.strict_crates.iter().any(|c| c == name);
+        let src_dir = root.join("crates").join(name).join("src");
+        for file in rs_files(&src_dir)? {
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let text = std::fs::read_to_string(&file)?;
+            out.extend(scan_source(
+                &rel,
+                &text,
+                check_sigs,
+                check_strict,
+                &config.allow,
+            ));
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+fn rs_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(vs: &[Violation]) -> Vec<ViolationKind> {
+        vs.iter().map(|v| v.kind).collect()
+    }
+
+    #[test]
+    fn blanking_removes_comments_and_strings() {
+        let src = "let x = \"== 1.0\"; // f64 here\nlet y = 2; /* .unwrap() */";
+        let blanked = blank_noncode(src);
+        assert!(!blanked.contains("1.0"));
+        assert!(!blanked.contains("f64"));
+        assert!(!blanked.contains("unwrap"));
+        assert!(blanked.contains("let y = 2;"));
+        assert_eq!(blanked.len(), src.len());
+    }
+
+    #[test]
+    fn blanking_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"a \"quoted\" f64\"#; let c = '\\''; let l: &'static str = s;";
+        let blanked = blank_noncode(src);
+        assert!(!blanked.contains("f64"));
+        assert!(blanked.contains("'static"));
+    }
+
+    #[test]
+    fn detects_raw_float_in_pub_signature() {
+        let src = "pub fn power(&self, lux: f64) -> Power { todo!() }";
+        let vs = scan_source(
+            Path::new("crates/x/src/lib.rs"),
+            src,
+            true,
+            false,
+            &AllowList::default(),
+        );
+        assert_eq!(kinds(&vs), vec![ViolationKind::RawFloatSignature]);
+        // Same file, strict-only policy: no signature finding.
+        let vs = scan_source(
+            Path::new("crates/x/src/lib.rs"),
+            src,
+            false,
+            true,
+            &AllowList::default(),
+        );
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn detects_float_return_type() {
+        let src = "pub fn efficiency(&self) -> f64 { 0.0 }";
+        let vs = scan_source(Path::new("a.rs"), src, true, false, &AllowList::default());
+        assert_eq!(kinds(&vs), vec![ViolationKind::RawFloatSignature]);
+    }
+
+    #[test]
+    fn closure_param_floats_are_flagged() {
+        let src = "pub fn step(&mut self, shading: impl Fn(usize) -> f64) -> SimStep { todo!() }";
+        let vs = scan_source(Path::new("a.rs"), src, true, false, &AllowList::default());
+        assert_eq!(kinds(&vs), vec![ViolationKind::RawFloatSignature]);
+    }
+
+    #[test]
+    fn units_newtype_signature_is_clean() {
+        let src = "pub fn power(&self, lux: Lux, shading: Ratio) -> Power { todo!() }\n\
+                   pub fn raw(&self) -> Vec<u64> { vec![] }";
+        let vs = scan_source(Path::new("a.rs"), src, true, true, &AllowList::default());
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn pub_crate_fns_are_exempt() {
+        let src = "pub(crate) fn helper(x: f64) -> f64 { x }";
+        let vs = scan_source(Path::new("a.rs"), src, true, false, &AllowList::default());
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn body_floats_do_not_trip_signature_rule() {
+        let src = "pub fn tidy(&self) -> Power {\n    let x: f64 = 1.0;\n    Power::new(x)\n}";
+        let vs = scan_source(Path::new("a.rs"), src, true, false, &AllowList::default());
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn allow_list_suppresses_by_fn_name_and_wildcard() {
+        let src =
+            "pub fn mean(xs: &[f64]) -> f64 { 0.0 }\npub fn median(xs: &[f64]) -> f64 { 0.0 }";
+        let allow = AllowList::parse("crates/trace/src/stats.rs::mean\n# comment\n");
+        let rel = Path::new("crates/trace/src/stats.rs");
+        let vs = scan_source(rel, src, true, false, &allow);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("median"));
+        let allow_all = AllowList::parse("crates/trace/src/stats.rs::*");
+        assert!(scan_source(rel, src, true, false, &allow_all).is_empty());
+    }
+
+    #[test]
+    fn detects_unwrap_and_expect_outside_tests() {
+        let src = "fn go() { let x = maybe().unwrap(); let y = other().expect(\"boom\"); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let _ = maybe().unwrap(); }\n}";
+        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        assert_eq!(
+            kinds(&vs),
+            vec![ViolationKind::Unwrap, ViolationKind::Expect]
+        );
+    }
+
+    #[test]
+    fn inline_marker_suppresses_unwrap() {
+        let src = "fn go() { let x = lock().unwrap(); } // physics-lint: allow(unwrap): poisoned lock is fatal";
+        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn detects_float_eq_against_literal() {
+        let src = "fn go(x: f64) -> bool { x == 0.0 }";
+        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        assert_eq!(kinds(&vs), vec![ViolationKind::FloatEq]);
+        let src_neq = "fn go(x: f64) -> bool { 1.5e-3 != x }";
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src_neq,
+            false,
+            true,
+            &AllowList::default(),
+        );
+        assert_eq!(kinds(&vs), vec![ViolationKind::FloatEq]);
+    }
+
+    #[test]
+    fn integer_eq_and_comparisons_are_fine() {
+        let src = "fn go(x: usize, y: f64) -> bool { x == 3 && y >= 0.0 && y <= 1.0 }";
+        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn float_eq_in_doc_comment_is_ignored() {
+        let src = "/// Returns true when `x == 0.0`.\nfn go(x: u64) -> bool { x == 0 }";
+        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn test_region_masking_handles_nested_braces() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn deep() { if true { x.unwrap(); } }\n}\n\
+                   fn live() { y.unwrap(); }";
+        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 5);
+    }
+
+    #[test]
+    fn float_literal_classifier() {
+        for yes in ["1.0", "0.5", "1e-9", "2.33e-3", "2f64", "1_000.0", "3.3f32"] {
+            assert!(is_float_literal(yes), "{yes} should be a float literal");
+        }
+        for no in ["1", "x", "0x1e", "len", "f64", "Power", "1_000"] {
+            assert!(!is_float_literal(no), "{no} should NOT be a float literal");
+        }
+    }
+}

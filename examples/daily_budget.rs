@@ -34,8 +34,7 @@ fn main() {
         ("µNAS @ full-fidelity sensing", 3.6),
         ("unoptimized always-on pipeline", 30.0),
     ] {
-        let mut config =
-            DaySimConfig::office_day(Energy::from_milli_joules(budget_mj));
+        let mut config = DaySimConfig::office_day(Energy::from_milli_joules(budget_mj));
         config.profile.lux_by_hour = profile.lux_by_hour.map(|l| (l / 5.0).max(1.0));
         config.capacitance = solarml::units::Farads::new(0.1);
         config.initial_voltage = solarml::units::Volts::new(2.25);

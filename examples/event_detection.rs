@@ -10,6 +10,7 @@ use solarml::circuit::env::{HoverSchedule, LightEnvironment};
 use solarml::circuit::{CircuitSim, SimConfig};
 use solarml::platform::{solarml_detector_spec, REFERENCE_DETECTORS};
 use solarml::units::Lux;
+use solarml::units::{Ratio, Volts};
 use solarml::{Power, Seconds};
 
 fn main() {
@@ -21,10 +22,13 @@ fn main() {
     let mut sim = CircuitSim::new(SimConfig::default(), env);
 
     println!("simulating 3 s at 500 lux with a hover at t = 2.0 s...\n");
-    println!("{:>8} {:>8} {:>10} {:>12} {:>6}", "t", "V2", "V_cap", "detector", "MCU");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>6}",
+        "t", "V2", "V_cap", "detector", "MCU"
+    );
     let mut woke_at = None;
     while sim.time() < Seconds::new(3.0) {
-        let step = sim.step(Power::ZERO, 0.0, |_| 0.0);
+        let step = sim.step(Power::ZERO, Volts::ZERO, |_| Ratio::ZERO);
         if woke_at.is_none() && step.detector.mcu_connected {
             woke_at = Some(step.time);
         }
@@ -37,7 +41,11 @@ fn main() {
                 step.detector.v2.to_string(),
                 step.supercap_voltage.to_string(),
                 step.detector.detector_power.to_string(),
-                if step.detector.mcu_connected { "ON" } else { "off" }
+                if step.detector.mcu_connected {
+                    "ON"
+                } else {
+                    "off"
+                }
             );
         }
     }

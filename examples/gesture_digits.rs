@@ -32,8 +32,14 @@ fn main() {
     );
 
     let configs = [
-        ("full-fidelity", GestureSensingParams::new(9, 100, Resolution::Int, 8)),
-        ("frugal", GestureSensingParams::new(3, 25, Resolution::Int, 4)),
+        (
+            "full-fidelity",
+            GestureSensingParams::new(9, 100, Resolution::Int, 8),
+        ),
+        (
+            "frugal",
+            GestureSensingParams::new(3, 25, Resolution::Int, 4),
+        ),
     ];
 
     for (label, params) in configs {
@@ -78,7 +84,11 @@ fn main() {
         println!("--- {label}: {params} ---");
         println!("  input shape       : {shape:?}");
         println!("  model             : {}", spec.describe());
-        println!("  memory / MACs     : {} B / {}", spec.memory_bytes(), spec.mac_summary().total());
+        println!(
+            "  memory / MACs     : {} B / {}",
+            spec.memory_bytes(),
+            spec.mac_summary().total()
+        );
         println!("  test accuracy     : {:.1}%", 100.0 * acc);
         println!("  E_S + E_M         : {} + {} = {}", e_s, e_m, e_s + e_m);
 
@@ -87,7 +97,8 @@ fn main() {
             params,
             spec: spec.clone(),
         })
-        .run();
+        .run()
+        .expect("interaction runs");
         let (fe, fs, fm) = breakdown.fractions();
         println!(
             "  platform run      : {} total (E_E {:.0}%, E_S {:.0}%, E_M {:.0}%)\n",

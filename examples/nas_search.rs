@@ -6,9 +6,7 @@
 //! cargo run --release --example nas_search
 //! ```
 
-use solarml::nas::{
-    pareto_front, run_enas, run_munas, EnasConfig, MunasConfig, TaskContext,
-};
+use solarml::nas::{pareto_front, run_enas, run_munas, EnasConfig, MunasConfig, TaskContext};
 use solarml::nn::TrainConfig;
 use solarml::SensingConfig;
 
@@ -18,7 +16,10 @@ fn main() {
         epochs: 10,
         ..TrainConfig::default()
     };
-    println!("task: digit gestures | constraints: {:?}\n", ctx.constraints);
+    println!(
+        "task: digit gestures | constraints: {:?}\n",
+        ctx.constraints
+    );
 
     // eNAS across the λ spectrum.
     let mut all = Vec::new();
@@ -43,13 +44,8 @@ fn main() {
     for sensing in [
         SensingConfig::Gesture(solarml::dsp::GestureSensingParams::full()),
         SensingConfig::Gesture(
-            solarml::dsp::GestureSensingParams::new(
-                3,
-                30,
-                solarml::dsp::Resolution::Int,
-                6,
-            )
-            .expect("params in range"),
+            solarml::dsp::GestureSensingParams::new(3, 30, solarml::dsp::Resolution::Int, 6)
+                .expect("params in range"),
         ),
     ] {
         let out = run_munas(&ctx, sensing, &MunasConfig::quick());

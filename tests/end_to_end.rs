@@ -14,11 +14,10 @@ use solarml::nn::{
 };
 use solarml::platform::lifecycle::{InteractionConfig, TaskProfile};
 use solarml::platform::{harvesting_time, EndToEndBudget, HarvestScenario};
+use solarml::units::Frequency;
 use solarml::Seconds;
 
-fn train_gesture_model(
-    params: &GestureSensingParams,
-) -> (ModelSpec, f64) {
+fn train_gesture_model(params: &GestureSensingParams) -> (ModelSpec, f64) {
     let corpus = GestureDatasetBuilder {
         samples_per_class: 8,
         ..GestureDatasetBuilder::default()
@@ -58,7 +57,10 @@ fn train_gesture_model(
 fn gesture_pipeline_learns_and_prices() {
     let params = GestureSensingParams::new(9, 50, Resolution::Int, 8).expect("valid");
     let (spec, acc) = train_gesture_model(&params);
-    assert!(acc > 0.5, "full-fidelity gesture model should learn: acc={acc}");
+    assert!(
+        acc > 0.5,
+        "full-fidelity gesture model should learn: acc={acc}"
+    );
 
     // Price it with the fitted energy models and sanity-check against truth.
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
@@ -83,7 +85,10 @@ fn gesture_pipeline_learns_and_prices() {
     let td = harvesting_time(budget.total(), &dim);
     let to = harvesting_time(budget.total(), &office);
     let tw = harvesting_time(budget.total(), &window);
-    assert!(tw < to && to < td, "harvest times must order by light level");
+    assert!(
+        tw < to && to < td,
+        "harvest times must order by light level"
+    );
 }
 
 #[test]
@@ -185,9 +190,10 @@ fn blind_phase_detection_recovers_the_lifecycle() {
         sleep: Seconds::new(10.0),
         task: TaskProfile::Gesture { params, spec },
         mcu: McuPowerModel::default(),
-        trace_rate_hz: 1000.0,
+        trace_rate: Frequency::new(1000.0),
     }
-    .run();
+    .run()
+    .expect("duty cycle runs");
 
     let phases = detect_phases(&trace, 3.0, 4);
     assert!(
@@ -247,11 +253,9 @@ fn kws_pipeline_learns_and_runs_on_platform() {
     assert!(acc > 0.4, "KWS model should beat chance clearly: acc={acc}");
 
     // Run the trained configuration through the event-driven platform.
-    let (trace, breakdown) = InteractionConfig::standard(TaskProfile::Kws {
-        params,
-        spec,
-    })
-    .run();
+    let (trace, breakdown) = InteractionConfig::standard(TaskProfile::Kws { params, spec })
+        .run()
+        .expect("interaction runs");
     assert!(trace.len() > 1000, "trace should cover the interaction");
     let e_s_truth = AudioSensingGround::default().true_energy(&params);
     // The platform's sensing segment should be within 2x of the analytic

@@ -10,11 +10,10 @@ use solarml::mcu::McuPowerModel;
 use solarml::nn::{ArchSampler, LayerClass};
 use solarml::platform::lifecycle::DutyCycleConfig;
 use solarml::platform::{
-    harvesting_time, solarml_detector_spec, EndToEndBudget, HarvestScenario,
-    REFERENCE_DETECTORS,
+    harvesting_time, solarml_detector_spec, EndToEndBudget, HarvestScenario, REFERENCE_DETECTORS,
 };
 use solarml::trace::{mean_absolute_percent_error, r_squared};
-use solarml::units::Lux;
+use solarml::units::{Frequency, Lux};
 use solarml::{Energy, Seconds};
 
 /// §V-B / Table III: the passive detector reduces event-detection energy by
@@ -41,9 +40,8 @@ fn claim_detector_ten_times_cheaper() {
 /// energy; sensing dominates.
 #[test]
 fn claim_inference_is_minority_of_total_energy() {
-    let params =
-        solarml::dsp::GestureSensingParams::new(9, 100, solarml::dsp::Resolution::Int, 8)
-            .expect("valid");
+    let params = solarml::dsp::GestureSensingParams::new(9, 100, solarml::dsp::Resolution::Int, 8)
+        .expect("valid");
     let spec = solarml::nn::ModelSpec::new(
         [200, 9, 1],
         vec![
@@ -62,10 +60,12 @@ fn claim_inference_is_minority_of_total_energy() {
         sleep: Seconds::from_minutes(1.0),
         task: solarml::platform::TaskProfile::Gesture { params, spec },
         mcu: McuPowerModel::default(),
-        trace_rate_hz: 1000.0,
+        trace_rate: Frequency::new(1000.0),
     }
-    .run();
+    .run()
+    .expect("duty cycle runs");
     let (fe, fs, fm) = b.fractions();
+    let (fe, fs, fm) = (fe.get(), fs.get(), fm.get());
     assert!(fm < 0.25, "E_M fraction {fm:.2} should be a minority");
     assert!(fs > fm, "sensing should dominate inference");
     assert!(fe > 0.2, "waiting must be a material cost at 1-min sleep");
@@ -96,12 +96,18 @@ fn claim_layerwise_model_dominates_total_macs() {
     let r2_lw = r_squared(&test.true_uj, &lw);
     let r2_tm = r_squared(&test.true_uj, &tm);
     assert!(r2_lw > 0.9, "layer-wise R² {r2_lw:.3} (paper 0.96)");
-    assert!(r2_tm < r2_lw - 0.15, "total-MACs must trail clearly: {r2_tm:.3}");
+    assert!(
+        r2_tm < r2_lw - 0.15,
+        "total-MACs must trail clearly: {r2_tm:.3}"
+    );
 
     // Fig. 9: the eNAS model roughly halves estimation error vs the proxy.
     let err_lw = mean_absolute_percent_error(&test.true_uj, &lw);
     let err_tm = mean_absolute_percent_error(&test.true_uj, &tm);
-    assert!(err_lw * 1.5 < err_tm, "err {err_lw:.1}% vs proxy {err_tm:.1}%");
+    assert!(
+        err_lw * 1.5 < err_tm,
+        "err {err_lw:.1}% vs proxy {err_tm:.1}%"
+    );
 }
 
 /// §IV-A2 / Fig. 9(a): the sensing energy model's average error is a few
@@ -125,9 +131,12 @@ fn claim_sensing_model_error_is_small() {
 /// Fig. 7: a Conv MAC costs ≈3.5× a Dense MAC on the device.
 #[test]
 fn claim_conv_mac_costs_more_than_dense_mac() {
-    let ratio = solarml::energy::device::nj_per_mac(LayerClass::Conv)
-        / solarml::energy::device::nj_per_mac(LayerClass::Dense);
-    assert!((3.0..4.0).contains(&ratio), "Conv/Dense = {ratio:.2} (paper 3.5)");
+    let ratio = solarml::energy::device::energy_per_mac(LayerClass::Conv)
+        / solarml::energy::device::energy_per_mac(LayerClass::Dense);
+    assert!(
+        (3.0..4.0).contains(&ratio),
+        "Conv/Dense = {ratio:.2} (paper 3.5)"
+    );
 }
 
 /// §V-D: end-to-end savings vs the PS+µNAS baseline land in the paper's
@@ -145,7 +154,7 @@ fn claim_end_to_end_savings_and_harvest_ordering() {
         Energy::from_micro_joules(600.0),
         Seconds::new(5.0),
     );
-    let saving = solarml_budget.saving_vs(&baseline);
+    let saving = solarml_budget.saving_vs(&baseline).get();
     assert!((0.2..0.8).contains(&saving), "saving {saving:.2}");
 
     let [dim, office, window] = HarvestScenario::paper_conditions();
@@ -170,16 +179,22 @@ fn claim_end_to_end_savings_and_harvest_ordering() {
 fn claim_weak_light_lockout() {
     use solarml::circuit::env::Illumination;
     use solarml::circuit::event::EventDetector;
-    use solarml::units::Volts;
+    use solarml::units::{Ratio, Volts};
     let mut det = EventDetector::default();
     let dark = Illumination {
         ambient: Lux::new(3.0),
-        event_cell_shading: 1.0, // even a hover…
+        event_cell_shading: Ratio::ONE, // even a hover…
     };
     det.settle(dark, Volts::new(3.0));
     let mut connected = false;
     for _ in 0..3000 {
-        let out = det.step(Seconds::from_millis(1.0), dark, 0.0, true, Volts::new(3.0));
+        let out = det.step(
+            Seconds::from_millis(1.0),
+            dark,
+            Volts::ZERO,
+            true,
+            Volts::new(3.0),
+        );
         connected |= out.mcu_connected;
     }
     assert!(!connected, "…must not wake the platform at 3 lux");

@@ -119,6 +119,12 @@ fn kws_search_runs_end_to_end() {
             ..EnasConfig::quick(0.5)
         },
     );
-    assert!(out.best.true_energy.as_milli_joules() > 1.0, "KWS energy is mJ scale");
-    assert!(matches!(out.best.candidate.sensing, SensingConfig::Audio(_)));
+    assert!(
+        out.best.true_energy.as_milli_joules() > 1.0,
+        "KWS energy is mJ scale"
+    );
+    assert!(matches!(
+        out.best.candidate.sensing,
+        SensingConfig::Audio(_)
+    ));
 }

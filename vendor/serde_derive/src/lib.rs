@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The real serde_derive generates trait impls; since the stand-in traits are
+//! never used as bounds in this workspace, expanding to nothing is sufficient
+//! and sidesteps parsing generics by hand. The `serde` helper attribute is
+//! registered so field/container attributes like `#[serde(transparent)]`
+//! still parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
