@@ -61,6 +61,7 @@ fn main() {
             sample_size,
             cycles,
             seed: 0x33A5,
+            ..MunasConfig::quick()
         },
     );
     describe(
@@ -74,6 +75,7 @@ fn main() {
         sample_size,
         cycles,
         seed: 0xBA5E,
+        ..BaselineConfig::quick()
     };
     let harvnet = run_harvnet_style(&ctx, &baseline_cfg);
     describe("HarvNet-style A/E", &harvnet.best, harvnet.history.len());

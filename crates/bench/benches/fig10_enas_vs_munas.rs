@@ -41,6 +41,7 @@ fn scale() -> Scale {
                 sample_size: 5,
                 cycles: 20,
                 seed: 0x33A5,
+                ..MunasConfig::quick()
             },
             munas_configs: 6,
             samples_per_class: 12,

@@ -1,6 +1,6 @@
 //! Criterion microbenchmarks for the simulation hot paths: circuit stepping,
-//! MFCC extraction, NN training steps, energy-model fitting and one GA
-//! selection round.
+//! MFCC extraction, conv kernels (optimized vs. naive reference), NN
+//! training steps, energy-model fitting and one GA selection round.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
@@ -10,6 +10,8 @@ use solarml::dsp::{AudioFrontendParams, MfccExtractor};
 use solarml::energy::corpus::inference_corpus;
 use solarml::energy::device::InferenceGround;
 use solarml::energy::models::LayerwiseMacModel;
+use solarml::nn::layers::{Conv2d, DwConv2d};
+use solarml::nn::reference;
 use solarml::nn::{
     arch::{LayerSpec, ModelSpec, Padding},
     fit, ArchSampler, ClassDataset, Model, Tensor, TrainConfig,
@@ -106,6 +108,96 @@ fn bench_inference(c: &mut Criterion) {
     });
 }
 
+/// KWS-scale feature map: 49 MFCC frames × 13 features, 8→16 channels.
+fn conv_fixture() -> (Conv2d, Tensor) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let layer = Conv2d::standalone(8, 16, 3, 3, 1, Padding::Same, &mut rng);
+    let input = Tensor::from_vec(
+        [49, 13, 8],
+        (0..49 * 13 * 8)
+            .map(|i| ((i as f32) * 0.37).sin())
+            .collect(),
+    );
+    (layer, input)
+}
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let (mut layer, input) = conv_fixture();
+    let weights = layer.weights().to_vec();
+    let bias = layer.bias().to_vec();
+    c.bench_function("conv_forward_opt", |b| {
+        b.iter(|| black_box(layer.forward(&input)));
+    });
+    c.bench_function("conv_forward_naive", |b| {
+        b.iter(|| {
+            black_box(reference::conv2d_forward(
+                &input,
+                &weights,
+                &bias,
+                3,
+                3,
+                8,
+                16,
+                1,
+                Padding::Same,
+            ))
+        });
+    });
+    let out = layer.forward(&input);
+    let grad = Tensor::from_vec(
+        out.shape().to_vec(),
+        (0..out.len()).map(|i| ((i as f32) * 0.11).cos()).collect(),
+    );
+    c.bench_function("conv_backward_opt", |b| {
+        b.iter(|| black_box(layer.backward(&grad)));
+    });
+    c.bench_function("conv_backward_naive", |b| {
+        b.iter(|| {
+            black_box(reference::conv2d_backward(
+                &input,
+                &grad,
+                &weights,
+                3,
+                3,
+                8,
+                16,
+                1,
+                Padding::Same,
+            ))
+        });
+    });
+}
+
+fn bench_dwconv_kernels(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut layer = DwConv2d::standalone(16, 3, 3, 1, Padding::Same, &mut rng);
+    let input = Tensor::from_vec(
+        [49, 13, 16],
+        (0..49 * 13 * 16)
+            .map(|i| ((i as f32) * 0.29).sin())
+            .collect(),
+    );
+    let weights = layer.weights().to_vec();
+    let bias = layer.bias().to_vec();
+    c.bench_function("dwconv_forward_opt", |b| {
+        b.iter(|| black_box(layer.forward(&input)));
+    });
+    c.bench_function("dwconv_forward_naive", |b| {
+        b.iter(|| {
+            black_box(reference::dwconv2d_forward(
+                &input,
+                &weights,
+                &bias,
+                3,
+                3,
+                16,
+                1,
+                Padding::Same,
+            ))
+        });
+    });
+}
+
 fn bench_energy_fit(c: &mut Criterion) {
     c.bench_function("fit_layerwise_model_300", |b| {
         let sampler = ArchSampler::for_measurement([20, 9, 1], 10);
@@ -124,6 +216,8 @@ criterion_group!(
     benches,
     bench_circuit_step,
     bench_mfcc,
+    bench_conv_kernels,
+    bench_dwconv_kernels,
     bench_training,
     bench_inference,
     bench_energy_fit

@@ -1,0 +1,247 @@
+//! `quickbench` — the tracked perf baseline behind `cargo xtask bench`.
+//!
+//! Times the conv kernels (optimized vs. naive reference) and the quick
+//! eNAS search at 1 worker vs. N workers, verifies the two searches agree
+//! bit-for-bit, and writes the medians to `BENCH_hotpaths.json` so future
+//! PRs have a trajectory to beat. Wall-clock timing with `std::time`; the
+//! JSON is hand-rendered because the workspace vendors no JSON crate.
+//!
+//! Usage: `quickbench [--quick] [--out PATH]`
+//! `--quick` cuts repetitions for CI; the full run medians over more reps.
+
+// A measurement binary: panicking on a violated internal invariant (a stage
+// name that was never pushed, zero reps) is the correct failure mode.
+#![allow(clippy::expect_used)]
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use solarml::nas::parallel::available_workers;
+use solarml::nn::layers::Conv2d;
+use solarml::nn::reference;
+use solarml::nn::{Padding, Tensor, TrainConfig};
+use solarml::{run_enas, EnasConfig, TaskContext};
+
+struct Stage {
+    name: &'static str,
+    median_ns: u128,
+    iters: usize,
+}
+
+fn median_ns(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `iters` calls of `f`, repeated `reps` times; returns the median
+/// per-iteration time in nanoseconds.
+fn time_stage<F: FnMut()>(reps: usize, iters: usize, mut f: F) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() / iters as u128
+        })
+        .collect();
+    median_ns(&mut samples)
+}
+
+fn kernel_stages(reps: usize, iters: usize) -> Vec<Stage> {
+    // KWS-scale feature map: 49 frames × 13 features, 8→16 channels —
+    // the same fixture as the criterion `hotpaths` bench.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut layer = Conv2d::standalone(8, 16, 3, 3, 1, Padding::Same, &mut rng);
+    let input = Tensor::from_vec(
+        [49, 13, 8],
+        (0..49 * 13 * 8)
+            .map(|i| ((i as f32) * 0.37).sin())
+            .collect(),
+    );
+    let weights = layer.weights().to_vec();
+    let bias = layer.bias().to_vec();
+    let out = layer.forward(&input);
+    let grad = Tensor::from_vec(
+        out.shape().to_vec(),
+        (0..out.len()).map(|i| ((i as f32) * 0.11).cos()).collect(),
+    );
+
+    vec![
+        Stage {
+            name: "conv_forward_opt",
+            median_ns: time_stage(reps, iters, || {
+                std::hint::black_box(layer.forward(&input));
+            }),
+            iters,
+        },
+        Stage {
+            name: "conv_forward_naive",
+            median_ns: time_stage(reps, iters, || {
+                std::hint::black_box(reference::conv2d_forward(
+                    &input,
+                    &weights,
+                    &bias,
+                    3,
+                    3,
+                    8,
+                    16,
+                    1,
+                    Padding::Same,
+                ));
+            }),
+            iters,
+        },
+        Stage {
+            name: "conv_backward_opt",
+            median_ns: time_stage(reps, iters, || {
+                std::hint::black_box(layer.backward(&grad));
+            }),
+            iters,
+        },
+        Stage {
+            name: "conv_backward_naive",
+            median_ns: time_stage(reps, iters, || {
+                std::hint::black_box(reference::conv2d_backward(
+                    &input,
+                    &grad,
+                    &weights,
+                    3,
+                    3,
+                    8,
+                    16,
+                    1,
+                    Padding::Same,
+                ));
+            }),
+            iters,
+        },
+    ]
+}
+
+fn search_context() -> TaskContext {
+    let mut ctx = TaskContext::gesture(4, 11);
+    ctx.train_config = TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    };
+    ctx
+}
+
+/// Runs the quick eNAS search at a worker count on a fresh context
+/// (fresh so the memo cache cannot leak work between timed runs).
+/// Context construction is excluded from the timing.
+fn timed_search(workers: usize, reps: usize) -> (u128, solarml::SearchOutcome) {
+    let mut samples = Vec::with_capacity(reps);
+    let mut outcome = None;
+    for _ in 0..reps {
+        let ctx = search_context();
+        let config = EnasConfig {
+            workers,
+            ..EnasConfig::quick(0.5)
+        };
+        let start = Instant::now();
+        let result = run_enas(&ctx, &config);
+        samples.push(start.elapsed().as_nanos());
+        outcome = Some(result);
+    }
+    (
+        median_ns(&mut samples),
+        outcome.expect("at least one search rep"),
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_hotpaths.json")
+        .to_string();
+
+    let (kernel_reps, kernel_iters) = if quick { (5, 200) } else { (11, 1000) };
+    let search_reps = if quick { 1 } else { 3 };
+    let threads = available_workers();
+
+    eprintln!("quickbench: timing conv kernels ({kernel_reps} reps × {kernel_iters} iters)…");
+    let mut stages = kernel_stages(kernel_reps, kernel_iters);
+
+    eprintln!("quickbench: quick eNAS search at 1 worker ({search_reps} rep(s))…");
+    let (serial_ns, serial_outcome) = timed_search(1, search_reps);
+    stages.push(Stage {
+        name: "enas_quick_search_1w",
+        median_ns: serial_ns,
+        iters: 1,
+    });
+    eprintln!("quickbench: quick eNAS search at 4 workers…");
+    let (parallel_ns, parallel_outcome) = timed_search(4, search_reps);
+    stages.push(Stage {
+        name: "enas_quick_search_4w",
+        median_ns: parallel_ns,
+        iters: 1,
+    });
+
+    let histories_identical = serial_outcome == parallel_outcome;
+    let ratio = |num: &str, den: &str| -> f64 {
+        let get = |n: &str| {
+            stages
+                .iter()
+                .find(|s| s.name == n)
+                .expect("stage exists")
+                .median_ns as f64
+        };
+        get(num) / get(den).max(1.0)
+    };
+    let fwd_speedup = ratio("conv_forward_naive", "conv_forward_opt");
+    let bwd_speedup = ratio("conv_backward_naive", "conv_backward_opt");
+    let search_speedup = serial_ns as f64 / (parallel_ns as f64).max(1.0);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"solarml-bench-hotpaths/v1\",\n");
+    json.push_str("  \"generated_by\": \"cargo xtask bench\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"threads_available\": {threads},\n"));
+    json.push_str("  \"stages\": [\n");
+    for (i, s) in stages.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"iters\": {}}}{}\n",
+            json_escape(s.name),
+            s.median_ns,
+            s.iters,
+            if i + 1 < stages.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"derived\": {\n");
+    json.push_str(&format!(
+        "    \"conv_forward_speedup\": {fwd_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"conv_backward_speedup\": {bwd_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"enas_search_speedup_4w_vs_1w\": {search_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"parallel_histories_identical\": {histories_identical}\n"
+    ));
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("quickbench: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("{json}");
+    eprintln!("quickbench: wrote {out_path}");
+    if !histories_identical {
+        eprintln!("quickbench: ERROR — 1-worker and 4-worker histories diverge");
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,8 @@ pub struct Options {
     pub csv: Option<String>,
     /// `--seed <u64>`
     pub seed: Option<u64>,
+    /// `--workers <usize>` (0 = available parallelism)
+    pub workers: Option<usize>,
     /// `--full`
     pub full: bool,
 }
@@ -43,6 +45,13 @@ impl Options {
                 "--seed" => {
                     let raw: String = take(&mut it, flag)?;
                     opts.seed = Some(
+                        raw.parse()
+                            .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?,
+                    );
+                }
+                "--workers" => {
+                    let raw: String = take(&mut it, flag)?;
+                    opts.workers = Some(
                         raw.parse()
                             .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?,
                     );
@@ -87,10 +96,20 @@ mod tests {
 
     #[test]
     fn parses_mixed_flags() {
-        let opts = parse(&["--task", "kws", "--lambda", "0.5", "--full"]).expect("valid");
+        let opts = parse(&[
+            "--task",
+            "kws",
+            "--lambda",
+            "0.5",
+            "--full",
+            "--workers",
+            "4",
+        ])
+        .expect("valid");
         assert_eq!(opts.task.as_deref(), Some("kws"));
         assert_eq!(opts.lambda, Some(0.5));
         assert!(opts.full);
+        assert_eq!(opts.workers, Some(4));
     }
 
     #[test]
@@ -100,6 +119,8 @@ mod tests {
         assert!(parse(&["--lambda", "nope"]).is_err());
         assert!(parse(&["--lambda", "2.0"]).is_err());
         assert!(parse(&["--task", "audio"]).is_err());
+        assert!(parse(&["--workers", "-1"]).is_err());
+        assert!(parse(&["--workers", "two"]).is_err());
     }
 
     #[test]

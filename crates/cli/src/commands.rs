@@ -30,6 +30,7 @@ pub fn help() {
     println!("      --task gesture|kws  application           [gesture]");
     println!("      --lambda <0..1>     accuracy/energy knob  [0.5]");
     println!("      --seed <n>          RNG seed              [0xE7A5]");
+    println!("      --workers <n>       eval threads, 0=auto  [auto]");
     println!("      --full              paper-scale 50/20/150 settings");
     println!("      --csv <file>        write the search history as CSV");
     println!("  harvest                 harvesting time vs illuminance");
@@ -159,9 +160,13 @@ pub fn search(opts: &Options) -> Result<(), String> {
     if let Some(seed) = opts.seed {
         config.seed = seed;
     }
+    if let Some(workers) = opts.workers {
+        config.workers = workers;
+    }
     println!(
-        "running eNAS on {task} (λ={lambda}, {} settings)...",
-        if opts.full { "paper" } else { "quick" }
+        "running eNAS on {task} (λ={lambda}, {} settings, {} worker threads)...",
+        if opts.full { "paper" } else { "quick" },
+        solarml::nas::parallel::effective_workers(config.workers)
     );
     let outcome = run_enas(&ctx, &config);
     println!("evaluated {} candidates", outcome.history.len());

@@ -135,6 +135,13 @@ impl Pipeline {
         self
     }
 
+    /// Sets the evaluation worker-thread count (0 = available parallelism).
+    /// Search results are identical at any worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.search.workers = workers;
+        self
+    }
+
     /// Builds the task context this pipeline would search over (exposed for
     /// callers that want to drive `run_enas`/`run_munas` themselves).
     pub fn context(&self) -> TaskContext {

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use solarml_units::Energy;
 
 use crate::candidate::Evaluated;
+use crate::parallel::{EvalEngine, EvalRequest};
 use crate::task::{SearchOutcome, TaskContext};
 
 /// Configuration shared by the extra baselines.
@@ -31,6 +32,9 @@ pub struct BaselineConfig {
     pub cycles: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for candidate evaluation (0 = available parallelism).
+    #[serde(default)]
+    pub workers: usize,
 }
 
 impl BaselineConfig {
@@ -41,6 +45,7 @@ impl BaselineConfig {
             sample_size: 4,
             cycles: 12,
             seed: 0xBA5E,
+            workers: 0,
         }
     }
 }
@@ -68,16 +73,18 @@ pub fn run_harvnet_style(ctx: &TaskContext, config: &BaselineConfig) -> SearchOu
     assert!(config.sample_size > 0, "sample size must be positive");
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let engine = EvalEngine::new(ctx, config.seed, config.workers);
 
-    let mut population: Vec<Evaluated> = Vec::with_capacity(config.population);
-    let mut history: Vec<Evaluated> = Vec::new();
-    while population.len() < config.population {
-        let cand = ctx.random_candidate(&mut rng);
-        if let Some(eval) = ctx.evaluate(&cand, 0, &mut rng) {
-            history.push(eval.clone());
-            population.push(eval);
-        }
-    }
+    // Phase 1: sample sequentially (RNG order), train in parallel.
+    let requests: Vec<EvalRequest> = (0..config.population)
+        .map(|_| EvalRequest::new(ctx.random_candidate(&mut rng), 0))
+        .collect();
+    let mut population: Vec<Evaluated> = engine
+        .evaluate_batch(&requests)
+        .into_iter()
+        .flatten()
+        .collect();
+    let mut history: Vec<Evaluated> = population.clone();
 
     for cycle in 1..=config.cycles {
         let sample: Vec<&Evaluated> = population
@@ -85,11 +92,7 @@ pub fn run_harvnet_style(ctx: &TaskContext, config: &BaselineConfig) -> SearchOu
             .collect();
         let parent = sample
             .iter()
-            .max_by(|a, b| {
-                ratio_objective(a)
-                    .partial_cmp(&ratio_objective(b))
-                    .expect("finite")
-            })
+            .max_by(|a, b| ratio_objective(a).total_cmp(&ratio_objective(b)))
             .expect("non-empty sample")
             .candidate
             .clone();
@@ -112,7 +115,7 @@ pub fn run_harvnet_style(ctx: &TaskContext, config: &BaselineConfig) -> SearchOu
         } else {
             ctx.mutate_model(&parent, &mut rng)
         };
-        if let Some(eval) = ctx.evaluate(&child, cycle, &mut rng) {
+        if let Some(eval) = engine.evaluate_one(child, cycle) {
             history.push(eval.clone());
             population.push(eval);
             population.remove(0);
@@ -121,11 +124,7 @@ pub fn run_harvnet_style(ctx: &TaskContext, config: &BaselineConfig) -> SearchOu
 
     let best = history
         .iter()
-        .max_by(|a, b| {
-            ratio_objective(a)
-                .partial_cmp(&ratio_objective(b))
-                .expect("finite")
-        })
+        .max_by(|a, b| ratio_objective(a).total_cmp(&ratio_objective(b)))
         .expect("history is non-empty")
         .clone();
     let envelope = envelope_of(&history);
@@ -141,22 +140,26 @@ pub fn run_harvnet_style(ctx: &TaskContext, config: &BaselineConfig) -> SearchOu
 pub fn run_random_search(ctx: &TaskContext, config: &BaselineConfig) -> SearchOutcome {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let engine = EvalEngine::new(ctx, config.seed, config.workers);
     let budget = config.population + config.cycles;
-    let mut history: Vec<Evaluated> = Vec::new();
-    while history.len() < budget {
-        let cand = ctx.random_candidate(&mut rng);
-        if let Some(eval) = ctx.evaluate(&cand, history.len(), &mut rng) {
-            history.push(eval);
-        }
-    }
+    // One deterministic batch: sample index doubles as the recorded cycle
+    // (`random_candidate` guarantees feasibility, so nothing drops out).
+    let requests: Vec<EvalRequest> = (0..budget)
+        .map(|i| EvalRequest::new(ctx.random_candidate(&mut rng), i))
+        .collect();
+    let history: Vec<Evaluated> = engine
+        .evaluate_batch(&requests)
+        .into_iter()
+        .flatten()
+        .collect();
     let best = history
         .iter()
         .filter(|e| e.meets_accuracy)
-        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
         .or_else(|| {
             history
                 .iter()
-                .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+                .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
         })
         .expect("history is non-empty")
         .clone();
@@ -220,7 +223,7 @@ mod tests {
             .iter()
             .map(|e| e.estimated_energy.as_micro_joules())
             .collect();
-        energies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        energies.sort_by(f64::total_cmp);
         let p75 = energies[(energies.len() * 3) / 4];
         assert!(out.best.estimated_energy.as_micro_joules() <= p75 + 1e-9);
     }
@@ -241,6 +244,7 @@ mod tests {
             sample_size: 2,
             cycles: 3,
             seed: 5,
+            ..BaselineConfig::quick()
         };
         let a = run_harvnet_style(&ctx, &cfg);
         let b = run_harvnet_style(&ctx, &cfg);

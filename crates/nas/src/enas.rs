@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use solarml_units::Energy;
 
 use crate::candidate::{Candidate, Evaluated};
+use crate::parallel::{EvalEngine, EvalRequest};
 use crate::task::{SearchOutcome, TaskContext};
 
 /// Which energy estimator the search consults — the paper's layer-wise
@@ -47,6 +48,10 @@ pub struct EnasConfig {
     pub seed: u64,
     /// Energy estimator ablation switch.
     pub energy_proxy: EnergyProxy,
+    /// Worker threads for candidate evaluation (0 = available parallelism).
+    /// Results are identical at any worker count.
+    #[serde(default)]
+    pub workers: usize,
 }
 
 impl EnasConfig {
@@ -60,6 +65,7 @@ impl EnasConfig {
             lambda,
             seed: 0xE7A5,
             energy_proxy: EnergyProxy::Layerwise,
+            workers: 0,
         }
     }
 
@@ -73,6 +79,7 @@ impl EnasConfig {
             lambda,
             seed: 0xE7A5,
             energy_proxy: EnergyProxy::Layerwise,
+            workers: 0,
         }
     }
 }
@@ -88,17 +95,22 @@ pub fn run_enas(ctx: &TaskContext, config: &EnasConfig) -> SearchOutcome {
     assert!(config.sample_size > 0, "sample size must be positive");
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let engine = EvalEngine::new(ctx, config.seed, config.workers);
 
     // ---- Phase 1: broad exploration with random permutations. ----
-    let mut population: Vec<Evaluated> = Vec::with_capacity(config.population);
-    let mut history: Vec<Evaluated> = Vec::new();
-    while population.len() < config.population {
-        let cand = ctx.random_candidate(&mut rng);
-        if let Some(eval) = evaluate_with_proxy(ctx, &cand, 0, &mut rng, config.energy_proxy) {
-            history.push(eval.clone());
-            population.push(eval);
-        }
-    }
+    // Sampling is sequential (it drives the search RNG); the expensive
+    // training fans out across the worker pool. `random_candidate`
+    // guarantees the static constraints, so every request evaluates.
+    let requests: Vec<EvalRequest> = (0..config.population)
+        .map(|_| EvalRequest::new(ctx.random_candidate(&mut rng), 0))
+        .collect();
+    let mut population: Vec<Evaluated> = engine
+        .evaluate_batch(&requests)
+        .into_iter()
+        .flatten()
+        .map(|eval| apply_proxy(ctx, eval, config.energy_proxy))
+        .collect();
+    let mut history: Vec<Evaluated> = population.clone();
     let (e_min, e_max) = energy_envelope(&population);
 
     // ---- Phase 2: optimal exploration with mutations. ----
@@ -110,18 +122,27 @@ pub fn run_enas(ctx: &TaskContext, config: &EnasConfig) -> SearchOutcome {
             .iter()
             .max_by(|a, b| {
                 a.objective(config.lambda, e_min, e_max)
-                    .partial_cmp(&b.objective(config.lambda, e_min, e_max))
-                    .expect("objectives are finite")
+                    .total_cmp(&b.objective(config.lambda, e_min, e_max))
             })
             .expect("non-empty sample")
             .candidate
             .clone();
 
         let child_eval = if config.grid_period > 0 && cycle % config.grid_period == 0 {
-            grid_mutate(ctx, &parent, config, (e_min, e_max), cycle, &mut rng)
+            grid_mutate(
+                ctx,
+                &engine,
+                &parent,
+                config,
+                (e_min, e_max),
+                cycle,
+                &mut rng,
+            )
         } else {
             let child = ctx.mutate_model(&parent, &mut rng);
-            evaluate_with_proxy(ctx, &child, cycle, &mut rng, config.energy_proxy)
+            engine
+                .evaluate_one(child, cycle)
+                .map(|eval| apply_proxy(ctx, eval, config.energy_proxy))
         };
         if let Some(eval) = child_eval {
             history.push(eval.clone());
@@ -134,8 +155,7 @@ pub fn run_enas(ctx: &TaskContext, config: &EnasConfig) -> SearchOutcome {
         .iter()
         .max_by(|a, b| {
             a.objective(config.lambda, e_min, e_max)
-                .partial_cmp(&b.objective(config.lambda, e_min, e_max))
-                .expect("objectives are finite")
+                .total_cmp(&b.objective(config.lambda, e_min, e_max))
         })
         .expect("history is non-empty")
         .clone();
@@ -149,8 +169,13 @@ pub fn run_enas(ctx: &TaskContext, config: &EnasConfig) -> SearchOutcome {
 /// The paper's `GRIDMUTATE`: evaluate every single-step sensing neighbour of
 /// the parent (model half fixed, revalidated against the new input shape)
 /// and return the best child by objective.
+///
+/// Spec re-derivation consumes the search RNG sequentially; the neighbour
+/// evaluations then run as one parallel batch.
+#[allow(clippy::too_many_arguments)]
 fn grid_mutate(
     ctx: &TaskContext,
+    engine: &EvalEngine<'_>,
     parent: &Candidate,
     config: &EnasConfig,
     envelope: (Energy, Energy),
@@ -158,50 +183,50 @@ fn grid_mutate(
     rng: &mut impl Rng,
 ) -> Option<Evaluated> {
     let (e_min, e_max) = envelope;
+    let requests: Vec<EvalRequest> = ctx
+        .sensing_neighbors(parent.sensing)
+        .into_iter()
+        .map(|sensing| {
+            // The model must be re-derived for the new input shape: try to
+            // keep the same layer sequence; if it no longer validates, sample
+            // a fresh model in the new shape's space.
+            let spec = match solarml_nn::ModelSpec::new(
+                ctx.input_shape(sensing),
+                parent.spec.layers().to_vec(),
+            ) {
+                Ok(spec) => spec,
+                Err(_) => ctx.sampler(sensing).sample(rng),
+            };
+            EvalRequest::new(Candidate { sensing, spec }, cycle)
+        })
+        .collect();
     let mut best: Option<Evaluated> = None;
-    for sensing in ctx.sensing_neighbors(parent.sensing) {
-        // The model must be re-derived for the new input shape: try to keep
-        // the same layer sequence; if it no longer validates, sample a fresh
-        // model in the new shape's space.
-        let spec = match solarml_nn::ModelSpec::new(
-            ctx.input_shape(sensing),
-            parent.spec.layers().to_vec(),
-        ) {
-            Ok(spec) => spec,
-            Err(_) => ctx.sampler(sensing).sample(rng),
-        };
-        let child = Candidate { sensing, spec };
-        if let Some(eval) = evaluate_with_proxy(ctx, &child, cycle, rng, config.energy_proxy) {
-            let better = best
-                .as_ref()
-                .map(|b| {
-                    eval.objective(config.lambda, e_min, e_max)
-                        > b.objective(config.lambda, e_min, e_max)
-                })
-                .unwrap_or(true);
-            if better {
-                best = Some(eval);
-            }
+    for eval in engine.evaluate_batch(&requests).into_iter().flatten() {
+        let eval = apply_proxy(ctx, eval, config.energy_proxy);
+        let better = best
+            .as_ref()
+            .map(|b| {
+                eval.objective(config.lambda, e_min, e_max)
+                    > b.objective(config.lambda, e_min, e_max)
+            })
+            .unwrap_or(true);
+        if better {
+            best = Some(eval);
         }
     }
     best
 }
 
-/// Evaluates a candidate and, under the [`EnergyProxy::TotalMacs`] ablation,
-/// swaps the search-facing estimate for the coarse proxy (the true energy is
-/// still recorded for reporting).
-fn evaluate_with_proxy(
-    ctx: &TaskContext,
-    cand: &Candidate,
-    cycle: usize,
-    rng: &mut impl Rng,
-    proxy: EnergyProxy,
-) -> Option<Evaluated> {
-    let mut eval = ctx.evaluate(cand, cycle, rng)?;
+/// Under the [`EnergyProxy::TotalMacs`] ablation, swaps the search-facing
+/// estimate for the coarse proxy (the true energy is still recorded for
+/// reporting). Applied *after* cache retrieval — the memo cache always
+/// stores the base layer-wise estimate, and this override is a pure
+/// function of the candidate, so hits and misses agree.
+fn apply_proxy(ctx: &TaskContext, mut eval: Evaluated, proxy: EnergyProxy) -> Evaluated {
     if proxy == EnergyProxy::TotalMacs {
-        eval.estimated_energy = ctx.munas_estimated_energy(cand);
+        eval.estimated_energy = ctx.munas_estimated_energy(&eval.candidate);
     }
-    Some(eval)
+    eval
 }
 
 fn energy_envelope(population: &[Evaluated]) -> (Energy, Energy) {

@@ -11,6 +11,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::candidate::{Candidate, Evaluated, SensingConfig};
+use crate::parallel::{EvalEngine, EvalRequest};
 use crate::task::{SearchOutcome, TaskContext};
 
 /// µNAS hyperparameters (matched to the eNAS run for fairness, §V-D).
@@ -24,6 +25,9 @@ pub struct MunasConfig {
     pub cycles: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for candidate evaluation (0 = available parallelism).
+    #[serde(default)]
+    pub workers: usize,
 }
 
 impl MunasConfig {
@@ -34,6 +38,7 @@ impl MunasConfig {
             sample_size: 20,
             cycles: 150,
             seed: 0x33A5,
+            workers: 0,
         }
     }
 
@@ -44,6 +49,7 @@ impl MunasConfig {
             sample_size: 4,
             cycles: 12,
             seed: 0x33A5,
+            workers: 0,
         }
     }
 }
@@ -64,14 +70,24 @@ pub fn run_munas(ctx: &TaskContext, sensing: SensingConfig, config: &MunasConfig
     assert!(config.sample_size > 0, "sample size must be positive");
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let engine = EvalEngine::new(ctx, config.seed, config.workers);
     let sampler = ctx.sampler(sensing);
 
+    // Phase 1 in parallel rounds: sampled specs may violate the static
+    // constraints (unlike `random_candidate`, the sampler does not retry),
+    // so keep batching until the population fills.
     let mut population: Vec<Evaluated> = Vec::with_capacity(config.population);
     let mut history: Vec<Evaluated> = Vec::new();
     while population.len() < config.population {
-        let spec = sampler.sample(&mut rng);
-        let cand = Candidate { sensing, spec };
-        if let Some(eval) = evaluate_munas(ctx, &cand, 0, &mut rng) {
+        let needed = config.population - population.len();
+        let requests: Vec<EvalRequest> = (0..needed)
+            .map(|_| {
+                let spec = sampler.sample(&mut rng);
+                EvalRequest::new(Candidate { sensing, spec }, 0)
+            })
+            .collect();
+        for eval in engine.evaluate_batch(&requests).into_iter().flatten() {
+            let eval = proxy_override(ctx, eval);
             history.push(eval.clone());
             population.push(eval);
         }
@@ -96,12 +112,13 @@ pub fn run_munas(ctx: &TaskContext, sensing: SensingConfig, config: &MunasConfig
             .collect();
         let parent = sample
             .iter()
-            .max_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite"))
+            .max_by(|a, b| score(a).total_cmp(&score(b)))
             .expect("non-empty sample")
             .candidate
             .clone();
         let child = ctx.mutate_model(&parent, &mut rng);
-        if let Some(eval) = evaluate_munas(ctx, &child, cycle, &mut rng) {
+        if let Some(eval) = engine.evaluate_one(child, cycle) {
+            let eval = proxy_override(ctx, eval);
             history.push(eval.clone());
             population.push(eval);
             population.remove(0);
@@ -112,11 +129,11 @@ pub fn run_munas(ctx: &TaskContext, sensing: SensingConfig, config: &MunasConfig
     let best = history
         .iter()
         .filter(|e| e.meets_accuracy)
-        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
         .or_else(|| {
             history
                 .iter()
-                .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+                .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
         })
         .expect("history is non-empty")
         .clone();
@@ -131,17 +148,13 @@ pub fn run_munas(ctx: &TaskContext, sensing: SensingConfig, config: &MunasConfig
     }
 }
 
-/// Evaluates with the µNAS energy proxy in `estimated_energy` (the true
-/// energy is still recorded for reporting).
-fn evaluate_munas(
-    ctx: &TaskContext,
-    cand: &Candidate,
-    cycle: usize,
-    rng: &mut impl Rng,
-) -> Option<Evaluated> {
-    let mut eval = ctx.evaluate(cand, cycle, rng)?;
-    eval.estimated_energy = ctx.munas_estimated_energy(cand);
-    Some(eval)
+/// Rewrites `estimated_energy` with the µNAS total-MACs proxy (the true
+/// energy is still recorded for reporting). Applied after cache retrieval,
+/// so memoized evaluations keep the base layer-wise estimate and this
+/// override stays a pure function of the candidate.
+fn proxy_override(ctx: &TaskContext, mut eval: Evaluated) -> Evaluated {
+    eval.estimated_energy = ctx.munas_estimated_energy(&eval.candidate);
+    eval
 }
 
 fn proxy_envelope(population: &[Evaluated]) -> (f64, f64) {
@@ -204,6 +217,7 @@ mod tests {
             sample_size: 2,
             cycles: 3,
             seed: 4,
+            ..MunasConfig::quick()
         };
         let a = run_munas(&ctx, fixed_sensing(), &cfg);
         let b = run_munas(&ctx, fixed_sensing(), &cfg);

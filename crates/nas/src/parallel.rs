@@ -1,0 +1,364 @@
+//! The parallel candidate-evaluation engine.
+//!
+//! eNAS evaluates hundreds of candidates per run and each evaluation trains
+//! a full model, so this module fans evaluations out across a scoped-thread
+//! worker pool. Three properties are load-bearing:
+//!
+//! 1. **Determinism.** Every evaluation trains with its own RNG whose seed
+//!    is derived from `(base_seed, cycle, index-in-batch)` — never from the
+//!    shared search RNG — so the `SearchOutcome` history is bit-identical
+//!    at any worker count (including 1). The search RNG is only consumed on
+//!    the sequential control path (sampling, tournaments, mutations).
+//! 2. **Memoization.** Evaluations are cached in the [`TaskContext`] keyed
+//!    by the full candidate (sensing config + model spec), so duplicate
+//!    candidates never retrain. Cache resolution happens *sequentially*
+//!    before the parallel fan-out — duplicates inside one batch are deduped
+//!    to the first occurrence — so memoization cannot introduce
+//!    worker-count-dependent results.
+//! 3. **No external dependencies.** The pool is `std::thread::scope` plus
+//!    an atomic work index; the workspace builds offline.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use crate::candidate::{Candidate, Evaluated};
+use crate::task::TaskContext;
+
+/// Number of shards in a [`ShardedMap`]. A small power of two keeps the
+/// modulo cheap while making write contention between a handful of worker
+/// threads unlikely.
+const SHARD_COUNT: usize = 16;
+
+/// A concurrent hash map sharded across independent `RwLock`s.
+///
+/// Reads take a shared lock on one shard; writes take an exclusive lock on
+/// one shard. Values are cloned out, so `V` should be cheap to clone (an
+/// `Arc`, or a small struct).
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: [RwLock<HashMap<K, V>>; SHARD_COUNT],
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// Clones the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .read()
+            .expect("shard lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts `value` under `key`. An existing entry is kept (first writer
+    /// wins), so concurrent duplicate computations converge on one value.
+    pub fn insert_if_absent(&self, key: K, value: V) {
+        self.shard(&key)
+            .write()
+            .expect("shard lock poisoned")
+            .entry(key)
+            .or_insert(value);
+    }
+
+    /// Returns the cached value for `key`, computing and caching it with
+    /// `make` on a miss. `make` may run concurrently on racing threads; the
+    /// first insert wins and all callers observe that value.
+    pub fn get_or_insert_with(&self, key: &K, make: impl FnOnce() -> V) -> V {
+        if let Some(hit) = self.get(key) {
+            return hit;
+        }
+        let value = make();
+        let mut shard = self.shard(key).write().expect("shard lock poisoned");
+        shard.entry(key.clone()).or_insert(value).clone()
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a configured worker count: `0` means "use
+/// [`available_workers`]", anything else is taken literally.
+pub fn effective_workers(configured: usize) -> usize {
+    if configured == 0 {
+        available_workers()
+    } else {
+        configured
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the training seed for one evaluation from the run seed, the
+/// search cycle and the candidate's index within its batch. Stable across
+/// worker counts by construction (none of the inputs depend on scheduling).
+pub fn derive_seed(base_seed: u64, cycle: usize, index: usize) -> u64 {
+    mix64(mix64(base_seed ^ mix64(cycle as u64)) ^ mix64((index as u64) ^ 0xA5A5_A5A5_A5A5_A5A5))
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning the
+/// results in input order. Falls back to a plain sequential loop for one
+/// worker or ≤ 1 item, so the single-worker path has zero threading
+/// overhead (and trivially identical results).
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = effective_workers(workers).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// One evaluation request: a candidate plus the search cycle it belongs to.
+#[derive(Debug, Clone)]
+pub struct EvalRequest {
+    /// The candidate to train and score.
+    pub candidate: Candidate,
+    /// Search cycle recorded on the resulting [`Evaluated`] (and mixed into
+    /// the training seed).
+    pub cycle: usize,
+}
+
+impl EvalRequest {
+    /// Convenience constructor.
+    pub fn new(candidate: Candidate, cycle: usize) -> Self {
+        Self { candidate, cycle }
+    }
+}
+
+/// Batch evaluator: cache resolution + deterministic seeding + fan-out.
+///
+/// Borrow a [`TaskContext`] and call [`EvalEngine::evaluate_batch`] with the
+/// cycle's candidates. Results come back in request order, `None` where the
+/// static constraints reject a candidate.
+#[derive(Debug)]
+pub struct EvalEngine<'a> {
+    ctx: &'a TaskContext,
+    base_seed: u64,
+    workers: usize,
+}
+
+/// How one request in a batch resolves before the parallel phase.
+enum Slot {
+    /// Static constraints reject the candidate; nothing is trained.
+    Infeasible,
+    /// Served from the memo cache (cycle already rewritten).
+    Hit(Evaluated),
+    /// Needs training; index into the deduped work list.
+    Pending(usize),
+}
+
+impl<'a> EvalEngine<'a> {
+    /// Creates an engine over `ctx`. `workers == 0` selects the machine's
+    /// available parallelism.
+    pub fn new(ctx: &'a TaskContext, base_seed: u64, workers: usize) -> Self {
+        Self {
+            ctx,
+            base_seed,
+            workers: effective_workers(workers),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates a batch of candidates, in parallel, with memoization.
+    ///
+    /// Guarantees, independent of the worker count:
+    /// * `result[i]` corresponds to `requests[i]`;
+    /// * a candidate seen before (this batch or any earlier one on the same
+    ///   [`TaskContext`]) reuses its first evaluation instead of retraining;
+    /// * a fresh candidate trains with the RNG seed
+    ///   [`derive_seed`]`(base_seed, cycle, i)` where `i` is the index of
+    ///   its *first* occurrence in this batch.
+    pub fn evaluate_batch(&self, requests: &[EvalRequest]) -> Vec<Option<Evaluated>> {
+        // Sequential pass: resolve cache hits and dedupe remaining work.
+        let mut first_of: HashMap<&Candidate, usize> = HashMap::new();
+        let mut work: Vec<(&EvalRequest, u64)> = Vec::new();
+        let slots: Vec<Slot> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                if !self.ctx.satisfies_static(&req.candidate) {
+                    return Slot::Infeasible;
+                }
+                if let Some(mut hit) = self.ctx.cached_evaluation(&req.candidate) {
+                    hit.cycle = req.cycle;
+                    return Slot::Hit(hit);
+                }
+                if let Some(&w) = first_of.get(&req.candidate) {
+                    return Slot::Pending(w);
+                }
+                let w = work.len();
+                first_of.insert(&req.candidate, w);
+                work.push((req, derive_seed(self.base_seed, req.cycle, i)));
+                Slot::Pending(w)
+            })
+            .collect();
+
+        // Parallel pass: train the deduped misses.
+        let trained: Vec<Option<Evaluated>> =
+            parallel_map(self.workers, &work, |_, (req, seed)| {
+                self.ctx.evaluate_seeded(&req.candidate, req.cycle, *seed)
+            });
+
+        // Publish to the memo cache, then assemble in request order.
+        for ((req, _), eval) in work.iter().zip(&trained) {
+            if let Some(eval) = eval {
+                self.ctx.store_evaluation(&req.candidate, eval);
+            }
+        }
+        slots
+            .into_iter()
+            .zip(requests)
+            .map(|(slot, req)| match slot {
+                Slot::Infeasible => None,
+                Slot::Hit(eval) => Some(eval),
+                Slot::Pending(w) => trained[w].clone().map(|mut eval| {
+                    eval.cycle = req.cycle;
+                    eval
+                }),
+            })
+            .collect()
+    }
+
+    /// Evaluates a single candidate through the same cache + seeding path
+    /// as a one-element batch.
+    pub fn evaluate_one(&self, candidate: Candidate, cycle: usize) -> Option<Evaluated> {
+        self.evaluate_batch(&[EvalRequest::new(candidate, cycle)])
+            .pop()
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_map_round_trips() {
+        let map: ShardedMap<u64, String> = ShardedMap::new();
+        assert!(map.is_empty());
+        for k in 0..100u64 {
+            map.insert_if_absent(k, format!("v{k}"));
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.get(&42), Some("v42".to_string()));
+        assert_eq!(map.get(&1000), None);
+        // First writer wins.
+        map.insert_if_absent(42, "other".to_string());
+        assert_eq!(map.get(&42), Some("v42".to_string()));
+        assert_eq!(map.get_or_insert_with(&42, || unreachable!()), "v42");
+        assert_eq!(
+            map.get_or_insert_with(&500, || "fresh".to_string()),
+            "fresh"
+        );
+        assert_eq!(map.get(&500), Some("fresh".to_string()));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for workers in [1, 2, 4, 16] {
+            let got = parallel_map(workers, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let none: Vec<u32> = parallel_map(4, &[], |_, &x: &u32| x);
+        assert!(none.is_empty());
+        assert_eq!(parallel_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let a = derive_seed(0xE7A5, 3, 5);
+        assert_eq!(a, derive_seed(0xE7A5, 3, 5), "stable");
+        let mut seen = std::collections::HashSet::new();
+        for cycle in 0..50 {
+            for index in 0..50 {
+                seen.insert(derive_seed(0xE7A5, cycle, index));
+            }
+        }
+        assert_eq!(seen.len(), 2500, "no collisions in a search-sized grid");
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(3), 3);
+    }
+}

@@ -1,8 +1,6 @@
 //! Task contexts: everything needed to evaluate a candidate end to end.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -20,6 +18,7 @@ use solarml_nn::{evaluate, fit, ArchSampler, ClassDataset, Model, TrainConfig};
 use solarml_units::Energy;
 
 use crate::candidate::{Candidate, Evaluated, SensingConfig};
+use crate::parallel::ShardedMap;
 
 /// The two applications the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -104,18 +103,24 @@ impl SearchOutcome {
     }
 }
 
-type CachedDatasets = Rc<(ClassDataset, ClassDataset)>;
+/// Shared, immutable train/test pair for one sensing configuration.
+pub type CachedDatasets = Arc<(ClassDataset, ClassDataset)>;
 
 /// Owns the corpora, fitted energy models and constraints for one task.
 ///
 /// Construction fits the energy estimators against fresh measurement
 /// corpora (the paper's 300-measurement protocol), so the search consults
 /// *estimates* while reported results use the noise-free ground truth.
+///
+/// The context is `Send + Sync`: both internal caches are sharded
+/// `RwLock` maps, so worker threads in [`crate::parallel::EvalEngine`] can
+/// evaluate candidates against one shared `&TaskContext`.
 pub struct TaskContext {
     kind: TaskKind,
     gesture_corpus: Option<(GestureDataset, GestureDataset)>,
     kws_corpus: Option<(KwsDataset, KwsDataset)>,
-    dataset_cache: RefCell<HashMap<SensingConfig, CachedDatasets>>,
+    dataset_cache: ShardedMap<SensingConfig, CachedDatasets>,
+    eval_cache: ShardedMap<Candidate, Evaluated>,
     inference_model: LayerwiseMacModel,
     total_mac_model: TotalMacModel,
     gesture_model: Option<GestureSensingModel>,
@@ -160,7 +165,8 @@ impl TaskContext {
             kind: TaskKind::GestureDigits,
             gesture_corpus: Some((train, test)),
             kws_corpus: None,
-            dataset_cache: RefCell::new(HashMap::new()),
+            dataset_cache: ShardedMap::new(),
+            eval_cache: ShardedMap::new(),
             inference_model,
             total_mac_model,
             gesture_model: Some(gesture_model),
@@ -193,7 +199,8 @@ impl TaskContext {
             kind: TaskKind::Kws,
             gesture_corpus: None,
             kws_corpus: Some((train, test)),
-            dataset_cache: RefCell::new(HashMap::new()),
+            dataset_cache: ShardedMap::new(),
+            eval_cache: ShardedMap::new(),
             inference_model,
             total_mac_model,
             gesture_model: None,
@@ -339,29 +346,33 @@ impl TaskContext {
 
     /// Train/test datasets for a sensing configuration (cached — repeated
     /// evaluations at the same front-end reuse the transformed corpus).
+    ///
+    /// The dataset transform is a pure function of the sensing parameters,
+    /// so racing threads that compute the same pair concurrently converge
+    /// on identical data; the first insert wins and later callers share it.
     pub fn datasets(&self, s: SensingConfig) -> CachedDatasets {
-        if let Some(hit) = self.dataset_cache.borrow().get(&s) {
-            return Rc::clone(hit);
-        }
-        let pair = match s {
+        self.dataset_cache.get_or_insert_with(&s, || match s {
             SensingConfig::Gesture(p) => {
                 let (train, test) = self
                     .gesture_corpus
                     .as_ref()
                     .expect("gesture context has a corpus");
-                Rc::new((train.to_class_dataset(&p), test.to_class_dataset(&p)))
+                Arc::new((train.to_class_dataset(&p), test.to_class_dataset(&p)))
             }
             SensingConfig::Audio(p) => {
                 let (train, test) = self.kws_corpus.as_ref().expect("kws context has a corpus");
-                Rc::new((train.to_class_dataset(&p), test.to_class_dataset(&p)))
+                Arc::new((train.to_class_dataset(&p), test.to_class_dataset(&p)))
             }
-        };
-        self.dataset_cache.borrow_mut().insert(s, Rc::clone(&pair));
-        pair
+        })
     }
 
     /// Trains and evaluates a candidate. Returns `None` if the static
     /// constraints reject it (nothing is trained in that case).
+    ///
+    /// This is the raw, uncached path: the caller owns the RNG and the
+    /// result is not memoized. Searches go through
+    /// [`crate::parallel::EvalEngine`], which layers caching and
+    /// deterministic seeding on top.
     pub fn evaluate(
         &self,
         cand: &Candidate,
@@ -383,6 +394,34 @@ impl TaskContext {
             meets_accuracy: (1.0 - accuracy) <= self.constraints.max_error,
             cycle,
         })
+    }
+
+    /// [`TaskContext::evaluate`] with a fresh RNG seeded from `seed` —
+    /// the worker-thread entry point, where evaluation order must not
+    /// influence results.
+    pub fn evaluate_seeded(&self, cand: &Candidate, cycle: usize, seed: u64) -> Option<Evaluated> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.evaluate(cand, cycle, &mut rng)
+    }
+
+    /// Memoized evaluation for `cand`, if one has been stored. The cached
+    /// `cycle` is whatever the first evaluation recorded; callers rewrite
+    /// it to their own cycle.
+    pub fn cached_evaluation(&self, cand: &Candidate) -> Option<Evaluated> {
+        self.eval_cache.get(cand)
+    }
+
+    /// Stores `eval` as the memoized result for `cand`. First write wins,
+    /// so a duplicate computed by a racing worker cannot replace the value
+    /// other threads already observed.
+    pub fn store_evaluation(&self, cand: &Candidate, eval: &Evaluated) {
+        self.eval_cache.insert_if_absent(cand.clone(), eval.clone());
+    }
+
+    /// Number of memoized evaluations (for tests and bench reporting).
+    pub fn eval_cache_len(&self) -> usize {
+        self.eval_cache.len()
     }
 }
 
@@ -520,14 +559,39 @@ mod tests {
     }
 
     #[test]
-    fn dataset_cache_returns_same_rc() {
+    fn dataset_cache_returns_same_arc() {
         let ctx = tiny_gesture();
         let p = SensingConfig::Gesture(
             GestureSensingParams::new(2, 20, Resolution::Int, 4).expect("valid"),
         );
         let a = ctx.datasets(p);
         let b = ctx.datasets(p);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn task_context_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TaskContext>();
+    }
+
+    #[test]
+    fn eval_cache_round_trips_and_keeps_first_write() {
+        let ctx = tiny_gesture();
+        let mut r = rng();
+        let cand = ctx.random_candidate(&mut r);
+        assert_eq!(ctx.eval_cache_len(), 0);
+        assert!(ctx.cached_evaluation(&cand).is_none());
+        let eval = ctx.evaluate(&cand, 0, &mut r).expect("feasible");
+        ctx.store_evaluation(&cand, &eval);
+        assert_eq!(ctx.eval_cache_len(), 1);
+        let hit = ctx.cached_evaluation(&cand).expect("stored");
+        assert_eq!(hit, eval);
+        // A second store with different numbers does not clobber the first.
+        let mut other = eval.clone();
+        other.accuracy = -1.0;
+        ctx.store_evaluation(&cand, &other);
+        assert_eq!(ctx.cached_evaluation(&cand).expect("stored"), eval);
     }
 
     #[test]

@@ -211,9 +211,38 @@ impl Conv2d {
         }
     }
 
-    #[inline]
-    fn w_at(&self, i: usize, j: usize, ci: usize, co: usize) -> f32 {
-        self.weights[((i * self.kw + j) * self.in_channels + ci) * self.filters + co]
+    /// Builds a free-standing conv layer (benches and golden tests; model
+    /// construction goes through [`Layer::instantiate`]).
+    pub fn standalone(
+        in_channels: usize,
+        filters: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: Padding,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::new(in_channels, filters, kh, kw, stride, padding, rng)
+    }
+
+    /// The `[kh][kw][cin][cout]` weight block, flattened.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Per-filter bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Accumulated weight gradients (same layout as [`Conv2d::weights`]).
+    pub fn grad_weights(&self) -> &[f32] {
+        &self.grad_weights
+    }
+
+    /// Accumulated bias gradients.
+    pub fn grad_bias(&self) -> &[f32] {
+        &self.grad_bias
     }
 
     fn out_dims(&self, h: usize, w: usize) -> (usize, usize, isize, isize) {
@@ -234,28 +263,46 @@ impl Conv2d {
         }
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    /// Forward pass. The hot loop: kernel-row/column validity is hoisted to
+    /// per-output-pixel ranges (`i_lo..i_hi`, `j_lo..j_hi`), and the inner
+    /// loop walks the contiguous `cout` stripes of both the weight block and
+    /// the output row, so there is no per-element index arithmetic or bounds
+    /// branch left for the compiler to chew on. Accumulation order per
+    /// output element matches the naive reference
+    /// ([`crate::reference::conv2d_forward`]) bit for bit.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
         let [h, w, _c]: [usize; 3] = input.shape().try_into().expect("conv input is rank 3");
         let (oh, ow, ph, pw) = self.out_dims(h, w);
-        let mut out = Tensor::zeros([oh, ow, self.filters]);
+        let (cin, co_n, kw) = (self.in_channels, self.filters, self.kw);
+        let mut out = Tensor::zeros([oh, ow, co_n]);
+        let x = input.data();
+        let out_data = out.data_mut();
         for oy in 0..oh {
+            let iy_base = (oy * self.stride) as isize - ph;
+            let i_lo = (-iy_base).max(0) as usize;
+            let i_hi = ((h as isize - iy_base).clamp(0, self.kh as isize)) as usize;
             for ox in 0..ow {
-                for co in 0..self.filters {
-                    let mut acc = self.bias[co];
-                    for i in 0..self.kh {
-                        for j in 0..self.kw {
-                            let iy = (oy * self.stride + i) as isize - ph;
-                            let ix = (ox * self.stride + j) as isize - pw;
-                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
-                                continue;
-                            }
-                            for ci in 0..self.in_channels {
-                                acc += input.at3(iy as usize, ix as usize, ci)
-                                    * self.w_at(i, j, ci, co);
+                let ix_base = (ox * self.stride) as isize - pw;
+                let j_lo = (-ix_base).max(0) as usize;
+                let j_hi = ((w as isize - ix_base).clamp(0, kw as isize)) as usize;
+                let o_off = (oy * ow + ox) * co_n;
+                let orow = &mut out_data[o_off..o_off + co_n];
+                orow.copy_from_slice(&self.bias);
+                for i in i_lo..i_hi {
+                    let iy = (iy_base + i as isize) as usize;
+                    for j in j_lo..j_hi {
+                        let ix = (ix_base + j as isize) as usize;
+                        let x_off = (iy * w + ix) * cin;
+                        let w_off = (i * kw + j) * cin * co_n;
+                        for ci in 0..cin {
+                            let xv = x[x_off + ci];
+                            let w_base = w_off + ci * co_n;
+                            let wrow = &self.weights[w_base..w_base + co_n];
+                            for (o, &wv) in orow.iter_mut().zip(wrow) {
+                                *o += xv * wv;
                             }
                         }
                     }
-                    *out.at3_mut(oy, ox, co) = acc;
                 }
             }
         }
@@ -263,34 +310,55 @@ impl Conv2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Backward pass with the same hoisted-bounds structure as the forward.
+    /// All-zero gradient rows (common under ReLU) are skipped wholesale; the
+    /// zero test is on the bit pattern, so it is exact and float-eq-free.
+    /// `grad_in` uses a register dot-product over `cout`, which reorders the
+    /// floating-point sums relative to the naive reference — values agree to
+    /// rounding, not bit-exactly.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("forward before backward");
         let [h, w, _]: [usize; 3] = input.shape().try_into().expect("rank 3");
         let [oh, ow, _]: [usize; 3] = grad_out.shape().try_into().expect("rank 3");
         let (_, _, ph, pw) = self.out_dims(h, w);
-        let mut grad_in = Tensor::zeros([h, w, self.in_channels]);
+        let (cin, co_n, kw) = (self.in_channels, self.filters, self.kw);
+        let mut grad_in = Tensor::zeros([h, w, cin]);
+        let x = input.data();
+        let go = grad_out.data();
+        let gi = grad_in.data_mut();
         for oy in 0..oh {
+            let iy_base = (oy * self.stride) as isize - ph;
+            let i_lo = (-iy_base).max(0) as usize;
+            let i_hi = ((h as isize - iy_base).clamp(0, self.kh as isize)) as usize;
             for ox in 0..ow {
-                for co in 0..self.filters {
-                    let g = grad_out.at3(oy, ox, co);
-                    if g == 0.0 {
-                        continue;
-                    }
-                    self.grad_bias[co] += g;
-                    for i in 0..self.kh {
-                        for j in 0..self.kw {
-                            let iy = (oy * self.stride + i) as isize - ph;
-                            let ix = (ox * self.stride + j) as isize - pw;
-                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
-                                continue;
+                let g_off = (oy * ow + ox) * co_n;
+                let grow = &go[g_off..g_off + co_n];
+                if grow.iter().all(|g| g.to_bits() == 0) {
+                    continue;
+                }
+                for (gb, &g) in self.grad_bias.iter_mut().zip(grow) {
+                    *gb += g;
+                }
+                let ix_base = (ox * self.stride) as isize - pw;
+                let j_lo = (-ix_base).max(0) as usize;
+                let j_hi = ((w as isize - ix_base).clamp(0, kw as isize)) as usize;
+                for i in i_lo..i_hi {
+                    let iy = (iy_base + i as isize) as usize;
+                    for j in j_lo..j_hi {
+                        let ix = (ix_base + j as isize) as usize;
+                        let x_off = (iy * w + ix) * cin;
+                        let w_off = (i * kw + j) * cin * co_n;
+                        for ci in 0..cin {
+                            let xv = x[x_off + ci];
+                            let w_base = w_off + ci * co_n;
+                            let wrow = &self.weights[w_base..w_base + co_n];
+                            let gwrow = &mut self.grad_weights[w_base..w_base + co_n];
+                            let mut acc = 0.0f32;
+                            for ((gw, &wv), &g) in gwrow.iter_mut().zip(wrow).zip(grow) {
+                                *gw += g * xv;
+                                acc += g * wv;
                             }
-                            let (iy, ix) = (iy as usize, ix as usize);
-                            for ci in 0..self.in_channels {
-                                let widx =
-                                    ((i * self.kw + j) * self.in_channels + ci) * self.filters + co;
-                                self.grad_weights[widx] += g * input.at3(iy, ix, ci);
-                                *grad_in.at3_mut(iy, ix, ci) += g * self.weights[widx];
-                            }
+                            gi[x_off + ci] += acc;
                         }
                     }
                 }
@@ -340,6 +408,39 @@ impl DwConv2d {
         }
     }
 
+    /// Builds a free-standing depthwise conv layer (benches and golden
+    /// tests).
+    pub fn standalone(
+        channels: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: Padding,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::new(channels, kh, kw, stride, padding, rng)
+    }
+
+    /// The `[kh][kw][c]` weight block, flattened.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Per-channel bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Accumulated weight gradients (same layout as [`DwConv2d::weights`]).
+    pub fn grad_weights(&self) -> &[f32] {
+        &self.grad_weights
+    }
+
+    /// Accumulated bias gradients.
+    pub fn grad_bias(&self) -> &[f32] {
+        &self.grad_bias
+    }
+
     fn out_dims(&self, h: usize, w: usize) -> (usize, usize, isize, isize) {
         match self.padding {
             Padding::Valid => (
@@ -358,26 +459,39 @@ impl DwConv2d {
         }
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    /// Forward pass: hoisted bounds plus contiguous channel stripes — the
+    /// input row, weight row and output row all advance channel-by-channel
+    /// in lockstep. Bit-exact against [`crate::reference::dwconv2d_forward`].
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
         let [h, w, _]: [usize; 3] = input.shape().try_into().expect("rank 3");
         let (oh, ow, ph, pw) = self.out_dims(h, w);
-        let mut out = Tensor::zeros([oh, ow, self.channels]);
+        let (c_n, kw) = (self.channels, self.kw);
+        let mut out = Tensor::zeros([oh, ow, c_n]);
+        let x = input.data();
+        let out_data = out.data_mut();
         for oy in 0..oh {
+            let iy_base = (oy * self.stride) as isize - ph;
+            let i_lo = (-iy_base).max(0) as usize;
+            let i_hi = ((h as isize - iy_base).clamp(0, self.kh as isize)) as usize;
             for ox in 0..ow {
-                for c in 0..self.channels {
-                    let mut acc = self.bias[c];
-                    for i in 0..self.kh {
-                        for j in 0..self.kw {
-                            let iy = (oy * self.stride + i) as isize - ph;
-                            let ix = (ox * self.stride + j) as isize - pw;
-                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
-                                continue;
-                            }
-                            acc += input.at3(iy as usize, ix as usize, c)
-                                * self.weights[(i * self.kw + j) * self.channels + c];
+                let ix_base = (ox * self.stride) as isize - pw;
+                let j_lo = (-ix_base).max(0) as usize;
+                let j_hi = ((w as isize - ix_base).clamp(0, kw as isize)) as usize;
+                let o_off = (oy * ow + ox) * c_n;
+                let orow = &mut out_data[o_off..o_off + c_n];
+                orow.copy_from_slice(&self.bias);
+                for i in i_lo..i_hi {
+                    let iy = (iy_base + i as isize) as usize;
+                    for j in j_lo..j_hi {
+                        let ix = (ix_base + j as isize) as usize;
+                        let x_off = (iy * w + ix) * c_n;
+                        let w_off = (i * kw + j) * c_n;
+                        let xrow = &x[x_off..x_off + c_n];
+                        let wrow = &self.weights[w_off..w_off + c_n];
+                        for ((o, &xv), &wv) in orow.iter_mut().zip(xrow).zip(wrow) {
+                            *o += xv * wv;
                         }
                     }
-                    *out.at3_mut(oy, ox, c) = acc;
                 }
             }
         }
@@ -385,31 +499,48 @@ impl DwConv2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Backward pass, mirroring the forward's structure. All-zero gradient
+    /// rows are skipped via an exact bit-pattern test.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("forward before backward");
         let [h, w, _]: [usize; 3] = input.shape().try_into().expect("rank 3");
         let [oh, ow, _]: [usize; 3] = grad_out.shape().try_into().expect("rank 3");
         let (_, _, ph, pw) = self.out_dims(h, w);
-        let mut grad_in = Tensor::zeros([h, w, self.channels]);
+        let (c_n, kw) = (self.channels, self.kw);
+        let mut grad_in = Tensor::zeros([h, w, c_n]);
+        let x = input.data();
+        let go = grad_out.data();
+        let gi = grad_in.data_mut();
         for oy in 0..oh {
+            let iy_base = (oy * self.stride) as isize - ph;
+            let i_lo = (-iy_base).max(0) as usize;
+            let i_hi = ((h as isize - iy_base).clamp(0, self.kh as isize)) as usize;
             for ox in 0..ow {
-                for c in 0..self.channels {
-                    let g = grad_out.at3(oy, ox, c);
-                    if g == 0.0 {
-                        continue;
-                    }
-                    self.grad_bias[c] += g;
-                    for i in 0..self.kh {
-                        for j in 0..self.kw {
-                            let iy = (oy * self.stride + i) as isize - ph;
-                            let ix = (ox * self.stride + j) as isize - pw;
-                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
-                                continue;
-                            }
-                            let (iy, ix) = (iy as usize, ix as usize);
-                            let widx = (i * self.kw + j) * self.channels + c;
-                            self.grad_weights[widx] += g * input.at3(iy, ix, c);
-                            *grad_in.at3_mut(iy, ix, c) += g * self.weights[widx];
+                let g_off = (oy * ow + ox) * c_n;
+                let grow = &go[g_off..g_off + c_n];
+                if grow.iter().all(|g| g.to_bits() == 0) {
+                    continue;
+                }
+                for (gb, &g) in self.grad_bias.iter_mut().zip(grow) {
+                    *gb += g;
+                }
+                let ix_base = (ox * self.stride) as isize - pw;
+                let j_lo = (-ix_base).max(0) as usize;
+                let j_hi = ((w as isize - ix_base).clamp(0, kw as isize)) as usize;
+                for i in i_lo..i_hi {
+                    let iy = (iy_base + i as isize) as usize;
+                    for j in j_lo..j_hi {
+                        let ix = (ix_base + j as isize) as usize;
+                        let x_off = (iy * w + ix) * c_n;
+                        let w_off = (i * kw + j) * c_n;
+                        let xrow = &x[x_off..x_off + c_n];
+                        let wrow = &self.weights[w_off..w_off + c_n];
+                        let gwrow = &mut self.grad_weights[w_off..w_off + c_n];
+                        let girow = &mut gi[x_off..x_off + c_n];
+                        for i_c in 0..c_n {
+                            let g = grow[i_c];
+                            gwrow[i_c] += g * xrow[i_c];
+                            girow[i_c] += g * wrow[i_c];
                         }
                     }
                 }

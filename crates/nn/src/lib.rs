@@ -65,6 +65,7 @@ pub mod model;
 pub mod multi_exit;
 pub mod optimizer;
 pub mod quantized;
+pub mod reference;
 pub mod sampler;
 pub mod tensor;
 pub mod train;

@@ -1,0 +1,126 @@
+//! Golden tests: the optimized conv kernels must agree with the naive
+//! reference implementations (`solarml_nn::reference`) across random
+//! rectangular-kernel / padded / strided cases.
+//!
+//! Forward passes preserve the reference's accumulation order and must be
+//! bit-exact. The full-conv backward uses a register dot-product over the
+//! filter axis, which reorders float sums — `grad_in` is compared with a
+//! tolerance there; weight/bias gradients keep the reference order.
+
+use rand::{Rng, SeedableRng};
+use solarml_nn::layers::{Conv2d, DwConv2d};
+use solarml_nn::{reference, Padding, Tensor};
+
+fn random_input(rng: &mut impl Rng, h: usize, w: usize, c: usize) -> Tensor {
+    Tensor::from_vec(
+        [h, w, c],
+        (0..h * w * c)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    )
+}
+
+/// Gradient tensor with ~30% exact zeros so the skip-zero fast path runs.
+fn random_grad(rng: &mut impl Rng, shape: &[usize]) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape.to_vec(),
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    0.0
+                } else {
+                    rng.gen_range(-1.0f32..1.0)
+                }
+            })
+            .collect(),
+    )
+}
+
+fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "{what}[{i}]: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn conv2d_matches_naive_reference_on_random_cases() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0);
+    for case in 0..25 {
+        let h: usize = rng.gen_range(3..10);
+        let w: usize = rng.gen_range(2..9);
+        let cin = rng.gen_range(1..5);
+        let cout = rng.gen_range(1..7);
+        let kh = rng.gen_range(1..=h.min(4));
+        let kw = rng.gen_range(1..=w.min(4));
+        let stride = rng.gen_range(1..3);
+        let padding = if rng.gen_bool(0.5) {
+            Padding::Same
+        } else {
+            Padding::Valid
+        };
+        let label =
+            format!("case {case}: in [{h},{w},{cin}] k {kh}x{kw} f{cout} s{stride} {padding:?}");
+
+        let mut layer = Conv2d::standalone(cin, cout, kh, kw, stride, padding, &mut rng);
+        let input = random_input(&mut rng, h, w, cin);
+        let weights = layer.weights().to_vec();
+        let bias = layer.bias().to_vec();
+
+        let got = layer.forward(&input);
+        let want =
+            reference::conv2d_forward(&input, &weights, &bias, kh, kw, cin, cout, stride, padding);
+        assert_eq!(got.shape(), want.shape(), "{label}: forward shape");
+        assert_eq!(got.data(), want.data(), "{label}: forward is bit-exact");
+
+        let grad_out = random_grad(&mut rng, got.shape());
+        let grad_in = layer.backward(&grad_out);
+        let (want_gi, want_gw, want_gb) = reference::conv2d_backward(
+            &input, &grad_out, &weights, kh, kw, cin, cout, stride, padding,
+        );
+        assert_close(grad_in.data(), want_gi.data(), 1e-5, &label);
+        assert_close(layer.grad_weights(), &want_gw, 1e-5, &label);
+        assert_eq!(layer.grad_bias(), &want_gb[..], "{label}: grad_bias");
+    }
+}
+
+#[test]
+fn dwconv2d_matches_naive_reference_on_random_cases() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD1);
+    for case in 0..25 {
+        let h: usize = rng.gen_range(3..10);
+        let w: usize = rng.gen_range(2..9);
+        let c = rng.gen_range(1..6);
+        let kh = rng.gen_range(1..=h.min(4));
+        let kw = rng.gen_range(1..=w.min(4));
+        let stride = rng.gen_range(1..3);
+        let padding = if rng.gen_bool(0.5) {
+            Padding::Same
+        } else {
+            Padding::Valid
+        };
+        let label = format!("case {case}: in [{h},{w},{c}] k {kh}x{kw} s{stride} {padding:?}");
+
+        let mut layer = DwConv2d::standalone(c, kh, kw, stride, padding, &mut rng);
+        let input = random_input(&mut rng, h, w, c);
+        let weights = layer.weights().to_vec();
+        let bias = layer.bias().to_vec();
+
+        let got = layer.forward(&input);
+        let want = reference::dwconv2d_forward(&input, &weights, &bias, kh, kw, c, stride, padding);
+        assert_eq!(got.shape(), want.shape(), "{label}: forward shape");
+        assert_eq!(got.data(), want.data(), "{label}: forward is bit-exact");
+
+        let grad_out = random_grad(&mut rng, got.shape());
+        let grad_in = layer.backward(&grad_out);
+        let (want_gi, want_gw, want_gb) =
+            reference::dwconv2d_backward(&input, &grad_out, &weights, kh, kw, c, stride, padding);
+        assert_eq!(grad_in.data(), want_gi.data(), "{label}: grad_in bit-exact");
+        assert_eq!(layer.grad_weights(), &want_gw[..], "{label}: grad_weights");
+        assert_eq!(layer.grad_bias(), &want_gb[..], "{label}: grad_bias");
+    }
+}

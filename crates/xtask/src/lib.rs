@@ -50,6 +50,10 @@ pub enum ViolationKind {
     Unwrap,
     /// `.expect(...)` in non-test library code.
     Expect,
+    /// `Rc<`/`RefCell<` in library code of a crate whose state must stay
+    /// `Send + Sync` (the parallel evaluation engine shares it across
+    /// worker threads).
+    RcRefCell,
     /// A crate manifest does not opt into `[workspace.lints]`.
     MissingLintsTable,
     /// The root manifest lacks the `[workspace.lints.clippy]` deny-set.
@@ -64,6 +68,7 @@ impl ViolationKind {
             ViolationKind::FloatEq => "float-eq",
             ViolationKind::Unwrap => "unwrap",
             ViolationKind::Expect => "expect",
+            ViolationKind::RcRefCell => "rc-refcell",
             ViolationKind::MissingLintsTable => "missing-lints-table",
             ViolationKind::MissingWorkspaceLints => "missing-workspace-lints",
         }

@@ -1,6 +1,6 @@
-//! `cargo xtask lint` — the workspace's static-analysis driver.
+//! `cargo xtask` — the workspace's task driver.
 //!
-//! Passes, in order:
+//! `cargo xtask lint` passes, in order:
 //! 1. physics lint (lexical scan; see [`xtask::scan`])
 //! 2. manifest gate ([`xtask::manifest`])
 //! 3. `cargo fmt --check` (skipped with `--fast`)
@@ -10,6 +10,10 @@
 //! Exit status 0 means every pass was clean; 1 means violations (printed
 //! one per line as `file:line: [rule] detail`); 2 means the driver itself
 //! failed (I/O, missing cargo, …).
+//!
+//! `cargo xtask bench [--quick]` builds and runs the `quickbench` binary
+//! (crate `solarml-bench`), which times the conv kernels and the quick
+//! eNAS search and writes `BENCH_hotpaths.json` at the workspace root.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -22,6 +26,7 @@ fn main() -> ExitCode {
     let fast = args.iter().any(|a| a == "--fast");
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(fast),
+        Some("bench") => run_bench(&args[1..]),
         Some("--help" | "-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -36,11 +41,54 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cargo xtask lint [--fast]\n\n\
-         Runs the physics lint, the manifest gate, `cargo fmt --check` and\n\
-         `cargo clippy` over the workspace. `--fast` skips the two cargo\n\
-         subprocess gates (useful in tight edit loops)."
+        "usage: cargo xtask <command>\n\n\
+         commands:\n  \
+         lint [--fast]           Physics lint, manifest gate, `cargo fmt\n                          \
+         --check` and `cargo clippy`. `--fast` skips\n                          \
+         the two cargo subprocess gates.\n  \
+         bench [--quick] [args]  Build and run the quickbench binary; writes\n                          \
+         BENCH_hotpaths.json at the workspace root.\n                          \
+         `--quick` cuts repetitions for CI."
     );
+}
+
+/// Shells out to the release-built `quickbench` binary from the workspace
+/// root so `BENCH_hotpaths.json` lands next to the manifest. Extra args
+/// (`--quick`, `--out PATH`) are forwarded verbatim.
+fn run_bench(extra: &[String]) -> ExitCode {
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("xtask: cannot locate workspace root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cmd_args: Vec<&str> = vec![
+        "run",
+        "--release",
+        "-p",
+        "solarml-bench",
+        "--bin",
+        "quickbench",
+        "--",
+    ];
+    cmd_args.extend(extra.iter().map(String::as_str));
+    eprintln!("xtask: running cargo {}…", cmd_args.join(" "));
+    match Command::new("cargo")
+        .args(&cmd_args)
+        .current_dir(&root)
+        .status()
+    {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(status) => {
+            eprintln!("xtask: quickbench failed ({status})");
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("xtask: could not run cargo: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn run_lint(fast: bool) -> ExitCode {

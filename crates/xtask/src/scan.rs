@@ -22,13 +22,18 @@ pub struct ScanConfig {
     /// Crates whose non-test library code may not call `unwrap`/`expect`
     /// or compare floats with `==`.
     pub strict_crates: Vec<String>,
+    /// Crates whose non-test library code may not introduce `Rc<` or
+    /// `RefCell<`: their state is shared across the worker threads of the
+    /// parallel evaluation engine and must stay `Send + Sync`.
+    pub sendsync_crates: Vec<String>,
     /// Parsed allow-list (see [`AllowList`]).
     pub allow: AllowList,
 }
 
 impl ScanConfig {
     /// The shipped policy: the five physics crates get both rule families;
-    /// `units` and the user-facing `cli` get the strict rules.
+    /// `units` and the user-facing `cli` get the strict rules; `nas` and
+    /// `nn` get the `Send + Sync` rule.
     pub fn default_policy(allow: AllowList) -> Self {
         let physics = ["circuit", "mcu", "energy", "platform", "trace"];
         let mut strict: Vec<String> = physics.iter().map(|s| s.to_string()).collect();
@@ -37,6 +42,7 @@ impl ScanConfig {
         Self {
             signature_crates: physics.iter().map(|s| s.to_string()).collect(),
             strict_crates: strict,
+            sendsync_crates: vec!["nas".to_string(), "nn".to_string()],
             allow,
         }
     }
@@ -278,6 +284,7 @@ pub fn scan_source(
     src: &str,
     check_signatures: bool,
     check_strict: bool,
+    check_sendsync: bool,
     allow: &AllowList,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -294,8 +301,51 @@ pub fn scan_source(
         scan_unwraps(rel, src, &blanked, &tests, &mut out);
         scan_float_eq(rel, src, &blanked, &tests, &mut out);
     }
+    if check_sendsync {
+        scan_rc_refcell(rel, src, &blanked, &tests, &mut out);
+    }
     out.sort_by_key(|v| v.line);
     out
+}
+
+/// Flags `Rc<` and `RefCell<` in non-test library code. Single-threaded
+/// shared state in `nas`/`nn` would make `TaskContext` `!Send`/`!Sync`
+/// again and silently break the parallel evaluation engine; use
+/// `Arc`/`RwLock`/`Mutex` (or the `ShardedMap` in `nas::parallel`) instead.
+/// The ident-boundary check keeps `Arc<` from matching `Rc<`.
+fn scan_rc_refcell(
+    rel: &Path,
+    src: &str,
+    blanked: &str,
+    tests: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let allowed_lines = inline_allows(src, "rc-refcell");
+    let b = blanked.as_bytes();
+    for needle in ["Rc<", "RefCell<"] {
+        for (pos, _) in blanked.match_indices(needle) {
+            if pos > 0 && is_ident_byte(b[pos - 1]) {
+                continue;
+            }
+            if in_regions(tests, pos) {
+                continue;
+            }
+            let line = line_of(src, pos);
+            if allowed_lines.contains(&line) {
+                continue;
+            }
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line,
+                kind: ViolationKind::RcRefCell,
+                detail: format!(
+                    "`{needle}…` is not Send/Sync — use Arc/RwLock (or \
+                     nas::parallel::ShardedMap), or add \
+                     `// physics-lint: allow(rc-refcell)` with a reason"
+                ),
+            });
+        }
+    }
 }
 
 fn scan_pub_fn_signatures(
@@ -548,12 +598,14 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
         .signature_crates
         .iter()
         .chain(config.strict_crates.iter())
+        .chain(config.sendsync_crates.iter())
         .collect();
     crates.sort();
     crates.dedup();
     for name in crates {
         let check_sigs = config.signature_crates.iter().any(|c| c == name);
         let check_strict = config.strict_crates.iter().any(|c| c == name);
+        let check_sendsync = config.sendsync_crates.iter().any(|c| c == name);
         let src_dir = root.join("crates").join(name).join("src");
         for file in rs_files(&src_dir)? {
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
@@ -563,6 +615,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
                 &text,
                 check_sigs,
                 check_strict,
+                check_sendsync,
                 &config.allow,
             ));
         }
@@ -626,6 +679,7 @@ mod tests {
             src,
             true,
             false,
+            false,
             &AllowList::default(),
         );
         assert_eq!(kinds(&vs), vec![ViolationKind::RawFloatSignature]);
@@ -635,6 +689,7 @@ mod tests {
             src,
             false,
             true,
+            false,
             &AllowList::default(),
         );
         assert!(vs.is_empty());
@@ -643,14 +698,28 @@ mod tests {
     #[test]
     fn detects_float_return_type() {
         let src = "pub fn efficiency(&self) -> f64 { 0.0 }";
-        let vs = scan_source(Path::new("a.rs"), src, true, false, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            true,
+            false,
+            false,
+            &AllowList::default(),
+        );
         assert_eq!(kinds(&vs), vec![ViolationKind::RawFloatSignature]);
     }
 
     #[test]
     fn closure_param_floats_are_flagged() {
         let src = "pub fn step(&mut self, shading: impl Fn(usize) -> f64) -> SimStep { todo!() }";
-        let vs = scan_source(Path::new("a.rs"), src, true, false, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            true,
+            false,
+            false,
+            &AllowList::default(),
+        );
         assert_eq!(kinds(&vs), vec![ViolationKind::RawFloatSignature]);
     }
 
@@ -658,21 +727,42 @@ mod tests {
     fn units_newtype_signature_is_clean() {
         let src = "pub fn power(&self, lux: Lux, shading: Ratio) -> Power { todo!() }\n\
                    pub fn raw(&self) -> Vec<u64> { vec![] }";
-        let vs = scan_source(Path::new("a.rs"), src, true, true, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            true,
+            true,
+            false,
+            &AllowList::default(),
+        );
         assert!(vs.is_empty(), "{vs:?}");
     }
 
     #[test]
     fn pub_crate_fns_are_exempt() {
         let src = "pub(crate) fn helper(x: f64) -> f64 { x }";
-        let vs = scan_source(Path::new("a.rs"), src, true, false, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            true,
+            false,
+            false,
+            &AllowList::default(),
+        );
         assert!(vs.is_empty());
     }
 
     #[test]
     fn body_floats_do_not_trip_signature_rule() {
         let src = "pub fn tidy(&self) -> Power {\n    let x: f64 = 1.0;\n    Power::new(x)\n}";
-        let vs = scan_source(Path::new("a.rs"), src, true, false, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            true,
+            false,
+            false,
+            &AllowList::default(),
+        );
         assert!(vs.is_empty());
     }
 
@@ -682,18 +772,25 @@ mod tests {
             "pub fn mean(xs: &[f64]) -> f64 { 0.0 }\npub fn median(xs: &[f64]) -> f64 { 0.0 }";
         let allow = AllowList::parse("crates/trace/src/stats.rs::mean\n# comment\n");
         let rel = Path::new("crates/trace/src/stats.rs");
-        let vs = scan_source(rel, src, true, false, &allow);
+        let vs = scan_source(rel, src, true, false, false, &allow);
         assert_eq!(vs.len(), 1);
         assert!(vs[0].detail.contains("median"));
         let allow_all = AllowList::parse("crates/trace/src/stats.rs::*");
-        assert!(scan_source(rel, src, true, false, &allow_all).is_empty());
+        assert!(scan_source(rel, src, true, false, false, &allow_all).is_empty());
     }
 
     #[test]
     fn detects_unwrap_and_expect_outside_tests() {
         let src = "fn go() { let x = maybe().unwrap(); let y = other().expect(\"boom\"); }\n\
                    #[cfg(test)]\nmod tests {\n    fn t() { let _ = maybe().unwrap(); }\n}";
-        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            false,
+            true,
+            false,
+            &AllowList::default(),
+        );
         assert_eq!(
             kinds(&vs),
             vec![ViolationKind::Unwrap, ViolationKind::Expect]
@@ -703,14 +800,28 @@ mod tests {
     #[test]
     fn inline_marker_suppresses_unwrap() {
         let src = "fn go() { let x = lock().unwrap(); } // physics-lint: allow(unwrap): poisoned lock is fatal";
-        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            false,
+            true,
+            false,
+            &AllowList::default(),
+        );
         assert!(vs.is_empty());
     }
 
     #[test]
     fn detects_float_eq_against_literal() {
         let src = "fn go(x: f64) -> bool { x == 0.0 }";
-        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            false,
+            true,
+            false,
+            &AllowList::default(),
+        );
         assert_eq!(kinds(&vs), vec![ViolationKind::FloatEq]);
         let src_neq = "fn go(x: f64) -> bool { 1.5e-3 != x }";
         let vs = scan_source(
@@ -718,6 +829,7 @@ mod tests {
             src_neq,
             false,
             true,
+            false,
             &AllowList::default(),
         );
         assert_eq!(kinds(&vs), vec![ViolationKind::FloatEq]);
@@ -726,14 +838,28 @@ mod tests {
     #[test]
     fn integer_eq_and_comparisons_are_fine() {
         let src = "fn go(x: usize, y: f64) -> bool { x == 3 && y >= 0.0 && y <= 1.0 }";
-        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            false,
+            true,
+            false,
+            &AllowList::default(),
+        );
         assert!(vs.is_empty(), "{vs:?}");
     }
 
     #[test]
     fn float_eq_in_doc_comment_is_ignored() {
         let src = "/// Returns true when `x == 0.0`.\nfn go(x: u64) -> bool { x == 0 }";
-        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            false,
+            true,
+            false,
+            &AllowList::default(),
+        );
         assert!(vs.is_empty());
     }
 
@@ -741,9 +867,74 @@ mod tests {
     fn test_region_masking_handles_nested_braces() {
         let src = "#[cfg(test)]\nmod tests {\n    fn deep() { if true { x.unwrap(); } }\n}\n\
                    fn live() { y.unwrap(); }";
-        let vs = scan_source(Path::new("a.rs"), src, false, true, &AllowList::default());
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            false,
+            true,
+            false,
+            &AllowList::default(),
+        );
         assert_eq!(vs.len(), 1);
         assert_eq!(vs[0].line, 5);
+    }
+
+    #[test]
+    fn detects_rc_and_refcell_outside_tests() {
+        let src = "use std::rc::Rc;\nstruct S { cache: Rc<RefCell<Vec<u8>>> }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let _: Rc<u8> = todo!(); }\n}";
+        let vs = scan_source(
+            Path::new("crates/nas/src/task.rs"),
+            src,
+            false,
+            false,
+            true,
+            &AllowList::default(),
+        );
+        assert_eq!(
+            kinds(&vs),
+            vec![ViolationKind::RcRefCell, ViolationKind::RcRefCell]
+        );
+        assert_eq!(vs[0].line, 2);
+        // Rule family off: the same source is clean.
+        let vs = scan_source(
+            Path::new("crates/nas/src/task.rs"),
+            src,
+            false,
+            true,
+            false,
+            &AllowList::default(),
+        );
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn arc_and_rwlock_do_not_trip_rc_rule() {
+        let src = "struct S { cache: Arc<RwLock<Vec<u8>>>, weak: std::sync::Weak<u8> }";
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            false,
+            false,
+            true,
+            &AllowList::default(),
+        );
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn inline_marker_suppresses_rc_refcell() {
+        let src =
+            "type Scratch = RefCell<Vec<u8>>; // physics-lint: allow(rc-refcell): thread-local";
+        let vs = scan_source(
+            Path::new("a.rs"),
+            src,
+            false,
+            false,
+            true,
+            &AllowList::default(),
+        );
+        assert!(vs.is_empty(), "{vs:?}");
     }
 
     #[test]

@@ -60,10 +60,12 @@ fn seeded_violations_are_caught() {
 pub fn leaky(&self, lux: f64) -> f64 { lux }\n\
 pub fn check(&self) -> bool { self.v == 3.3 }\n\
 fn helper(&self) { let v = self.cell.lock().unwrap(); drop(v); }\n\
-fn other(&self) { let v = self.opt.expect(\"set\"); drop(v); }\n";
+fn other(&self) { let v = self.opt.expect(\"set\"); drop(v); }\n\
+struct Shared { cache: Rc<RefCell<Vec<u8>>> }\n";
     let violations = scan_source(
         Path::new("crates/circuit/src/seeded_fixture.rs"),
         fixture,
+        true,
         true,
         true,
         &shipped_allow_list(),
@@ -76,6 +78,7 @@ fn other(&self) { let v = self.opt.expect(\"set\"); drop(v); }\n";
     assert!(kinds.contains(&ViolationKind::FloatEq), "{kinds:?}");
     assert!(kinds.contains(&ViolationKind::Unwrap), "{kinds:?}");
     assert!(kinds.contains(&ViolationKind::Expect), "{kinds:?}");
+    assert!(kinds.contains(&ViolationKind::RcRefCell), "{kinds:?}");
 }
 
 #[test]
@@ -91,6 +94,7 @@ fn pick(&self) {\n\
     let violations = scan_source(
         Path::new("crates/circuit/src/seeded_fixture.rs"),
         fixture,
+        true,
         true,
         true,
         &shipped_allow_list(),
