@@ -44,6 +44,7 @@
 pub mod components;
 pub mod env;
 pub mod event;
+pub mod fault;
 pub mod harvest;
 pub mod mppt;
 pub mod sim;
@@ -53,6 +54,10 @@ pub use components::{
 };
 pub use env::{HoverSchedule, Illumination, LightChange, LightEnvironment};
 pub use event::{DetectorOutput, DetectorState, EventDetector};
+pub use fault::{
+    BrownoutComparator, BrownoutThresholds, CloudTransient, ComparatorState, FaultPlan,
+    OutageWindow, PowerEvent, SupercapDegradation,
+};
 pub use harvest::{ArrayLayout, CellRole, HarvestMode, Harvester, HarvestingArray};
 pub use mppt::{iv_sweep, FractionalVoc, IvPoint, PerturbObserve};
 pub use sim::{CircuitSim, EnergyAudit, SimConfig, SimStep};

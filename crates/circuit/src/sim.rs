@@ -99,6 +99,14 @@ impl Default for EnergyAudit {
 
 impl EnergyAudit {
     /// Folds one supercap step into the ledger and returns this step's
+    /// signed conservation residual. Public entry point for simulations
+    /// that drive a [`Supercap`] directly (e.g. the platform's
+    /// intermittency runtime) but still want the conservation ledger.
+    pub fn record(&mut self, flows: CapStepEnergy) -> Energy {
+        Energy::new(self.absorb(flows))
+    }
+
+    /// Folds one supercap step into the ledger and returns this step's
     /// conservation residual (signed, in joules).
     fn absorb(&mut self, flows: CapStepEnergy) -> f64 {
         self.harvested += flows.harvested;

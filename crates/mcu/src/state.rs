@@ -23,6 +23,11 @@ pub enum PowerState {
     Tickless,
     /// CPU computing at full clock.
     Active,
+    /// The brownout supervisor cut the core: a dead window drawing nothing.
+    /// Unlike [`PowerState::Off`] (a deliberate, clean power-down), a
+    /// brownout loses volatile state mid-task; recovery requires a cold
+    /// boot via [`Mcu::power_on`].
+    Brownout,
 }
 
 impl fmt::Display for PowerState {
@@ -34,6 +39,7 @@ impl fmt::Display for PowerState {
             PowerState::WakeTransition => "wake",
             PowerState::Tickless => "tickless",
             PowerState::Active => "active",
+            PowerState::Brownout => "brownout",
         };
         f.write_str(s)
     }
@@ -131,11 +137,15 @@ impl Mcu {
 
     /// Connects the rail: a cold boot into [`PowerState::Active`].
     ///
+    /// Legal from [`PowerState::Off`] and from [`PowerState::Brownout`] —
+    /// both lose volatile state, and both resume only through the full
+    /// cold-boot burst (its energy lands in `WakeTransition` accounting).
+    ///
     /// # Errors
     ///
-    /// Returns an error if the MCU is not off.
+    /// Returns an error if the MCU is running.
     pub fn power_on(&mut self) -> Result<(), TransitionError> {
-        if self.state != PowerState::Off {
+        if !matches!(self.state, PowerState::Off | PowerState::Brownout) {
             return Err(TransitionError {
                 from: self.state,
                 to: PowerState::Active,
@@ -153,6 +163,16 @@ impl Mcu {
         self.tickless_power = Power::ZERO;
     }
 
+    /// The brownout supervisor cut the core (always legal — a sagging rail
+    /// does not ask permission). The MCU enters [`PowerState::Brownout`],
+    /// draws nothing, and any in-flight wake transition is lost; time spent
+    /// browned out accrues as the dead window via [`Mcu::time_in`].
+    pub fn brownout(&mut self) {
+        self.state = PowerState::Brownout;
+        self.pending = None;
+        self.tickless_power = Power::ZERO;
+    }
+
     /// Requests a state change.
     ///
     /// Leaving `DeepSleep` or `Standby` for a running state inserts a warm
@@ -161,10 +181,10 @@ impl Mcu {
     ///
     /// # Errors
     ///
-    /// Returns an error when the MCU is off (use [`Mcu::power_on`]) or a wake
-    /// transition is still in progress.
+    /// Returns an error when the MCU is off or browned out (use
+    /// [`Mcu::power_on`]) or a wake transition is still in progress.
     pub fn enter(&mut self, to: PowerState) -> Result<(), TransitionError> {
-        if self.state == PowerState::Off || self.pending.is_some() {
+        if matches!(self.state, PowerState::Off | PowerState::Brownout) || self.pending.is_some() {
             return Err(TransitionError {
                 from: self.state(),
                 to,
@@ -172,6 +192,7 @@ impl Mcu {
         }
         match (self.state, to) {
             (_, PowerState::Off) => self.power_off(),
+            (_, PowerState::Brownout) => self.brownout(),
             (
                 PowerState::DeepSleep | PowerState::Standby,
                 PowerState::Active | PowerState::Tickless,
@@ -213,6 +234,7 @@ impl Mcu {
             PowerState::WakeTransition => self.model.wake_power,
             PowerState::Tickless => self.tickless_power,
             PowerState::Active => self.model.active,
+            PowerState::Brownout => Power::ZERO,
         }
     }
 
@@ -406,6 +428,59 @@ mod tests {
             + mcu.energy_in(PowerState::DeepSleep)
             + mcu.energy_in(PowerState::Active);
         assert!((total.as_joules() - parts.as_joules()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn brownout_is_always_legal_and_kills_pending_wake() {
+        let mut mcu = Mcu::new(McuPowerModel::default());
+        mcu.power_on().expect("on");
+        assert_eq!(mcu.state(), PowerState::WakeTransition);
+        mcu.brownout(); // mid-boot brownout
+        assert_eq!(mcu.state(), PowerState::Brownout);
+        assert_eq!(mcu.power(), Power::ZERO);
+        // Requests other than power_on fail from the dead window.
+        assert!(mcu.enter(PowerState::Active).is_err());
+        assert!(mcu.enter(PowerState::DeepSleep).is_err());
+    }
+
+    #[test]
+    fn brownout_dead_window_accrues_time_at_zero_energy() {
+        let mut mcu = powered_mcu();
+        let spent_before = mcu.total_energy();
+        mcu.brownout();
+        let spent = mcu.advance(Seconds::new(3.0));
+        assert_eq!(spent, Energy::ZERO);
+        assert_eq!(mcu.time_in(PowerState::Brownout), Seconds::new(3.0));
+        assert_eq!(mcu.energy_in(PowerState::Brownout), Energy::ZERO);
+        assert_eq!(mcu.total_energy(), spent_before);
+    }
+
+    #[test]
+    fn recovery_from_brownout_pays_a_cold_boot() {
+        let mut mcu = powered_mcu();
+        let boot1 = mcu.energy_in(PowerState::WakeTransition);
+        mcu.brownout();
+        mcu.advance(Seconds::new(1.0));
+        mcu.power_on().expect("cold boot from brownout is legal");
+        assert_eq!(mcu.state(), PowerState::WakeTransition);
+        mcu.advance(Seconds::from_millis(25.0));
+        assert_eq!(mcu.state(), PowerState::Active);
+        let boot2 = mcu.energy_in(PowerState::WakeTransition);
+        let expected = McuPowerModel::default().cold_boot_energy();
+        assert!(
+            ((boot2 - boot1).as_joules() - expected.as_joules()).abs() < 1e-12,
+            "second cold boot costs the full cold-boot energy"
+        );
+    }
+
+    #[test]
+    fn enter_routes_brownout_through_the_dead_state() {
+        let mut mcu = powered_mcu();
+        mcu.begin_sampling(Power::from_milli_watts(1.0))
+            .expect("sample");
+        mcu.enter(PowerState::Brownout).expect("supervisor trip");
+        assert_eq!(mcu.state(), PowerState::Brownout);
+        assert_eq!(mcu.power(), Power::ZERO);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
@@ -138,28 +139,73 @@ pub fn derive_seed(base_seed: u64, cycle: usize, index: usize) -> u64 {
     mix64(mix64(base_seed ^ mix64(cycle as u64)) ^ mix64((index as u64) ^ 0xA5A5_A5A5_A5A5_A5A5))
 }
 
-/// Maps `f` over `items` on up to `workers` scoped threads, returning the
-/// results in input order. Falls back to a plain sequential loop for one
-/// worker or ≤ 1 item, so the single-worker path has zero threading
-/// overhead (and trivially identical results).
-pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+/// A panic caught inside a worker while evaluating one item.
+///
+/// The payload is reduced to its message: panic payloads are `Box<dyn Any>`
+/// and rarely more structured than a string, and a cloneable error is what
+/// search drivers need to fail one slot without losing the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalPanic {
+    /// Index of the item (in the mapped slice / request batch) whose
+    /// evaluation panicked.
+    pub index: usize,
+    /// The panic message, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for EvalPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "evaluation of item {} panicked: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for EvalPanic {}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`parallel_map`] with per-item panic isolation: a panic inside `f`
+/// fails that item's slot with an [`EvalPanic`] instead of unwinding
+/// across the pool and killing every in-flight evaluation. The remaining
+/// items still run, results stay in input order, and the pool exits
+/// cleanly at any worker count.
+pub fn try_parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<Result<R, EvalPanic>>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let run = |i: usize, item: &T| -> Result<R, EvalPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| EvalPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
     let workers = effective_workers(workers).min(items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| run(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, EvalPanic>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let result = f(i, item);
+                let result = run(i, item);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -170,6 +216,30 @@ where
             slot.into_inner()
                 .expect("result slot poisoned")
                 .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning the
+/// results in input order. Falls back to a plain sequential loop for one
+/// worker or ≤ 1 item, so the single-worker path has zero threading
+/// overhead (and trivially identical results).
+///
+/// A panic inside `f` no longer tears down the scope mid-flight: the other
+/// items complete, then the first panic is re-raised on the caller's
+/// thread with its original message. Use [`try_parallel_map`] to handle
+/// panics as values instead.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    try_parallel_map(workers, items, f)
+        .into_iter()
+        .map(|result| match result {
+            Ok(value) => value,
+            Err(panic) => panic!("{panic}"),
         })
         .collect()
 }
@@ -239,6 +309,21 @@ impl<'a> EvalEngine<'a> {
     ///   [`derive_seed`]`(base_seed, cycle, i)` where `i` is the index of
     ///   its *first* occurrence in this batch.
     pub fn evaluate_batch(&self, requests: &[EvalRequest]) -> Vec<Option<Evaluated>> {
+        self.evaluate_batch_checked(requests)
+            .into_iter()
+            .map(Result::unwrap_or_default)
+            .collect()
+    }
+
+    /// [`EvalEngine::evaluate_batch`] with panic isolation surfaced: a
+    /// candidate whose training panics fails *its* slot with an
+    /// [`EvalPanic`] (indexed by request position) while the rest of the
+    /// batch completes normally. Poisoned slots are never memoized, so a
+    /// later attempt retrains rather than replaying the failure.
+    pub fn evaluate_batch_checked(
+        &self,
+        requests: &[EvalRequest],
+    ) -> Vec<Result<Option<Evaluated>, EvalPanic>> {
         // Sequential pass: resolve cache hits and dedupe remaining work.
         let mut first_of: HashMap<&Candidate, usize> = HashMap::new();
         let mut work: Vec<(&EvalRequest, u64)> = Vec::new();
@@ -263,28 +348,35 @@ impl<'a> EvalEngine<'a> {
             })
             .collect();
 
-        // Parallel pass: train the deduped misses.
-        let trained: Vec<Option<Evaluated>> =
-            parallel_map(self.workers, &work, |_, (req, seed)| {
+        // Parallel pass: train the deduped misses, isolating panics.
+        let trained: Vec<Result<Option<Evaluated>, EvalPanic>> =
+            try_parallel_map(self.workers, &work, |_, (req, seed)| {
                 self.ctx.evaluate_seeded(&req.candidate, req.cycle, *seed)
             });
 
         // Publish to the memo cache, then assemble in request order.
         for ((req, _), eval) in work.iter().zip(&trained) {
-            if let Some(eval) = eval {
+            if let Ok(Some(eval)) = eval {
                 self.ctx.store_evaluation(&req.candidate, eval);
             }
         }
         slots
             .into_iter()
             .zip(requests)
-            .map(|(slot, req)| match slot {
-                Slot::Infeasible => None,
-                Slot::Hit(eval) => Some(eval),
-                Slot::Pending(w) => trained[w].clone().map(|mut eval| {
-                    eval.cycle = req.cycle;
-                    eval
-                }),
+            .enumerate()
+            .map(|(i, (slot, req))| match slot {
+                Slot::Infeasible => Ok(None),
+                Slot::Hit(eval) => Ok(Some(eval)),
+                Slot::Pending(w) => match &trained[w] {
+                    Ok(eval) => Ok(eval.clone().map(|mut eval| {
+                        eval.cycle = req.cycle;
+                        eval
+                    })),
+                    Err(panic) => Err(EvalPanic {
+                        index: i,
+                        message: panic.message.clone(),
+                    }),
+                },
             })
             .collect()
     }
@@ -360,5 +452,81 @@ mod tests {
     fn effective_workers_resolves_zero() {
         assert!(effective_workers(0) >= 1);
         assert_eq!(effective_workers(3), 3);
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_panics_at_any_worker_count() {
+        let items: Vec<usize> = (0..16).collect();
+        for workers in [1, 2, 4] {
+            let got = try_parallel_map(workers, &items, |_, &x| {
+                assert!(x % 5 != 3, "poisoned item {x}");
+                x * 2
+            });
+            assert_eq!(got.len(), items.len(), "workers={workers}");
+            for (i, result) in got.iter().enumerate() {
+                if i % 5 == 3 {
+                    match result {
+                        Err(p) => {
+                            assert_eq!(p.index, i);
+                            assert!(p.message.contains("poisoned item"), "{p}");
+                        }
+                        Ok(v) => panic!("item {i} should have panicked, got {v}"),
+                    }
+                } else {
+                    assert_eq!(*result, Ok(i * 2), "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_survives_a_poisoned_candidate() {
+        use crate::candidate::SensingConfig;
+        use crate::task::TaskContext;
+        use rand::SeedableRng;
+
+        let ctx = TaskContext::gesture(4, 17);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let good_a = ctx.random_candidate(&mut rng);
+        let good_b = ctx.random_candidate(&mut rng);
+        // An audio-sensing candidate in a gesture context passes the static
+        // checks (they only look at the model half) but panics inside the
+        // worker when it reaches for the missing KWS corpus — a realistic
+        // poisoned candidate.
+        let poisoned = Candidate {
+            sensing: SensingConfig::Audio(
+                solarml_dsp::AudioFrontendParams::new(20, 25, 12).expect("valid params"),
+            ),
+            spec: good_a.spec.clone(),
+        };
+        let requests = vec![
+            EvalRequest::new(good_a, 0),
+            EvalRequest::new(poisoned, 0),
+            EvalRequest::new(good_b, 0),
+        ];
+
+        let mut per_worker_count = Vec::new();
+        for workers in [1, 4] {
+            let engine = EvalEngine::new(&ctx, 0xBAD5EED, workers);
+            let checked = engine.evaluate_batch_checked(&requests);
+            assert!(checked[0].is_ok(), "workers={workers}");
+            assert!(checked[2].is_ok(), "workers={workers}");
+            match &checked[1] {
+                Err(p) => {
+                    assert_eq!(p.index, 1);
+                    assert!(p.message.contains("kws context has a corpus"), "{p}");
+                }
+                Ok(v) => panic!("poisoned slot must fail, got {v:?}"),
+            }
+            // The lenient API keeps the run alive with the slot dropped.
+            let lenient = engine.evaluate_batch(&requests);
+            assert!(lenient[0].is_some() && lenient[2].is_some());
+            assert!(lenient[1].is_none());
+            per_worker_count.push(lenient);
+        }
+        assert_eq!(
+            per_worker_count[0], per_worker_count[1],
+            "panic isolation must not break worker-count determinism"
+        );
     }
 }

@@ -9,10 +9,13 @@
 //! * [`sota`] — the six end-to-end systems of Fig. 1 and their
 //!   `E_E`/`E_S`/`E_M` splits;
 //! * [`endtoend`] — §V-D: end-to-end energy per inference and harvesting
-//!   time under 250/500/1000 lux.
+//!   time under 250/500/1000 lux;
+//! * [`intermittent`] — the intermittency-aware runtime: brownout fault
+//!   injection, checkpoint/restore and graceful degradation.
 
 pub mod detectors;
 pub mod endtoend;
+pub mod intermittent;
 pub mod lifecycle;
 pub mod replay;
 pub mod sota;
@@ -23,7 +26,11 @@ pub use endtoend::{
     harvesting_time, simulate_day, DayProfile, DayReport, DaySimConfig, EndToEndBudget,
     HarvestScenario,
 };
-pub use lifecycle::{DutyCycleConfig, EnergyBreakdown, InteractionConfig, TaskProfile};
+pub use intermittent::{
+    simulate_faulted_day, stressed_office_day, CheckpointCostModel, CheckpointPolicy,
+    DayFaultReport, DegradationLadder, DegradationRung, IntermittentConfig, PhasePlan,
+};
+pub use lifecycle::{DutyCycleConfig, EnergyBreakdown, InteractionConfig, TaskPhase, TaskProfile};
 pub use replay::{replay_gesture, GestureReplay, ReplayOutput};
 pub use sota::{sota_systems, SotaSystem, WaitStrategy};
 pub use streaming::{Detection, StreamingKws, StreamingKwsConfig, StreamingReport};

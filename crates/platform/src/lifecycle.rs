@@ -127,8 +127,35 @@ impl EnergyBreakdown {
     }
 }
 
+/// One phase of a sensing→inference task, the granularity at which the
+/// intermittency runtime (see [`crate::intermittent`]) checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskPhase {
+    /// Tickless sampling of the sensor front-end.
+    Sense,
+    /// Preprocessing compute on the captured window.
+    Process,
+    /// Model inference.
+    Infer,
+}
+
+impl TaskPhase {
+    /// The phases in execution order.
+    pub const ALL: [TaskPhase; 3] = [TaskPhase::Sense, TaskPhase::Process, TaskPhase::Infer];
+}
+
+impl fmt::Display for TaskPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TaskPhase::Sense => "sense",
+            TaskPhase::Process => "process",
+            TaskPhase::Infer => "infer",
+        })
+    }
+}
+
 /// A lifecycle run failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LifecycleError {
     /// An MCU power-state transition was illegal — the scenario drove the
     /// state machine into a corner (a configuration bug, not a physics one).
@@ -136,6 +163,18 @@ pub enum LifecycleError {
     /// The event detector never connected the MCU rail within the scenario
     /// window (e.g. a lockout condition or a hover outside the trace).
     DetectorNeverTriggered,
+    /// The brownout supervisor cut the MCU rail mid-task. Carries the phase
+    /// that was executing and how far into it the cut landed, so the
+    /// intermittency runtime can account the lost progress precisely.
+    BrownoutDuringPhase {
+        /// The phase that was interrupted.
+        phase: TaskPhase,
+        /// Time spent inside that phase before the cut.
+        elapsed: Seconds,
+    },
+    /// The stored energy never reached the cheapest viable configuration's
+    /// budget within the retry policy — the cycle had to be abandoned.
+    EnergyExhausted,
 }
 
 impl fmt::Display for LifecycleError {
@@ -148,6 +187,12 @@ impl fmt::Display for LifecycleError {
                     "event detector never connected the MCU within the scenario"
                 )
             }
+            Self::BrownoutDuringPhase { phase, elapsed } => {
+                write!(f, "brownout {elapsed} into the {phase} phase")
+            }
+            Self::EnergyExhausted => {
+                write!(f, "stored energy exhausted before any viable configuration")
+            }
         }
     }
 }
@@ -156,7 +201,7 @@ impl std::error::Error for LifecycleError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Transition(e) => Some(e),
-            Self::DetectorNeverTriggered => None,
+            _ => None,
         }
     }
 }
@@ -456,8 +501,9 @@ impl InteractionConfig {
 }
 
 fn hold_voltage(mcu: &Mcu) -> Volts {
-    // The MCU holds V4 high whenever it is running (not off).
-    if matches!(mcu.state(), PowerState::Off) {
+    // The MCU holds V4 high whenever it is running (not off or dead in a
+    // brownout window).
+    if matches!(mcu.state(), PowerState::Off | PowerState::Brownout) {
         Volts::ZERO
     } else {
         Volts::new(3.3)

@@ -54,6 +54,10 @@ pub enum ViolationKind {
     /// `Send + Sync` (the parallel evaluation engine shares it across
     /// worker threads).
     RcRefCell,
+    /// `.unwrap()`/`.expect(` anywhere — including tests — in a file on
+    /// the brownout/fault path, where a panic would masquerade as the
+    /// fault being injected.
+    FaultPathUnwrap,
     /// A crate manifest does not opt into `[workspace.lints]`.
     MissingLintsTable,
     /// The root manifest lacks the `[workspace.lints.clippy]` deny-set.
@@ -69,6 +73,7 @@ impl ViolationKind {
             ViolationKind::Unwrap => "unwrap",
             ViolationKind::Expect => "expect",
             ViolationKind::RcRefCell => "rc-refcell",
+            ViolationKind::FaultPathUnwrap => "fault-path",
             ViolationKind::MissingLintsTable => "missing-lints-table",
             ViolationKind::MissingWorkspaceLints => "missing-workspace-lints",
         }

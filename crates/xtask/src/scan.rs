@@ -26,6 +26,11 @@ pub struct ScanConfig {
     /// `RefCell<`: their state is shared across the worker threads of the
     /// parallel evaluation engine and must stay `Send + Sync`.
     pub sendsync_crates: Vec<String>,
+    /// Workspace-relative files on the brownout/fault path where
+    /// `unwrap`/`expect` are forbidden *everywhere* — tests included, no
+    /// inline escapes, no allow-list. A panic in fault-handling code is
+    /// indistinguishable from the fault it was supposed to model.
+    pub fault_path_files: Vec<PathBuf>,
     /// Parsed allow-list (see [`AllowList`]).
     pub allow: AllowList,
 }
@@ -43,6 +48,10 @@ impl ScanConfig {
             signature_crates: physics.iter().map(|s| s.to_string()).collect(),
             strict_crates: strict,
             sendsync_crates: vec!["nas".to_string(), "nn".to_string()],
+            fault_path_files: vec![
+                PathBuf::from("crates/circuit/src/fault.rs"),
+                PathBuf::from("crates/platform/src/intermittent.rs"),
+            ],
             allow,
         }
     }
@@ -590,6 +599,31 @@ fn scan_float_eq(
     }
 }
 
+/// The fault-path rule: flags every `.unwrap()` and `.expect(` in `src`,
+/// with *no* exemptions — test regions count (a panicking assertion helper
+/// inside a brownout test aborts the run exactly like a product bug would),
+/// and neither the allow-list nor `physics-lint: allow(...)` markers are
+/// honored. Fault-handling code must thread errors, full stop.
+pub fn scan_fault_path(rel: &Path, src: &str) -> Vec<Violation> {
+    let blanked = blank_noncode(src);
+    let mut out = Vec::new();
+    for needle in [".unwrap()", ".expect("] {
+        for (pos, _) in blanked.match_indices(needle) {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: line_of(src, pos),
+                kind: ViolationKind::FaultPathUnwrap,
+                detail: format!(
+                    "`{needle}…` on the fault path — a panic here masquerades as the \
+                     injected fault; match or propagate instead (no escapes honored)"
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
 /// Walks `crates/<name>/src` for every crate in the policy and scans each
 /// `.rs` file. `root` is the workspace root.
 pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<Violation>> {
@@ -619,6 +653,14 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
                 &config.allow,
             ));
         }
+    }
+    for rel in &config.fault_path_files {
+        let path = root.join(rel);
+        if !path.exists() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        out.extend(scan_fault_path(rel, &text));
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(out)
@@ -934,6 +976,31 @@ mod tests {
             true,
             &AllowList::default(),
         );
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn fault_path_rule_covers_tests_and_ignores_escapes() {
+        let src = "\
+fn live() { let x = maybe().unwrap(); } // physics-lint: allow(unwrap): nope\n\
+#[cfg(test)]\nmod tests {\n    fn t() { other().expect(\"boom\"); }\n}\n";
+        let vs = scan_fault_path(Path::new("crates/circuit/src/fault.rs"), src);
+        assert_eq!(
+            kinds(&vs),
+            vec![
+                ViolationKind::FaultPathUnwrap,
+                ViolationKind::FaultPathUnwrap
+            ],
+            "{vs:?}"
+        );
+        assert_eq!(vs[0].line, 1, "inline escape must not be honored");
+        assert_eq!(vs[1].line, 4, "test regions are not exempt");
+    }
+
+    #[test]
+    fn fault_path_rule_ignores_comments_and_strings() {
+        let src = "/// Never call `.unwrap()` here.\nfn go() { log(\".expect(\"); }\n";
+        let vs = scan_fault_path(Path::new("crates/circuit/src/fault.rs"), src);
         assert!(vs.is_empty(), "{vs:?}");
     }
 
