@@ -1,10 +1,13 @@
 //! `quickbench` — the tracked perf baseline behind `cargo xtask bench`.
 //!
-//! Times the conv kernels (optimized vs. naive reference) and the quick
-//! eNAS search at 1 worker vs. N workers, verifies the two searches agree
-//! bit-for-bit, and writes the medians to `BENCH_hotpaths.json` so future
-//! PRs have a trajectory to beat. Wall-clock timing with `std::time`; the
-//! JSON is hand-rendered because the workspace vendors no JSON crate.
+//! Times the conv kernels (optimized vs. naive reference), the quick
+//! eNAS search at 1 worker vs. N workers (verifying the two searches agree
+//! bit-for-bit), and the 24 h end-to-end day simulation at fixed vs.
+//! adaptive timestep (verifying identical interaction outcomes and a
+//! sub-nanojoule energy-ledger residual), and writes the medians to
+//! `BENCH_hotpaths.json` so future PRs have a trajectory to beat.
+//! Wall-clock timing with `std::time`; the JSON is hand-rendered because
+//! the workspace vendors no JSON crate.
 //!
 //! Usage: `quickbench [--quick] [--out PATH]`
 //! `--quick` cuts repetitions for CI; the full run medians over more reps.
@@ -20,7 +23,10 @@ use solarml::nas::parallel::available_workers;
 use solarml::nn::layers::Conv2d;
 use solarml::nn::reference;
 use solarml::nn::{Padding, Tensor, TrainConfig};
-use solarml::{run_enas, EnasConfig, TaskContext};
+use solarml::platform::{simulate_day_with, DayReport, DaySimConfig};
+use solarml::sim::DtPolicy;
+use solarml::units::Seconds;
+use solarml::{run_enas, EnasConfig, Energy, TaskContext};
 
 struct Stage {
     name: &'static str,
@@ -119,6 +125,24 @@ fn kernel_stages(reps: usize, iters: usize) -> Vec<Stage> {
     ]
 }
 
+/// Times one full 24 h end-to-end day simulation under `policy`; returns
+/// the median wall-clock and the last report (step count, ledger residual).
+fn timed_day_sim(policy: DtPolicy, reps: usize) -> (u128, DayReport) {
+    let config = DaySimConfig::office_day(Energy::from_milli_joules(3.0));
+    let mut samples = Vec::with_capacity(reps);
+    let mut report = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = simulate_day_with(&config, policy);
+        samples.push(start.elapsed().as_nanos());
+        report = Some(r);
+    }
+    (
+        median_ns(&mut samples),
+        report.expect("at least one day rep"),
+    )
+}
+
 fn search_context() -> TaskContext {
     let mut ctx = TaskContext::gesture(4, 11);
     ctx.train_config = TrainConfig {
@@ -188,6 +212,28 @@ fn main() {
         iters: 1,
     });
 
+    let day_reps = if quick { 3 } else { 7 };
+    eprintln!("quickbench: 24 h day sim, fixed 1 s dt ({day_reps} reps)…");
+    let (fixed_day_ns, fixed_day) = timed_day_sim(DtPolicy::fixed(), day_reps);
+    stages.push(Stage {
+        name: "day_sim_fixed_dt",
+        median_ns: fixed_day_ns,
+        iters: 1,
+    });
+    eprintln!("quickbench: 24 h day sim, adaptive dt…");
+    let (adaptive_day_ns, adaptive_day) = timed_day_sim(
+        DtPolicy::adaptive(Seconds::from_millis(1.0), Seconds::new(3600.0)),
+        day_reps,
+    );
+    stages.push(Stage {
+        name: "day_sim_adaptive_dt",
+        median_ns: adaptive_day_ns,
+        iters: 1,
+    });
+    let day_outcomes_identical = fixed_day.completed == adaptive_day.completed
+        && fixed_day.attempted == adaptive_day.attempted
+        && fixed_day.rejected == adaptive_day.rejected;
+
     let histories_identical = serial_outcome == parallel_outcome;
     let ratio = |num: &str, den: &str| -> f64 {
         let get = |n: &str| {
@@ -202,6 +248,13 @@ fn main() {
     let fwd_speedup = ratio("conv_forward_naive", "conv_forward_opt");
     let bwd_speedup = ratio("conv_backward_naive", "conv_backward_opt");
     let search_speedup = serial_ns as f64 / (parallel_ns as f64).max(1.0);
+    let day_wallclock_speedup = fixed_day_ns as f64 / (adaptive_day_ns as f64).max(1.0);
+    let day_step_ratio = fixed_day.steps as f64 / (adaptive_day.steps as f64).max(1.0);
+    let day_residual_nj = adaptive_day
+        .residual
+        .as_joules()
+        .max(fixed_day.residual.as_joules())
+        * 1e9;
 
     let mut json = String::from("{\n");
     json.push_str("  \"schema\": \"solarml-bench-hotpaths/v1\",\n");
@@ -230,7 +283,19 @@ fn main() {
         "    \"enas_search_speedup_4w_vs_1w\": {search_speedup:.2},\n"
     ));
     json.push_str(&format!(
-        "    \"parallel_histories_identical\": {histories_identical}\n"
+        "    \"parallel_histories_identical\": {histories_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"day_sim_speedup\": {day_wallclock_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"day_sim_step_ratio\": {day_step_ratio:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"day_sim_ledger_residual_nj\": {day_residual_nj:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"day_sim_outcomes_identical\": {day_outcomes_identical}\n"
     ));
     json.push_str("  }\n}\n");
 
@@ -242,6 +307,14 @@ fn main() {
     eprintln!("quickbench: wrote {out_path}");
     if !histories_identical {
         eprintln!("quickbench: ERROR — 1-worker and 4-worker histories diverge");
+        std::process::exit(1);
+    }
+    if !day_outcomes_identical {
+        eprintln!("quickbench: ERROR — adaptive-dt day sim diverges from fixed-dt");
+        std::process::exit(1);
+    }
+    if day_residual_nj > 1.0 {
+        eprintln!("quickbench: ERROR — day-sim ledger residual {day_residual_nj:.3} nJ > 1 nJ");
         std::process::exit(1);
     }
 }

@@ -200,6 +200,27 @@ impl Supercap {
         }
     }
 
+    /// Largest timestep for which one Euler step moves the voltage by at
+    /// most `eps_v` under the given charge/load conditions: `dt ≤ ε·C/|I|`.
+    ///
+    /// This is the adaptive-timestep hint the co-simulation scheduler uses
+    /// to stretch steps through quiescent windows. The *ledger* stays exact
+    /// at any dt (the trapezoidal flows in [`Supercap::step`] balance by
+    /// construction); this bound limits the trajectory error of the voltage
+    /// itself. Capped at one hour so a fully quiescent hint stays finite.
+    pub fn stable_dt(&self, charge_in: Amps, power_out: Power, eps_v: Volts) -> Seconds {
+        let v = self.voltage.as_volts().max(1e-3);
+        let i_out = power_out.as_watts() / v;
+        let i_leak = self.voltage.as_volts() / self.leakage.as_ohms();
+        let net = (charge_in.as_amps() - i_out - i_leak).abs();
+        let cap = 3600.0;
+        if net <= 0.0 {
+            return Seconds::new(cap);
+        }
+        let dt = eps_v.as_volts().max(0.0) * self.capacitance.as_farads() / net;
+        Seconds::new(dt.min(cap))
+    }
+
     /// Directly removes an energy quantum (used for discrete inference costs).
     /// The voltage floor is zero.
     pub fn drain_energy(&mut self, e: Energy) {
@@ -232,6 +253,18 @@ pub struct CapStepEnergy {
     /// Energy rejected because the voltage clipped at a rail
     /// (zero whenever the voltage stayed within `[0, max_voltage]`).
     pub clamped: Energy,
+}
+
+impl From<CapStepEnergy> for solarml_sim::EnergyFlows {
+    fn from(e: CapStepEnergy) -> Self {
+        Self {
+            delta_stored: e.delta_stored,
+            harvested: e.harvested,
+            load: e.load,
+            leaked: e.leaked,
+            clamped: e.clamped,
+        }
+    }
 }
 
 /// A Schottky blocking diode (the event-detection cells connect to the

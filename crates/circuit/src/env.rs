@@ -70,6 +70,18 @@ impl HoverSchedule {
         &self.hovers
     }
 
+    /// The earliest hover start or end strictly after `t`, if any.
+    pub fn next_transition_after(&self, t: Seconds) -> Option<Seconds> {
+        self.hovers
+            .iter()
+            .flat_map(|&(s, d)| [s, s + d])
+            .filter(|&edge| edge > t)
+            .fold(None, |best: Option<Seconds>, edge| match best {
+                Some(b) => Some(b.min(edge)),
+                None => Some(edge),
+            })
+    }
+
     /// The canonical "one interaction" schedule: a start-hover at `t0`, then
     /// an end-hover after `gesture` seconds of gesturing.
     pub fn interaction(t0: Seconds, gesture: Seconds) -> Self {
@@ -160,6 +172,32 @@ impl LightEnvironment {
             }
         }
         level
+    }
+
+    /// Whether the ambient level is mid-ramp (continuously changing) at `t`.
+    pub fn is_ramping_at(&self, t: Seconds) -> bool {
+        self.changes
+            .iter()
+            .any(|c| c.ramp.as_seconds() > 0.0 && t >= c.at && t < c.at + c.ramp)
+    }
+
+    /// The earliest scripted discontinuity strictly after `t`: a hover edge,
+    /// a light-change start, or a ramp end. `None` when the environment is
+    /// constant from `t` on — the adaptive scheduler's license to stretch
+    /// the timestep.
+    pub fn next_transition_after(&self, t: Seconds) -> Option<Seconds> {
+        let light = self
+            .changes
+            .iter()
+            .flat_map(|c| [c.at, c.at + c.ramp])
+            .filter(|&edge| edge > t);
+        light.chain(self.hovers.next_transition_after(t)).fold(
+            None,
+            |best: Option<Seconds>, edge| match best {
+                Some(b) => Some(b.min(edge)),
+                None => Some(edge),
+            },
+        )
     }
 
     /// Illumination state at time `t`.

@@ -292,6 +292,7 @@ impl EventDetector {
             event_cell_shading: Ratio::ZERO,
         };
         let mut t = Seconds::ZERO;
+        // physics-lint: allow(adhoc-sim-loop): isolated detector characterization, no energy ledger
         while t < Seconds::new(1.0) {
             det.step(dt, lit, Volts::ZERO, false, v_cap);
             t += dt;
@@ -302,6 +303,7 @@ impl EventDetector {
             event_cell_shading: Ratio::ONE,
         };
         let mut elapsed = Seconds::ZERO;
+        // physics-lint: allow(adhoc-sim-loop): isolated detector characterization, no energy ledger
         while elapsed < Seconds::new(1.0) {
             let out = det.step(dt, hovered, Volts::ZERO, true, v_cap);
             elapsed += dt;

@@ -563,4 +563,3 @@ mod tests {
         }
     }
 }
-

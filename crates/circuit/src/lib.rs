@@ -60,4 +60,4 @@ pub use fault::{
 };
 pub use harvest::{ArrayLayout, CellRole, HarvestMode, Harvester, HarvestingArray};
 pub use mppt::{iv_sweep, FractionalVoc, IvPoint, PerturbObserve};
-pub use sim::{CircuitSim, EnergyAudit, SimConfig, SimStep};
+pub use sim::{CircuitSim, EnergyAudit, EnergyFlows, SimConfig, SimStep};

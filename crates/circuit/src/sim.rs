@@ -7,12 +7,24 @@
 //! platform layer needs (rail state, sensing taps, supercap voltage).
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Energy, Farads, Power, Ratio, Seconds, Volts};
+use solarml_sim::{Clocked, DtPolicy, Scheduler, SimBus, SimEvent, StepControl, StepOutcome};
+use solarml_units::{Farads, Power, Ratio, Seconds, Volts};
 
 use crate::components::{CapStepEnergy, Supercap};
 use crate::env::LightEnvironment;
 use crate::event::{DetectorOutput, EventDetector};
 use crate::harvest::{HarvestMode, HarvestingArray};
+
+pub use solarml_sim::{EnergyAudit, EnergyFlows};
+
+/// Voltage-error bound per adaptive step (`dt ≤ ε·C/|I|`); 2 mV keeps the
+/// supercap trajectory within a few millivolts of the fixed-dt one while
+/// letting quiescent day-scale windows stride in multi-second steps.
+pub const ADAPTIVE_EPS_V: Volts = Volts::new(2e-3);
+
+/// Cap on the adaptive step while the ambient level is mid-ramp, so a
+/// passing cloud's continuous lux slew stays resolved.
+const RAMP_DT_CAP: Seconds = Seconds::new(0.05);
 
 /// Configuration of the front-end simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,72 +70,6 @@ pub struct SimStep {
     pub load_power: Power,
 }
 
-/// Running energy-conservation ledger over a [`CircuitSim`] run.
-///
-/// Each step the simulator folds the supercap's [`CapStepEnergy`] breakdown
-/// into this ledger and accumulates the absolute conservation residual
-/// `|ΔE_stored - (harvested - load - leaked - clamped)|` in
-/// [`EnergyAudit::discrepancy`]. Because the flows are computed from the same
-/// intermediates as the voltage update, the residual is floating-point
-/// round-off only — a healthy run stays below a nanojoule even over tens of
-/// thousands of steps. With the `invariant-audit` feature (on by default),
-/// debug builds also assert the per-step residual bound.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EnergyAudit {
-    /// Total energy delivered into the supercap by the charging current.
-    pub harvested: Energy,
-    /// Total energy drawn by loads (detector + sensing dividers + MCU).
-    pub consumed: Energy,
-    /// Total energy lost to the supercap's internal leakage path.
-    pub leaked: Energy,
-    /// Total energy rejected at the supercap voltage rails.
-    pub clamped: Energy,
-    /// Net change in stored energy since the audit began.
-    pub delta_stored: Energy,
-    /// Accumulated absolute conservation residual.
-    pub discrepancy: Energy,
-}
-
-impl Default for EnergyAudit {
-    fn default() -> Self {
-        Self {
-            harvested: Energy::ZERO,
-            consumed: Energy::ZERO,
-            leaked: Energy::ZERO,
-            clamped: Energy::ZERO,
-            delta_stored: Energy::ZERO,
-            discrepancy: Energy::ZERO,
-        }
-    }
-}
-
-impl EnergyAudit {
-    /// Folds one supercap step into the ledger and returns this step's
-    /// signed conservation residual. Public entry point for simulations
-    /// that drive a [`Supercap`] directly (e.g. the platform's
-    /// intermittency runtime) but still want the conservation ledger.
-    pub fn record(&mut self, flows: CapStepEnergy) -> Energy {
-        Energy::new(self.absorb(flows))
-    }
-
-    /// Folds one supercap step into the ledger and returns this step's
-    /// conservation residual (signed, in joules).
-    fn absorb(&mut self, flows: CapStepEnergy) -> f64 {
-        self.harvested += flows.harvested;
-        self.consumed += flows.load;
-        self.leaked += flows.leaked;
-        self.clamped += flows.clamped;
-        self.delta_stored += flows.delta_stored;
-        let residual = flows.delta_stored.as_joules()
-            - (flows.harvested.as_joules()
-                - flows.load.as_joules()
-                - flows.leaked.as_joules()
-                - flows.clamped.as_joules());
-        self.discrepancy += Energy::new(residual.abs());
-        residual
-    }
-}
-
 /// The front-end transient simulator.
 ///
 /// # Examples
@@ -151,6 +97,9 @@ pub struct CircuitSim {
     supercap: Supercap,
     time: Seconds,
     audit: EnergyAudit,
+    /// Rail state after the previous step, for edge detection when this
+    /// simulator runs as a scheduled [`Clocked`] component.
+    last_connected: bool,
 }
 
 impl CircuitSim {
@@ -175,6 +124,7 @@ impl CircuitSim {
             supercap,
             time: Seconds::ZERO,
             audit: EnergyAudit::default(),
+            last_connected: false,
         }
     }
 
@@ -226,7 +176,21 @@ impl CircuitSim {
         v4_hold: Volts,
         gesture_shading: impl Fn(usize) -> Ratio,
     ) -> SimStep {
-        let dt = self.config.dt;
+        self.step_with(self.config.dt, mcu_load, v4_hold, gesture_shading)
+            .0
+    }
+
+    /// Advances one timestep of explicit width `dt` (the scheduler entry
+    /// point — the configured `dt` is only the fixed-policy default).
+    /// Returns the observables and the supercap's per-step energy flows so
+    /// a scheduled run can fold them into the shared ledger.
+    fn step_with(
+        &mut self,
+        dt: Seconds,
+        mcu_load: Power,
+        v4_hold: Volts,
+        gesture_shading: impl Fn(usize) -> Ratio,
+    ) -> (SimStep, CapStepEnergy) {
         let ill = self.env.illumination(self.time);
         let lux = ill.ambient;
 
@@ -261,19 +225,21 @@ impl CircuitSim {
         // against the supercap to keep the accounting conservative.
         let total_load = effective_load + detector.detector_power + sensing_power;
         let flows = self.supercap.step(dt, charge, total_load);
-        let residual = self.audit.absorb(flows);
+        let residual = self.audit.record(flows.into());
         #[cfg(feature = "invariant-audit")]
         debug_assert!(
-            residual.abs() <= 1e-12,
-            "energy conservation violated in supercap step: residual {residual:e} J"
+            residual.as_joules().abs() <= 1e-12,
+            "energy conservation violated in supercap step: residual {:e} J",
+            residual.as_joules()
         );
         #[cfg(not(feature = "invariant-audit"))]
         let _ = residual;
 
         let sensing_taps = self.array.sensing_voltages(lux, &shade);
         self.time += dt;
+        self.last_connected = detector.mcu_connected;
 
-        SimStep {
+        let step = SimStep {
             time: self.time,
             supercap_voltage: self.supercap.voltage(),
             detector,
@@ -281,24 +247,108 @@ impl CircuitSim {
             sensing_taps,
             harvest_power: self.supercap.voltage() * charge,
             load_power: total_load,
+        };
+        (step, flows)
+    }
+
+    /// One scheduled step: reads the MCU's published load/hold-pin and any
+    /// gesture shading off the bus, advances the circuit, publishes the rail
+    /// observables back, and folds the supercap flows into the bus ledger.
+    ///
+    /// Returns the full [`SimStep`] alongside the scheduler outcome so
+    /// wrappers (like the `run_until` probe) can inspect the observables.
+    fn step_on_bus(&mut self, dt: Seconds, bus: &mut SimBus) -> (SimStep, StepOutcome) {
+        let mut shade = [Ratio::ZERO; 25];
+        for (cell, s) in shade.iter_mut().zip(&bus.shading) {
+            *cell = *s;
         }
+        let was_connected = self.last_connected;
+        let (step, flows) = self.step_with(dt, bus.mcu_load, bus.hold_voltage, |i| {
+            shade.get(i).copied().unwrap_or(Ratio::ZERO)
+        });
+        bus.record(flows.into());
+        bus.illuminance = self.env.ambient_at(step.time);
+        bus.rail_voltage = step.supercap_voltage;
+        bus.rail_connected = step.detector.mcu_connected;
+        bus.load_power = step.load_power;
+        bus.sense_v5 = step.detector.v5;
+        bus.sensing_taps.clear();
+        bus.sensing_taps.extend_from_slice(&step.sensing_taps);
+
+        let edge = step.detector.mcu_connected != was_connected;
+        if edge && step.detector.mcu_connected {
+            bus.emit(SimEvent::DetectorConnected);
+        }
+        // Next-step hint: the supercap's voltage-error bound, clipped to the
+        // next scripted environment discontinuity (and held short mid-ramp).
+        let v = step.supercap_voltage.as_volts();
+        let charge = if v > 0.0 {
+            solarml_units::Amps::new(step.harvest_power.as_watts() / v)
+        } else {
+            solarml_units::Amps::ZERO
+        };
+        let mut hint = self
+            .supercap
+            .stable_dt(charge, step.load_power, ADAPTIVE_EPS_V);
+        if let Some(next) = self.env.next_transition_after(self.time) {
+            hint = hint.min(next - self.time);
+        }
+        if self.env.is_ramping_at(self.time) {
+            hint = hint.min(RAMP_DT_CAP);
+        }
+        (step, StepOutcome::hint(hint).with_edge(edge))
     }
 
     /// Runs until `pred` returns `true` or `limit` elapses; returns the first
     /// satisfying step, or `None` on timeout. The MCU is held unloaded.
+    ///
+    /// Ported onto the co-simulation scheduler: a probe wrapper steps the
+    /// circuit at the configured fixed dt and halts the run when the
+    /// predicate matches, reproducing the legacy loop's step sequence
+    /// exactly.
     pub fn run_until(
         &mut self,
         limit: Seconds,
-        mut pred: impl FnMut(&SimStep) -> bool,
+        pred: impl FnMut(&SimStep) -> bool,
     ) -> Option<SimStep> {
         let deadline = self.time + limit;
-        while self.time < deadline {
-            let step = self.step(Power::ZERO, Volts::ZERO, |_| Ratio::ZERO);
-            if pred(&step) {
-                return Some(step);
-            }
+        let slice = self.config.dt;
+        let mut sched = Scheduler::starting_at(self.time, DtPolicy::fixed());
+        let mut bus = SimBus::new();
+        let mut probe = Probe {
+            sim: self,
+            pred,
+            hit: None,
+        };
+        sched.run_free(deadline, slice, &mut [&mut probe], &mut bus, |_, _, _| {
+            StepControl::Continue
+        });
+        probe.hit
+    }
+}
+
+impl Clocked for CircuitSim {
+    fn step(&mut self, _t: Seconds, dt: Seconds, bus: &mut SimBus) -> StepOutcome {
+        self.step_on_bus(dt, bus).1
+    }
+}
+
+/// A [`Clocked`] wrapper that steps a [`CircuitSim`] and halts the scheduler
+/// run at the first step satisfying a predicate.
+struct Probe<'a, P> {
+    sim: &'a mut CircuitSim,
+    pred: P,
+    hit: Option<SimStep>,
+}
+
+impl<P: FnMut(&SimStep) -> bool> Clocked for Probe<'_, P> {
+    fn step(&mut self, _t: Seconds, dt: Seconds, bus: &mut SimBus) -> StepOutcome {
+        let (step, outcome) = self.sim.step_on_bus(dt, bus);
+        if self.hit.is_none() && (self.pred)(&step) {
+            self.hit = Some(step);
+            bus.halt = true;
         }
-        None
+        outcome
     }
 }
 
@@ -306,7 +356,7 @@ impl CircuitSim {
 mod tests {
     use super::*;
     use crate::env::HoverSchedule;
-    use solarml_units::Lux;
+    use solarml_units::{Energy, Lux};
 
     fn quiet_env(lux: f64) -> LightEnvironment {
         LightEnvironment::constant(Lux::new(lux))

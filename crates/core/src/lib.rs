@@ -22,7 +22,7 @@
 //! ```
 //!
 //! The layer crates are re-exported under their domain names: [`units`],
-//! [`trace`], [`circuit`], [`mcu`], [`dsp`], [`nn`], [`datasets`],
+//! [`trace`], [`sim`], [`circuit`], [`mcu`], [`dsp`], [`nn`], [`datasets`],
 //! [`energy`], [`nas`], [`platform`].
 
 pub use solarml_circuit as circuit;
@@ -33,6 +33,7 @@ pub use solarml_mcu as mcu;
 pub use solarml_nas as nas;
 pub use solarml_nn as nn;
 pub use solarml_platform as platform;
+pub use solarml_sim as sim;
 pub use solarml_trace as trace;
 pub use solarml_units as units;
 

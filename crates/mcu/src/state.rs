@@ -4,7 +4,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use solarml_units::{Energy, Power, Seconds};
+use solarml_sim::{Clocked, SimBus, StepOutcome};
+use solarml_units::{Energy, Power, Seconds, Volts};
 
 use crate::power::McuPowerModel;
 
@@ -296,6 +297,30 @@ impl Mcu {
         *self.time_by_state.entry(state).or_insert(Seconds::ZERO) += dt;
         self.clock += dt;
         e
+    }
+}
+
+impl Clocked for Mcu {
+    /// One scheduled step: publishes this step's load power and hold-pin
+    /// voltage (the digital outputs the circuit consumes), then advances the
+    /// state machine and publishes the energy it metered.
+    ///
+    /// The MCU must be listed *before* electrical components so its load is
+    /// on the bus when the supercap integrates. A pending wake transition
+    /// hints its remaining duration so adaptive runs don't average the wake
+    /// burst's power across a long stride.
+    fn step(&mut self, _t: Seconds, dt: Seconds, bus: &mut SimBus) -> StepOutcome {
+        bus.mcu_load = self.power();
+        bus.hold_voltage = if matches!(self.state(), PowerState::Off | PowerState::Brownout) {
+            Volts::ZERO
+        } else {
+            Volts::new(3.3)
+        };
+        bus.mcu_spent = self.advance(dt);
+        match self.pending {
+            Some((left, _)) => StepOutcome::hint(left),
+            None => StepOutcome::quiescent(),
+        }
     }
 }
 

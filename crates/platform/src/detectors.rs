@@ -76,6 +76,7 @@ pub fn solarml_detector_spec() -> DetectorSpec {
         };
         det.settle(ill, v_cap);
         let mut out = det.step(dt, ill, Volts::ZERO, false, v_cap);
+        // physics-lint: allow(adhoc-sim-loop): detector settling sweep, no energy ledger
         for _ in 0..100 {
             out = det.step(dt, ill, Volts::ZERO, false, v_cap);
         }
@@ -89,6 +90,7 @@ pub fn solarml_detector_spec() -> DetectorSpec {
         };
         det.settle(ill, v_cap);
         let mut out = det.step(dt, ill, Volts::new(3.3), false, v_cap);
+        // physics-lint: allow(adhoc-sim-loop): detector settling sweep, no energy ledger
         for _ in 0..100 {
             out = det.step(dt, ill, Volts::new(3.3), false, v_cap);
         }

@@ -6,8 +6,11 @@
 //! energy in 31 s/57 s at 500 lux office light.
 
 use serde::{Deserialize, Serialize};
+use solarml_circuit::components::Supercap;
 use solarml_circuit::harvest::HarvestingArray;
+use solarml_circuit::sim::ADAPTIVE_EPS_V;
 use solarml_mcu::McuPowerModel;
+use solarml_sim::{Clocked, DtPolicy, Scheduler, SimBus, StepControl, StepOutcome};
 use solarml_units::{Energy, Lux, Power, Ratio, Seconds, Volts};
 
 use crate::detectors::{solarml_detector_spec, DetectorSpec, REFERENCE_DETECTORS};
@@ -203,42 +206,110 @@ pub struct DayReport {
     pub completed: usize,
     /// Interactions rejected for insufficient energy.
     pub rejected: usize,
-    /// Total energy harvested over the day.
+    /// Total energy harvested over the day, as accounted by the
+    /// co-simulation ledger (every flow through [`Supercap::step`]).
     pub harvested: Energy,
     /// Supercap voltage at midnight.
     pub final_voltage: Volts,
     /// Minimum voltage seen.
     pub min_voltage: Volts,
+    /// Accumulated energy-conservation residual of the day's ledger
+    /// (absolute round-off; ≤ 1 nJ on any healthy run at any timestep).
+    pub residual: Energy,
+    /// Number of timesteps the day's clock took (86 400 at the fixed
+    /// one-second policy; far fewer under an adaptive policy).
+    pub steps: usize,
+}
+
+/// The harvesting-only day platform as one [`Clocked`] component: ambient
+/// light charges the supercap against the detector's standby draw, with
+/// every flow recorded in the bus ledger.
+struct DayHarvester<'a> {
+    config: &'a DaySimConfig,
+    array: HarvestingArray,
+    cap: Supercap,
+    min_voltage: Volts,
+    steps: usize,
+}
+
+impl Clocked for DayHarvester<'_> {
+    fn step(&mut self, t: Seconds, dt: Seconds, bus: &mut SimBus) -> StepOutcome {
+        let lux = self.config.profile.lux_at(t);
+        let i = self
+            .array
+            .charging_current(lux, self.cap.voltage(), |_| Ratio::ZERO);
+        let flows = self.cap.step(dt, i, self.config.standby_power);
+        bus.record(flows.into());
+        self.min_voltage = self.min_voltage.min(self.cap.voltage());
+        self.steps += 1;
+        bus.illuminance = lux;
+        bus.rail_voltage = self.cap.voltage();
+        bus.load_power = self.config.standby_power;
+        // Adaptive stride: bounded supercap voltage error, and never
+        // stepping across an hourly kink of the (piecewise-linear) light
+        // profile so the interpolated lux slope stays representative.
+        let stable = self
+            .cap
+            .stable_dt(i, self.config.standby_power, ADAPTIVE_EPS_V);
+        let hour_end = Seconds::new(((t.as_seconds() / 3600.0).floor() + 1.0) * 3600.0);
+        StepOutcome::hint(stable.min(hour_end - t))
+    }
 }
 
 /// Simulates 24 hours of harvesting, detector standby and user
-/// interactions at one-second resolution.
+/// interactions at the fixed one-second co-simulation timestep (the
+/// legacy resolution, bit-exact with the historical loop).
 pub fn simulate_day(config: &DaySimConfig) -> DayReport {
-    use solarml_circuit::components::Supercap;
-    let array = HarvestingArray::new();
-    let mut cap = Supercap::new(config.capacitance, config.initial_voltage);
-    let dt = Seconds::new(1.0);
-    let mut harvested = Energy::ZERO;
-    let mut completed = 0usize;
-    let mut rejected = 0usize;
-    let mut min_voltage = config.initial_voltage;
+    simulate_day_with(config, DtPolicy::fixed())
+}
+
+/// Simulates the same 24 hours under an explicit scheduler [`DtPolicy`].
+///
+/// The fixed policy steps once per second. An adaptive policy (e.g.
+/// `DtPolicy::adaptive(1 ms, 60 s)`) lets the clock stretch through
+/// quiescent stretches under the supercap's voltage-error bound, cutting
+/// the day to a few thousand steps while the ledger residual stays at
+/// round-off (≤ 1 nJ/day) because per-step conservation is exact at any
+/// timestep.
+pub fn simulate_day_with(config: &DaySimConfig, policy: DtPolicy) -> DayReport {
+    let mut harvester = DayHarvester {
+        config,
+        array: HarvestingArray::new(),
+        cap: Supercap::new(config.capacitance, config.initial_voltage),
+        min_voltage: config.initial_voltage,
+        steps: 0,
+    };
+    let mut sched = Scheduler::new(policy);
+    let mut bus = SimBus::new();
+    let slice = Seconds::new(1.0);
+    let day_end = Seconds::new(24.0 * 3600.0);
+    let last_slot = day_end - slice;
     let mut pending: Vec<Seconds> = config.interactions.clone();
     pending.sort_by(|a, b| a.as_seconds().total_cmp(&b.as_seconds()));
+    let mut completed = 0usize;
+    let mut rejected = 0usize;
     let mut next = 0usize;
 
-    let steps = 24 * 3600;
-    for s in 0..steps {
-        let t = Seconds::new(s as f64);
-        let lux = config.profile.lux_at(t);
-        let i = array.charging_current(lux, cap.voltage(), |_| Ratio::ZERO);
-        harvested += (cap.voltage() * i) * dt;
-        cap.step(dt, i, config.standby_power);
-        min_voltage = min_voltage.min(cap.voltage());
-
-        while next < pending.len() && pending[next] <= t {
-            let usable = cap.usable_energy(config.inference_threshold);
+    // The legacy loop serviced interaction requests at the end of the
+    // first whole-second step whose start time reached them; stop the
+    // clock at those instants and apply the drain between steps.
+    while next < pending.len() {
+        let slot = Seconds::new(pending[next].as_seconds().ceil());
+        if slot > last_slot {
+            // Requested after the day's final step began: never serviced.
+            break;
+        }
+        sched.run_until(
+            slot + slice,
+            slice,
+            &mut [&mut harvester],
+            &mut bus,
+            |_, _, _| StepControl::Continue,
+        );
+        while next < pending.len() && pending[next] <= slot {
+            let usable = harvester.cap.usable_energy(config.inference_threshold);
             if usable >= config.budget_per_inference {
-                cap.drain_energy(config.budget_per_inference);
+                harvester.cap.drain_energy(config.budget_per_inference);
                 completed += 1;
             } else {
                 rejected += 1;
@@ -246,13 +317,28 @@ pub fn simulate_day(config: &DaySimConfig) -> DayReport {
             next += 1;
         }
     }
+    sched.run_until(
+        day_end,
+        slice,
+        &mut [&mut harvester],
+        &mut bus,
+        |_, _, _| StepControl::Continue,
+    );
+    let audit = bus.audit();
+    debug_assert!(
+        audit.discrepancy.as_joules() <= 1e-9,
+        "day ledger residual {} J exceeds the 1 nJ bound",
+        audit.discrepancy.as_joules()
+    );
     DayReport {
         attempted: pending.len(),
         completed,
         rejected,
-        harvested,
-        final_voltage: cap.voltage(),
-        min_voltage,
+        harvested: audit.harvested,
+        final_voltage: harvester.cap.voltage(),
+        min_voltage: harvester.min_voltage,
+        residual: audit.discrepancy,
+        steps: harvester.steps,
     }
 }
 
@@ -346,6 +432,43 @@ mod tests {
         assert!(
             report.harvested.as_joules() > 1.0,
             "daylight hours harvest joules"
+        );
+    }
+
+    #[test]
+    fn harvest_accounting_flows_through_the_ledger() {
+        let report = simulate_day(&DaySimConfig::office_day(Energy::from_milli_joules(3.0)));
+        assert!(
+            report.residual.as_joules() <= 1e-9,
+            "fixed-dt residual {} J",
+            report.residual.as_joules()
+        );
+        assert_eq!(report.steps, 24 * 3600);
+    }
+
+    #[test]
+    fn adaptive_day_matches_fixed_day_with_far_fewer_steps() {
+        let config = DaySimConfig::office_day(Energy::from_milli_joules(3.0));
+        let fixed = simulate_day(&config);
+        let adaptive = simulate_day_with(
+            &config,
+            DtPolicy::adaptive(Seconds::from_millis(1.0), Seconds::new(3600.0)),
+        );
+        assert_eq!(adaptive.attempted, fixed.attempted);
+        assert_eq!(adaptive.completed, fixed.completed);
+        assert_eq!(adaptive.rejected, fixed.rejected);
+        assert!(
+            adaptive.residual.as_joules() <= 1e-9,
+            "adaptive residual {} J",
+            adaptive.residual.as_joules()
+        );
+        let dv = (adaptive.final_voltage.as_volts() - fixed.final_voltage.as_volts()).abs();
+        assert!(dv < 0.01, "final voltage drifted {dv} V");
+        assert!(
+            adaptive.steps * 5 <= fixed.steps,
+            "adaptive took {} of {} steps",
+            adaptive.steps,
+            fixed.steps
         );
     }
 

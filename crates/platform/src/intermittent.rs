@@ -22,17 +22,23 @@
 //!   `nn::multi_exit` model, or coarser sensing) and reports the
 //!   accuracy/energy trade taken.
 //!
-//! Every joule flows through [`Supercap::step`] and is folded into an
-//! [`EnergyAudit`] ledger, so injected faults cannot silently create or
-//! destroy energy: a healthy run keeps the accumulated conservation
-//! residual below a nanojoule. The simulation is seeded and wall-clock
-//! free — identical configs yield bit-identical [`DayFaultReport`]s.
+//! Every joule flows through [`Supercap::step`] and is folded into the
+//! [`EnergyAudit`] ledger on the co-simulation bus, so injected faults
+//! cannot silently create or destroy energy: a healthy run keeps the
+//! accumulated conservation residual below a nanojoule. The whole day is
+//! driven by one [`Scheduler`] clock: the MCU state machine and the
+//! electrical rail are [`Clocked`] components exchanging signals over a
+//! [`SimBus`], and the runtime's control flow (retries, suspends,
+//! checkpoint windows) observes bus events between steps. The simulation
+//! is seeded and wall-clock free — identical configs yield bit-identical
+//! [`DayFaultReport`]s.
 
 use solarml_circuit::fault::{BrownoutComparator, BrownoutThresholds, FaultPlan, PowerEvent};
 use solarml_circuit::harvest::HarvestingArray;
-use solarml_circuit::sim::EnergyAudit;
+use solarml_circuit::sim::{EnergyAudit, ADAPTIVE_EPS_V};
 use solarml_circuit::Supercap;
 use solarml_mcu::{Mcu, McuPowerModel, PowerState};
+use solarml_sim::{Clocked, DtPolicy, Scheduler, SimBus, SimEvent, StepControl, StepOutcome};
 use solarml_units::{Amps, Energy, Farads, Lux, Power, Ratio, Seconds, Volts};
 
 use crate::endtoend::DaySimConfig;
@@ -282,6 +288,10 @@ pub struct IntermittentConfig {
     pub retry_backoff: Seconds,
     /// Fine timestep while the MCU is running a task.
     pub active_dt: Seconds,
+    /// Timestep policy of the day's scheduler clock. [`DtPolicy::fixed`]
+    /// reproduces the legacy stepping bit-for-bit; an adaptive policy lets
+    /// the clock stretch through dead/idle windows.
+    pub dt_policy: DtPolicy,
 }
 
 impl IntermittentConfig {
@@ -300,6 +310,7 @@ impl IntermittentConfig {
             max_retries: 3,
             retry_backoff: Seconds::new(30.0),
             active_dt: Seconds::from_millis(10.0),
+            dt_policy: DtPolicy::fixed(),
         }
     }
 
@@ -451,82 +462,37 @@ enum AttemptEnd {
     Interrupted(LifecycleError),
 }
 
-/// The day-scale simulation engine. One instance per run; everything is
-/// deterministic given the config.
-struct Engine<'a> {
+/// The electrical side of the faulted day as one [`Clocked`] component:
+/// fault-modulated harvesting, the (possibly degraded) supercap, standby /
+/// retention / checkpoint-overhead loads and the brownout comparator.
+///
+/// Each step it reads the MCU's pre-advance draw and metered energy off
+/// the bus (the MCU component must be listed first), pushes every flow
+/// through [`Supercap::step`] into the bus ledger, and republishes rail
+/// state plus any comparator event.
+struct Rail<'a> {
     cfg: &'a IntermittentConfig,
     array: HarvestingArray,
     cap: Supercap,
-    audit: EnergyAudit,
     comparator: BrownoutComparator,
-    mcu: Mcu,
-    time: Seconds,
+    /// Extra load of an in-flight checkpoint save/restore window.
+    extra: Power,
+    /// Whether a retained checkpoint is live (draws retention power).
+    retained_live: bool,
     min_voltage: Volts,
-    // Report counters.
-    attempted: usize,
-    completed: usize,
-    interrupted: usize,
-    resumed: usize,
-    abandoned: usize,
-    degraded: usize,
-    warns: usize,
-    brownouts: usize,
-    recoveries: usize,
-    rung_completions: Vec<usize>,
-    accuracy_sum: f64,
-    wasted: Energy,
-    checkpoint_overhead: Energy,
-    // Per-cycle progress accounting.
     /// MCU-side energy spent since the last durable point of the current
     /// attempt (lost if a brownout hits now).
     unsaved: Energy,
-    /// Energy banked behind retained checkpoints of the current cycle
-    /// (lost only if the whole cycle is abandoned).
-    banked: Energy,
-    /// Whether a retained checkpoint is live (draws retention power).
-    retained_live: bool,
+    checkpoint_overhead: Energy,
+    warns: usize,
+    brownouts: usize,
+    recoveries: usize,
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a IntermittentConfig) -> Self {
-        let cap = cfg
-            .faults
-            .build_supercap(cfg.base.capacitance, cfg.base.initial_voltage);
-        Self {
-            cfg,
-            array: HarvestingArray::new(),
-            cap,
-            audit: EnergyAudit::default(),
-            comparator: BrownoutComparator::new(cfg.thresholds),
-            mcu: Mcu::new(cfg.mcu),
-            time: Seconds::ZERO,
-            min_voltage: cfg.base.initial_voltage,
-            attempted: 0,
-            completed: 0,
-            interrupted: 0,
-            resumed: 0,
-            abandoned: 0,
-            degraded: 0,
-            warns: 0,
-            brownouts: 0,
-            recoveries: 0,
-            rung_completions: vec![0; cfg.ladder.rungs().len()],
-            accuracy_sum: 0.0,
-            wasted: Energy::ZERO,
-            checkpoint_overhead: Energy::ZERO,
-            unsaved: Energy::ZERO,
-            banked: Energy::ZERO,
-            retained_live: false,
-        }
-    }
-
-    /// Advances one electrical timestep: harvest under faults, drain the
-    /// MCU + platform standby + any checkpoint `extra` load, advance the
-    /// MCU clock, feed the comparator. Returns the comparator event, if
-    /// any. Every flow goes through [`Supercap::step`] into the ledger.
-    fn step(&mut self, dt: Seconds, extra: Power) -> Option<PowerEvent> {
-        let lux = self.cfg.base.profile.lux_at(self.time) * self.cfg.faults.lux_factor(self.time);
-        let charge = if self.cfg.faults.harvester_connected(self.time) {
+impl Clocked for Rail<'_> {
+    fn step(&mut self, t: Seconds, dt: Seconds, bus: &mut SimBus) -> StepOutcome {
+        let lux = self.cfg.base.profile.lux_at(t) * self.cfg.faults.lux_factor(t);
+        let charge = if self.cfg.faults.harvester_connected(t) {
             self.array
                 .charging_current(lux, self.cap.voltage(), |_| Ratio::ZERO)
         } else {
@@ -547,38 +513,184 @@ impl<'a> Engine<'a> {
         } else {
             Power::ZERO
         };
-        let mcu_power = self.mcu.power();
-        let load = mcu_power + standby + retention + extra;
+        let load = bus.mcu_load + standby + retention + self.extra;
         let flows = self.cap.step(dt, charge, load);
-        self.audit.record(flows);
-        let spent = self.mcu.advance(dt);
-        self.unsaved += spent + extra * dt;
-        self.checkpoint_overhead += (extra + retention) * dt;
-        self.time += dt;
+        bus.record(flows.into());
+        self.unsaved += bus.mcu_spent + self.extra * dt;
+        self.checkpoint_overhead += (self.extra + retention) * dt;
         self.min_voltage = self.min_voltage.min(self.cap.voltage());
         let event = self.comparator.observe(self.cap.terminal_voltage(load));
         match event {
-            Some(PowerEvent::BrownoutWarn) => self.warns += 1,
-            Some(PowerEvent::Brownout) => self.brownouts += 1,
-            Some(PowerEvent::Recovered) => self.recoveries += 1,
+            Some(PowerEvent::BrownoutWarn) => {
+                self.warns += 1;
+                bus.emit(SimEvent::BrownoutWarn);
+            }
+            Some(PowerEvent::Brownout) => {
+                self.brownouts += 1;
+                bus.emit(SimEvent::Brownout);
+            }
+            Some(PowerEvent::Recovered) => {
+                self.recoveries += 1;
+                bus.emit(SimEvent::Recovered);
+            }
             None => {}
         }
-        event
+        bus.illuminance = lux;
+        bus.rail_voltage = self.cap.voltage();
+        bus.rail_connected = rail_up;
+        bus.load_power = load;
+        let hint = self.cap.stable_dt(charge, load, ADAPTIVE_EPS_V);
+        StepOutcome::hint(hint).with_edge(event.is_some())
+    }
+}
+
+/// The day-scale simulation engine. One instance per run; everything is
+/// deterministic given the config. The [`Scheduler`] owns the single
+/// monotonic clock; the engine's methods are the control flow *between*
+/// steps, reacting to [`SimEvent`]s the rail publishes.
+struct Engine<'a> {
+    cfg: &'a IntermittentConfig,
+    sched: Scheduler,
+    bus: SimBus,
+    mcu: Mcu,
+    rail: Rail<'a>,
+    // Report counters.
+    attempted: usize,
+    completed: usize,
+    interrupted: usize,
+    resumed: usize,
+    abandoned: usize,
+    degraded: usize,
+    rung_completions: Vec<usize>,
+    accuracy_sum: f64,
+    wasted: Energy,
+    /// Energy banked behind retained checkpoints of the current cycle
+    /// (lost only if the whole cycle is abandoned).
+    banked: Energy,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a IntermittentConfig) -> Self {
+        let cap = cfg
+            .faults
+            .build_supercap(cfg.base.capacitance, cfg.base.initial_voltage);
+        Self {
+            cfg,
+            sched: Scheduler::new(cfg.dt_policy),
+            bus: SimBus::new(),
+            mcu: Mcu::new(cfg.mcu),
+            rail: Rail {
+                cfg,
+                array: HarvestingArray::new(),
+                cap,
+                comparator: BrownoutComparator::new(cfg.thresholds),
+                extra: Power::ZERO,
+                retained_live: false,
+                min_voltage: cfg.base.initial_voltage,
+                unsaved: Energy::ZERO,
+                checkpoint_overhead: Energy::ZERO,
+                warns: 0,
+                brownouts: 0,
+                recoveries: 0,
+            },
+            attempted: 0,
+            completed: 0,
+            interrupted: 0,
+            resumed: 0,
+            abandoned: 0,
+            degraded: 0,
+            rung_completions: vec![0; cfg.ladder.rungs().len()],
+            accuracy_sum: 0.0,
+            wasted: Energy::ZERO,
+            banked: Energy::ZERO,
+        }
+    }
+
+    /// The clock, read off the scheduler.
+    fn time(&self) -> Seconds {
+        self.sched.time()
+    }
+
+    /// Runs the `[mcu, rail]` pair until `until` at one-second slices,
+    /// stopping early when the rail raises any event in `stop_on`.
+    /// Returns the stopping event, `None` when the deadline was reached.
+    fn drive_until(&mut self, until: Seconds, stop_on: &[SimEvent]) -> Option<SimEvent> {
+        let Self {
+            sched,
+            bus,
+            mcu,
+            rail,
+            ..
+        } = self;
+        let mut hit = None;
+        sched.run_until(
+            until,
+            Seconds::new(1.0),
+            &mut [&mut *mcu as &mut dyn Clocked, &mut *rail],
+            bus,
+            |_, _, bus| {
+                for &ev in stop_on {
+                    if bus.saw(ev) {
+                        hit = Some(ev);
+                        return StepControl::Stop;
+                    }
+                }
+                StepControl::Continue
+            },
+        );
+        hit
+    }
+
+    /// Runs the `[mcu, rail]` pair through a span of `duration` at the
+    /// fine `active_dt`, resuming from the caller's `elapsed` accumulator.
+    /// Stops on a brownout (always) or a brownout warning (when
+    /// `stop_on_warn`), returning the stopping event.
+    fn drive_span(
+        &mut self,
+        duration: Seconds,
+        elapsed: &mut Seconds,
+        stop_on_warn: bool,
+    ) -> Option<PowerEvent> {
+        let Self {
+            cfg,
+            sched,
+            bus,
+            mcu,
+            rail,
+            ..
+        } = self;
+        let mut hit = None;
+        sched.run_span(
+            duration,
+            cfg.active_dt,
+            elapsed,
+            &mut [&mut *mcu as &mut dyn Clocked, &mut *rail],
+            bus,
+            |_, _, bus| {
+                if bus.saw(SimEvent::Brownout) {
+                    hit = Some(PowerEvent::Brownout);
+                    return StepControl::Stop;
+                }
+                if stop_on_warn && bus.saw(SimEvent::BrownoutWarn) {
+                    hit = Some(PowerEvent::BrownoutWarn);
+                    return StepControl::Stop;
+                }
+                StepControl::Continue
+            },
+        );
+        hit
     }
 
     /// Idles (MCU off or browned out) until `until`, at one-second steps.
     fn idle_until(&mut self, until: Seconds) {
-        while self.time < until {
-            let dt = (until - self.time).min(Seconds::new(1.0));
-            let _ = self.step(dt, Power::ZERO);
-        }
+        self.drive_until(until, &[]);
     }
 
     /// The runtime's belief about usable energy: *nominal* capacitance at
     /// the measured open-circuit voltage, above the inference threshold.
     /// A degraded cell makes this an overestimate — by design.
     fn believed_usable(&self) -> Energy {
-        let v = self.cap.voltage();
+        let v = self.rail.cap.voltage();
         let v_th = self.cfg.base.inference_threshold;
         if v <= v_th {
             return Energy::ZERO;
@@ -609,7 +721,7 @@ impl<'a> Engine<'a> {
     /// (optimistic) energy belief. `None` when even the cheapest rung does
     /// not fit, or while the supervisor still holds the rail cut.
     fn affordable_rung(&self, from_phase: usize, min_rung: usize) -> Option<usize> {
-        if self.comparator.is_browned_out() {
+        if self.rail.comparator.is_browned_out() {
             return None;
         }
         let usable = self.believed_usable();
@@ -635,10 +747,10 @@ impl<'a> Engine<'a> {
             if let Some(r) = self.affordable_rung(from_phase, min_rung) {
                 return Some(r);
             }
-            if self.time >= deadline {
+            if self.time() >= deadline {
                 return None;
             }
-            let until = (self.time + self.cfg.retry_backoff).min(deadline);
+            let until = (self.time() + self.cfg.retry_backoff).min(deadline);
             self.idle_until(until);
         }
     }
@@ -647,8 +759,8 @@ impl<'a> Engine<'a> {
     /// checkpoints keep `resume_phase`; everything else restarts the cycle
     /// from scratch.
     fn account_loss(&mut self, resume_phase: &mut usize) {
-        self.wasted += self.unsaved;
-        self.unsaved = Energy::ZERO;
+        self.wasted += self.rail.unsaved;
+        self.rail.unsaved = Energy::ZERO;
         if self.cfg.checkpoint != CheckpointPolicy::Retained {
             *resume_phase = 0;
             self.wasted += self.banked;
@@ -681,36 +793,26 @@ impl<'a> Engine<'a> {
         self.mcu
             .enter(PowerState::Standby)
             .map_err(LifecycleError::Transition)?;
-        let until = (self.time + self.cfg.retry_backoff).min(deadline);
-        while self.time < until {
-            let dt = (until - self.time).min(Seconds::new(1.0));
-            match self.step(dt, Power::ZERO) {
-                Some(PowerEvent::Recovered) => return Ok(true),
-                Some(PowerEvent::Brownout) => return Ok(false),
-                _ => {}
-            }
+        let until = (self.time() + self.cfg.retry_backoff).min(deadline);
+        match self.drive_until(until, &[SimEvent::Recovered, SimEvent::Brownout]) {
+            Some(SimEvent::Recovered) => Ok(true),
+            _ => Ok(false),
         }
-        Ok(false)
     }
 
     /// Runs a checkpoint save/restore window of `duration` at the extra
     /// power that delivers `energy` over it, watching the comparator.
     fn run_overhead_window(&mut self, energy: Energy, duration: Seconds) -> Option<PowerEvent> {
-        let mut elapsed = Seconds::ZERO;
         let extra = if duration.as_seconds() > 0.0 {
             Power::new(energy.as_joules() / duration.as_seconds())
         } else {
             Power::ZERO
         };
-        while elapsed < duration {
-            let dt = (duration - elapsed).min(self.cfg.active_dt);
-            let ev = self.step(dt, extra);
-            elapsed += dt;
-            if matches!(ev, Some(PowerEvent::Brownout)) {
-                return ev;
-            }
-        }
-        None
+        self.rail.extra = extra;
+        let mut elapsed = Seconds::ZERO;
+        let ev = self.drive_span(duration, &mut elapsed, false);
+        self.rail.extra = Power::ZERO;
+        ev
     }
 
     /// One powered attempt: cold boot, restore if resuming, then the
@@ -777,9 +879,9 @@ impl<'a> Engine<'a> {
                         },
                     ));
                 }
-                self.retained_live = true;
-                self.banked += self.unsaved;
-                self.unsaved = Energy::ZERO;
+                self.rail.retained_live = true;
+                self.banked += self.rail.unsaved;
+                self.rail.unsaved = Energy::ZERO;
             }
             *resume_phase = pi + 1;
         }
@@ -799,29 +901,29 @@ impl<'a> Engine<'a> {
     ) -> Result<Option<LifecycleError>, LifecycleError> {
         self.enter_phase_state(phase)?;
         let mut elapsed = Seconds::ZERO;
-        while elapsed < duration {
-            let dt = (duration - elapsed).min(self.cfg.active_dt);
-            let ev = self.step(dt, Power::ZERO);
-            elapsed += dt;
-            match ev {
+        loop {
+            let stop_on_warn = self.cfg.checkpoint != CheckpointPolicy::None;
+            match self.drive_span(duration, &mut elapsed, stop_on_warn) {
+                None => return Ok(None),
                 Some(PowerEvent::Brownout) => {
                     self.lose_progress(resume_phase);
                     return Ok(Some(LifecycleError::BrownoutDuringPhase { phase, elapsed }));
                 }
-                Some(PowerEvent::BrownoutWarn) if self.cfg.checkpoint != CheckpointPolicy::None => {
+                Some(_) => {
                     // Pause before the rail dies: standby retains SRAM, so
                     // compute phases continue where they stopped after the
-                    // supply recovers. Only an in-flight *capture* is stale
-                    // and must be redone.
+                    // supply recovers (the span resumes from the same
+                    // elapsed accumulator). Only an in-flight *capture* is
+                    // stale and must be redone.
                     if self.suspend_for_recovery(deadline)? {
                         self.resumed += 1;
                         if phase == TaskPhase::Sense {
-                            self.wasted += self.unsaved;
-                            self.unsaved = Energy::ZERO;
+                            self.wasted += self.rail.unsaved;
+                            self.rail.unsaved = Energy::ZERO;
                             elapsed = Seconds::ZERO;
                         }
                         self.enter_phase_state(phase)?;
-                    } else if self.comparator.is_browned_out() {
+                    } else if self.rail.comparator.is_browned_out() {
                         // The rail died while suspended.
                         self.lose_progress(resume_phase);
                         return Ok(Some(LifecycleError::BrownoutDuringPhase { phase, elapsed }));
@@ -831,10 +933,8 @@ impl<'a> Engine<'a> {
                         return Ok(Some(LifecycleError::EnergyExhausted));
                     }
                 }
-                _ => {}
             }
         }
-        Ok(None)
     }
 
     /// Puts the MCU in the right state for `phase`.
@@ -855,7 +955,7 @@ impl<'a> Engine<'a> {
     /// retries, final bookkeeping.
     fn run_cycle(&mut self, deadline: Seconds) {
         self.attempted += 1;
-        self.unsaved = Energy::ZERO;
+        self.rail.unsaved = Energy::ZERO;
         self.banked = Energy::ZERO;
         let mut resume_phase = 0usize;
         let mut min_rung = 0usize;
@@ -875,8 +975,8 @@ impl<'a> Engine<'a> {
                     if rung_idx > 0 {
                         self.degraded += 1;
                     }
-                    self.retained_live = false;
-                    self.unsaved = Energy::ZERO;
+                    self.rail.retained_live = false;
+                    self.rail.unsaved = Energy::ZERO;
                     self.banked = Energy::ZERO;
                     return;
                 }
@@ -909,10 +1009,10 @@ impl<'a> Engine<'a> {
     /// Abandons the current cycle; all banked progress is wasted.
     fn abandon(&mut self, _had_progress: bool) {
         self.abandoned += 1;
-        self.wasted += self.unsaved + self.banked;
-        self.unsaved = Energy::ZERO;
+        self.wasted += self.rail.unsaved + self.banked;
+        self.rail.unsaved = Energy::ZERO;
         self.banked = Energy::ZERO;
-        self.retained_live = false;
+        self.rail.retained_live = false;
         if !matches!(self.mcu.state(), PowerState::Off | PowerState::Brownout) {
             self.mcu.power_off();
         }
@@ -924,6 +1024,7 @@ impl<'a> Engine<'a> {
         } else {
             Ratio::ZERO
         };
+        let audit = *self.bus.audit();
         DayFaultReport {
             attempted: self.attempted,
             completed: self.completed,
@@ -931,19 +1032,19 @@ impl<'a> Engine<'a> {
             resumed: self.resumed,
             abandoned: self.abandoned,
             degraded: self.degraded,
-            warns: self.warns,
-            brownouts: self.brownouts,
-            recoveries: self.recoveries,
+            warns: self.rail.warns,
+            brownouts: self.rail.brownouts,
+            recoveries: self.rail.recoveries,
             rung_completions: self.rung_completions,
             mean_accuracy,
-            harvested: self.audit.harvested,
-            consumed: self.audit.consumed,
+            harvested: audit.harvested,
+            consumed: audit.consumed,
             wasted: self.wasted,
-            checkpoint_overhead: self.checkpoint_overhead,
+            checkpoint_overhead: self.rail.checkpoint_overhead,
             dead_window: self.mcu.time_in(PowerState::Brownout),
-            final_voltage: self.cap.voltage(),
-            min_voltage: self.min_voltage,
-            audit: self.audit,
+            final_voltage: self.rail.cap.voltage(),
+            min_voltage: self.rail.min_voltage,
+            audit,
         }
     }
 }

@@ -23,8 +23,8 @@ pub mod streaming;
 
 pub use detectors::{solarml_detector_spec, DetectorSpec, REFERENCE_DETECTORS};
 pub use endtoend::{
-    harvesting_time, simulate_day, DayProfile, DayReport, DaySimConfig, EndToEndBudget,
-    HarvestScenario,
+    harvesting_time, simulate_day, simulate_day_with, DayProfile, DayReport, DaySimConfig,
+    EndToEndBudget, HarvestScenario,
 };
 pub use intermittent::{
     simulate_faulted_day, stressed_office_day, CheckpointCostModel, CheckpointPolicy,

@@ -19,8 +19,9 @@ use solarml_dsp::{AudioFrontendParams, GestureSensingParams};
 use solarml_energy::device::{AudioSensingGround, GestureSensingGround, InferenceGround};
 use solarml_mcu::{AdcConfig, Mcu, McuPowerModel, PdmConfig, PowerState, TransitionError};
 use solarml_nn::ModelSpec;
+use solarml_sim::{Clocked, DtPolicy, Scheduler, SimBus, StepControl};
 use solarml_trace::PowerTrace;
-use solarml_units::{Energy, Frequency, Lux, Power, Ratio, Seconds, Volts};
+use solarml_units::{Energy, Frequency, Lux, Power, Ratio, Seconds};
 use std::fmt;
 
 /// Which application drives the sampling/inference phases.
@@ -236,46 +237,61 @@ impl DutyCycleConfig {
         let mut mcu = Mcu::new(self.mcu);
         let mut trace = PowerTrace::with_sample_rate(self.trace_rate);
         let dt = self.trace_rate.period();
+        let mut sched = Scheduler::new(DtPolicy::fixed());
+        let mut bus = SimBus::new();
 
         mcu.power_on()?;
-        // Treat the initial boot as part of event overhead, then sleep.
-        advance(
+        // Treat the initial boot as part of event overhead, then sleep. The
+        // MCU is the only clocked component: the trace records its own draw
+        // (`bus.mcu_load`), not a platform rail.
+        let mut seg = |sched: &mut Scheduler, bus: &mut SimBus, mcu: &mut Mcu, label, span| {
+            run_segment(sched, bus, &mut [mcu], &mut trace, label, span, dt, |b| {
+                b.mcu_load
+            });
+        };
+        seg(
+            &mut sched,
+            &mut bus,
             &mut mcu,
-            &mut trace,
             "wake",
             self.mcu.cold_boot_duration,
-            dt,
         );
         mcu.enter(PowerState::DeepSleep)?;
-        advance(&mut mcu, &mut trace, "sleep", self.sleep, dt);
+        seg(&mut sched, &mut bus, &mut mcu, "sleep", self.sleep);
         // Wake for sampling.
         mcu.enter(PowerState::Tickless)?;
-        advance(&mut mcu, &mut trace, "wake", self.mcu.wake_duration, dt);
+        seg(
+            &mut sched,
+            &mut bus,
+            &mut mcu,
+            "wake",
+            self.mcu.wake_duration,
+        );
         // Now in tickless; use task sampling power.
         mcu.begin_sampling(self.task.sampling_power(&self.mcu))?;
-        advance(
+        seg(
+            &mut sched,
+            &mut bus,
             &mut mcu,
-            &mut trace,
             "sampling",
             self.task.sampling_duration(),
-            dt,
         );
         // Preprocessing compute.
         mcu.enter(PowerState::Active)?;
-        advance(
+        seg(
+            &mut sched,
+            &mut bus,
             &mut mcu,
-            &mut trace,
             "processing",
             self.task.processing_duration(&self.mcu),
-            dt,
         );
         // Inference.
-        advance(
+        seg(
+            &mut sched,
+            &mut bus,
             &mut mcu,
-            &mut trace,
             "inference",
             self.task.inference_duration(&self.mcu),
-            dt,
         );
         mcu.enter(PowerState::DeepSleep)?;
 
@@ -293,13 +309,30 @@ impl DutyCycleConfig {
     }
 }
 
-fn advance(mcu: &mut Mcu, trace: &mut PowerTrace, label: &str, span: Seconds, dt: Seconds) {
+/// Steps one labelled trace segment on the shared scheduler clock: `span`
+/// rounded to whole trace-rate steps, recording `read(bus)` after each.
+///
+/// This is the single span helper behind both lifecycle runs — the
+/// duty-cycled MCU-only variant (components `[mcu]`, reading `mcu_load`) and
+/// the event-driven platform variant (components `[mcu, circuit]`, reading
+/// the rail's `load_power`) differ only in their component list and probe.
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    sched: &mut Scheduler,
+    bus: &mut SimBus,
+    comps: &mut [&mut dyn Clocked],
+    trace: &mut PowerTrace,
+    label: &str,
+    span: Seconds,
+    dt: Seconds,
+    read: impl Fn(&SimBus) -> Power,
+) {
     trace.begin_segment(label);
     let steps = (span.as_seconds() / dt.as_seconds()).round().max(0.0) as usize;
-    for _ in 0..steps {
-        trace.push(mcu.power());
-        mcu.advance(dt);
-    }
+    sched.run_steps(steps, dt, comps, bus, |_, _, bus| {
+        trace.push(read(bus));
+        StepControl::Continue
+    });
 }
 
 /// Configuration of a SolarML event-driven interaction (Fig. 6).
@@ -362,30 +395,53 @@ impl InteractionConfig {
         );
         let mut mcu = Mcu::new(self.mcu);
         let mut trace = PowerTrace::with_sample_rate(self.trace_rate);
+        let mut sched = Scheduler::new(DtPolicy::fixed());
+        let mut bus = SimBus::new();
 
-        // Phase: off, waiting for the event.
+        // Phase: off, waiting for the event. Only the circuit is clocked;
+        // the bus's zeroed MCU outputs stand in for the unpowered MCU (it
+        // draws nothing and holds V4 low).
         trace.begin_segment("off");
-        let mut connected_at: Option<Seconds> = None;
         let deadline = self.wait_before + Seconds::new(1.0);
-        while sim.time() < deadline {
-            let step = sim.step(mcu.power(), hold_voltage(&mcu), |_| Ratio::ZERO);
-            trace.push(step.load_power);
-            if step.detector.mcu_connected {
-                connected_at = Some(step.time);
-                break;
+        let mut connected = false;
+        sched.run_free(deadline, dt, &mut [&mut sim], &mut bus, |_, _, bus| {
+            trace.push(bus.load_power);
+            if bus.rail_connected {
+                connected = true;
+                StepControl::Stop
+            } else {
+                StepControl::Continue
             }
+        });
+        if !connected {
+            return Err(LifecycleError::DetectorNeverTriggered);
         }
-        let _connected_at = connected_at.ok_or(LifecycleError::DetectorNeverTriggered)?;
+
+        // From here the MCU is clocked too: listed first so the circuit sees
+        // its load/hold-pin for the same step (the legacy call order).
+        // Each labelled span records the platform rail power.
+        let seg = |sched: &mut Scheduler,
+                   bus: &mut SimBus,
+                   mcu: &mut Mcu,
+                   sim: &mut CircuitSim,
+                   trace: &mut PowerTrace,
+                   label,
+                   span| {
+            run_segment(sched, bus, &mut [mcu, sim], trace, label, span, dt, |b| {
+                b.load_power
+            });
+        };
 
         // Phase: boot (the MCU rail just connected; MCU asserts hold).
         mcu.power_on()?;
-        trace.begin_segment("wake");
-        run_span(
-            &mut sim,
+        seg(
+            &mut sched,
+            &mut bus,
             &mut mcu,
+            &mut sim,
             &mut trace,
+            "wake",
             self.mcu.cold_boot_duration,
-            dt,
         );
 
         // Phase: sampling. For gestures the platform samples until the
@@ -394,35 +450,43 @@ impl InteractionConfig {
         // twice the nominal window. KWS captures a fixed-length clip.
         sim.set_mode(HarvestMode::Sensing);
         mcu.begin_sampling(self.task.sampling_power(&self.mcu))?;
-        trace.begin_segment("sampling");
         match &self.task {
             TaskProfile::Gesture { .. } => {
+                trace.begin_segment("sampling");
                 let timeout = self.task.sampling_duration() * 2.0;
                 let mut elapsed = Seconds::ZERO;
                 // Arm on the end hover: V5 must first recover (start hover
                 // released), then drop again.
                 let mut armed = false;
-                while elapsed < timeout {
-                    let step = sim.step(mcu.power(), hold_voltage(&mcu), |_| Ratio::ZERO);
-                    trace.push(step.load_power);
-                    mcu.advance(dt);
-                    elapsed += dt;
-                    let v5 = step.detector.v5.as_volts();
-                    if !armed && v5 > 0.5 {
-                        armed = true;
-                    }
-                    if armed && v5 < 0.2 {
-                        break; // end-of-gesture hover detected
-                    }
-                }
+                sched.run_span_free(
+                    timeout,
+                    dt,
+                    &mut elapsed,
+                    &mut [&mut mcu, &mut sim],
+                    &mut bus,
+                    |_, _, bus| {
+                        trace.push(bus.load_power);
+                        let v5 = bus.sense_v5.as_volts();
+                        if !armed && v5 > 0.5 {
+                            armed = true;
+                        }
+                        if armed && v5 < 0.2 {
+                            StepControl::Stop // end-of-gesture hover detected
+                        } else {
+                            StepControl::Continue
+                        }
+                    },
+                );
             }
             TaskProfile::Kws { .. } => {
-                run_span(
-                    &mut sim,
+                seg(
+                    &mut sched,
+                    &mut bus,
                     &mut mcu,
+                    &mut sim,
                     &mut trace,
+                    "sampling",
                     self.task.sampling_duration(),
-                    dt,
                 );
             }
         }
@@ -430,59 +494,84 @@ impl InteractionConfig {
 
         // Phase: preprocessing + inference.
         mcu.enter(PowerState::Active)?;
-        trace.begin_segment("processing");
-        run_span(
-            &mut sim,
+        seg(
+            &mut sched,
+            &mut bus,
             &mut mcu,
+            &mut sim,
             &mut trace,
+            "processing",
             self.task.processing_duration(&self.mcu),
-            dt,
         );
-        trace.begin_segment("inference");
-        run_span(
-            &mut sim,
+        seg(
+            &mut sched,
+            &mut bus,
             &mut mcu,
+            &mut sim,
             &mut trace,
+            "inference",
             self.task.inference_duration(&self.mcu),
-            dt,
         );
 
         // Phase: standby window (config retained in RAM).
         mcu.enter(PowerState::Standby)?;
-        trace.begin_segment("standby");
-        run_span(&mut sim, &mut mcu, &mut trace, self.standby_window, dt);
+        seg(
+            &mut sched,
+            &mut bus,
+            &mut mcu,
+            &mut sim,
+            &mut trace,
+            "standby",
+            self.standby_window,
+        );
 
         if self.second_interaction {
             // Resume: warm wake, sample, infer again.
             mcu.enter(PowerState::Tickless)?;
-            trace.begin_segment("wake");
-            run_span(&mut sim, &mut mcu, &mut trace, self.mcu.wake_duration, dt);
+            seg(
+                &mut sched,
+                &mut bus,
+                &mut mcu,
+                &mut sim,
+                &mut trace,
+                "wake",
+                self.mcu.wake_duration,
+            );
             mcu.begin_sampling(self.task.sampling_power(&self.mcu))?;
             sim.set_mode(HarvestMode::Sensing);
-            trace.begin_segment("sampling");
-            run_span(
-                &mut sim,
+            seg(
+                &mut sched,
+                &mut bus,
                 &mut mcu,
+                &mut sim,
                 &mut trace,
+                "sampling",
                 self.task.sampling_duration(),
-                dt,
             );
             sim.set_mode(HarvestMode::Harvesting);
             mcu.enter(PowerState::Active)?;
-            trace.begin_segment("inference");
-            run_span(
-                &mut sim,
+            seg(
+                &mut sched,
+                &mut bus,
                 &mut mcu,
+                &mut sim,
                 &mut trace,
+                "inference",
                 self.task.inference_duration(&self.mcu),
-                dt,
             );
         }
 
         // Power down.
         mcu.power_off();
-        trace.begin_segment("off");
-        run_span(&mut sim, &mut mcu, &mut trace, Seconds::new(0.5), dt);
+        seg(
+            &mut sched,
+            &mut bus,
+            &mut mcu,
+            &mut sim,
+            &mut trace,
+            "off",
+            Seconds::new(0.5),
+        );
 
         let event = trace.labelled_energy("off")
             + trace.labelled_energy("wake")
@@ -497,31 +586,6 @@ impl InteractionConfig {
                 inference,
             },
         ))
-    }
-}
-
-fn hold_voltage(mcu: &Mcu) -> Volts {
-    // The MCU holds V4 high whenever it is running (not off or dead in a
-    // brownout window).
-    if matches!(mcu.state(), PowerState::Off | PowerState::Brownout) {
-        Volts::ZERO
-    } else {
-        Volts::new(3.3)
-    }
-}
-
-fn run_span(
-    sim: &mut CircuitSim,
-    mcu: &mut Mcu,
-    trace: &mut PowerTrace,
-    span: Seconds,
-    dt: Seconds,
-) {
-    let steps = (span.as_seconds() / dt.as_seconds()).round().max(0.0) as usize;
-    for _ in 0..steps {
-        let step = sim.step(mcu.power(), hold_voltage(mcu), |_| Ratio::ZERO);
-        trace.push(step.load_power);
-        mcu.advance(dt);
     }
 }
 

@@ -7,12 +7,18 @@
 //! would actually read — solar-cell voltages through the divider taps, with
 //! the harvesting branch switched off during the gesture. The integration
 //! tests check the two pipelines agree structurally.
+//!
+//! The replay runs on the co-simulation [`Scheduler`]: a [`ShadingDriver`]
+//! stimulus component writes each sample's hand-shadow field onto the
+//! [`SimBus`], and the [`CircuitSim`] consumes it as an ordinary clocked
+//! component.
 
 use serde::{Deserialize, Serialize};
 use solarml_circuit::env::LightEnvironment;
 use solarml_circuit::harvest::{CellRole, HarvestMode};
 use solarml_circuit::{CircuitSim, SimConfig};
 use solarml_datasets::gesture::canonical_shading;
+use solarml_sim::{Clocked, DtPolicy, Scheduler, SimBus, StepControl, StepOutcome};
 use solarml_units::{Lux, Power, Ratio, Seconds, Volts};
 
 /// Configuration of an analog gesture replay.
@@ -54,6 +60,40 @@ pub struct ReplayOutput {
     pub sensing_power: Power,
 }
 
+/// The gesture stimulus as a [`Clocked`] component: each step it renders
+/// the hand-shadow field for the next ADC sample onto the bus's shading
+/// lanes (and asserts the idle MCU rail signals), for the downstream
+/// [`CircuitSim`] component to consume.
+struct ShadingDriver {
+    digit: usize,
+    hand_radius: f64,
+    n_samples: usize,
+    /// 5×5 grid positions of the nine sensing cells, index-aligned with
+    /// the 3×3 shading field.
+    grid: Vec<usize>,
+    sample: usize,
+}
+
+impl Clocked for ShadingDriver {
+    fn step(&mut self, _t: Seconds, _dt: Seconds, bus: &mut SimBus) -> StepOutcome {
+        let t01 = if self.n_samples > 1 {
+            self.sample as f64 / (self.n_samples - 1) as f64
+        } else {
+            0.0
+        };
+        let field = canonical_shading(self.digit, t01, self.hand_radius);
+        bus.mcu_load = Power::ZERO;
+        bus.hold_voltage = Volts::new(3.3);
+        bus.shading.clear();
+        bus.shading.resize(25, Ratio::ZERO);
+        for (i, &cell) in self.grid.iter().enumerate() {
+            bus.shading[cell] = Ratio::new(field[i]);
+        }
+        self.sample += 1;
+        StepOutcome::quiescent()
+    }
+}
+
 /// Replays a digit through the circuit's sensing path.
 ///
 /// # Panics
@@ -84,27 +124,27 @@ pub fn replay_gesture(config: &GestureReplay) -> ReplayOutput {
     let n_samples = (config.duration.as_seconds() * config.rate_hz).round() as usize;
     let mut channels = vec![Vec::with_capacity(n_samples); sensing_grid.len()];
 
-    for s in 0..n_samples {
-        let t01 = if n_samples > 1 {
-            s as f64 / (n_samples - 1) as f64
-        } else {
-            0.0
-        };
-        let field = canonical_shading(config.digit, t01, config.hand_radius);
-        let grid = sensing_grid.clone();
-        let shading = move |cell: usize| -> Ratio {
-            Ratio::new(
-                grid.iter()
-                    .position(|&g| g == cell)
-                    .map(|i| field[i])
-                    .unwrap_or(0.0),
-            )
-        };
-        let step = sim.step(Power::ZERO, Volts::new(3.3), shading);
-        for (c, tap) in step.sensing_taps.iter().enumerate() {
-            channels[c].push(tap.as_volts() as f32);
-        }
-    }
+    let mut driver = ShadingDriver {
+        digit: config.digit,
+        hand_radius: config.hand_radius,
+        n_samples,
+        grid: sensing_grid.clone(),
+        sample: 0,
+    };
+    let mut sched = Scheduler::new(DtPolicy::fixed());
+    let mut bus = SimBus::new();
+    sched.run_steps(
+        n_samples,
+        dt,
+        &mut [&mut driver as &mut dyn Clocked, &mut sim],
+        &mut bus,
+        |_, _, bus| {
+            for (c, tap) in bus.sensing_taps.iter().enumerate() {
+                channels[c].push(tap.as_volts() as f32);
+            }
+            StepControl::Continue
+        },
+    );
 
     // Average divider power over the replay (recomputed analytically —
     // SimStep folds it into load_power).

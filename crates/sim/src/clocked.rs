@@ -1,0 +1,95 @@
+//! The component trait every simulated block implements.
+
+use solarml_units::Seconds;
+
+use crate::bus::SimBus;
+
+/// What a component tells the scheduler after taking a step.
+///
+/// `max_dt` is a *hint* for the next step: the largest timestep this
+/// component can integrate accurately from its current state (e.g. the
+/// supercap's error-bounded `stable_dt`, or the time until the next
+/// scheduled environment transition). The scheduler takes the minimum over
+/// all components and clamps it into the policy's `[min_dt, max_dt]` band.
+///
+/// `edge` marks that something discontinuous happened *inside* this step
+/// (a comparator fired, the detector switched). The scheduler reacts by
+/// pinning the next steps to `min_dt` for the policy's `edge_hold` window,
+/// so post-event dynamics are resolved finely.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepOutcome {
+    /// Largest next-step dt this component can tolerate; `None` means "any".
+    pub max_dt: Option<Seconds>,
+    /// Whether a discontinuity occurred during this step.
+    pub edge: bool,
+}
+
+impl StepOutcome {
+    /// No constraint on the next step.
+    pub fn quiescent() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the next step to at most `dt`.
+    pub fn hint(dt: Seconds) -> Self {
+        Self {
+            max_dt: Some(dt),
+            edge: false,
+        }
+    }
+
+    /// Marks a discontinuity inside this step.
+    pub fn edge() -> Self {
+        Self {
+            max_dt: None,
+            edge: true,
+        }
+    }
+
+    /// Adds the edge mark to an existing outcome.
+    pub fn with_edge(mut self, edge: bool) -> Self {
+        self.edge |= edge;
+        self
+    }
+
+    /// Merges another component's outcome into this one: hints combine by
+    /// minimum, edges by OR.
+    pub fn merge(self, other: Self) -> Self {
+        let max_dt = match (self.max_dt, other.max_dt) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Self {
+            max_dt,
+            edge: self.edge || other.edge,
+        }
+    }
+}
+
+/// A simulated component advanced by the scheduler's single clock.
+///
+/// `t` is the time at the *start* of the step and `dt` its length; the
+/// component must advance its internal state across `[t, t + dt)`, reading
+/// inputs published earlier on the `bus` and publishing its own outputs.
+/// Components are stepped in the order the driving loop lists them.
+pub trait Clocked {
+    /// Advances this component across `[t, t + dt)`.
+    fn step(&mut self, t: Seconds, dt: Seconds, bus: &mut SimBus) -> StepOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_min_hint_and_or_edge() {
+        let a = StepOutcome::hint(Seconds::new(0.5));
+        let b = StepOutcome::hint(Seconds::new(0.2)).with_edge(true);
+        let m = a.merge(b);
+        assert_eq!(m.max_dt, Some(Seconds::new(0.2)));
+        assert!(m.edge);
+        let n = StepOutcome::quiescent().merge(a);
+        assert_eq!(n.max_dt, Some(Seconds::new(0.5)));
+        assert!(!n.edge);
+    }
+}

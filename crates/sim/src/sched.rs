@@ -1,0 +1,439 @@
+//! The single co-simulation clock and its stepping strategies.
+
+use solarml_units::Seconds;
+
+use crate::bus::SimBus;
+use crate::clocked::{Clocked, StepOutcome};
+
+/// What the driving loop's observer tells a runner after each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepControl {
+    /// Keep stepping.
+    Continue,
+    /// Stop the current run after this step.
+    Stop,
+}
+
+/// Timestep policy for a [`Scheduler`].
+///
+/// Fixed policy reproduces the legacy loops bit-for-bit: every step takes
+/// the caller's slice (clipped to the deadline/span where the legacy loop
+/// clipped). Adaptive policy instead derives each step from the components'
+/// [`StepOutcome`] hints, stretching through quiescent deep-sleep windows
+/// up to `max_dt` and shrinking to `min_dt` around edges (detector
+/// transitions, brownout events, MOSFET switching) for an `edge_hold`
+/// refractory window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtPolicy {
+    /// Whether steps adapt to component hints instead of the fixed slice.
+    pub adaptive: bool,
+    /// Smallest adaptive step; also the step width pinned around edges.
+    pub min_dt: Seconds,
+    /// Largest adaptive step through fully quiescent windows.
+    pub max_dt: Seconds,
+    /// How long after an edge steps stay pinned at `min_dt`.
+    pub edge_hold: Seconds,
+}
+
+impl DtPolicy {
+    /// Fixed-dt policy: every step takes the runner's slice verbatim,
+    /// reproducing the legacy loops exactly.
+    pub fn fixed() -> Self {
+        Self {
+            adaptive: false,
+            min_dt: Seconds::ZERO,
+            max_dt: Seconds::ZERO,
+            edge_hold: Seconds::ZERO,
+        }
+    }
+
+    /// Adaptive policy stepping within `[min_dt, max_dt]`, holding
+    /// `min_dt` for 50 ms after each edge.
+    pub fn adaptive(min_dt: Seconds, max_dt: Seconds) -> Self {
+        Self {
+            adaptive: true,
+            min_dt,
+            max_dt,
+            edge_hold: Seconds::new(0.05),
+        }
+    }
+}
+
+impl Default for DtPolicy {
+    fn default() -> Self {
+        Self::fixed()
+    }
+}
+
+/// The single monotonic co-simulation clock.
+///
+/// One scheduler drives every component of a simulation through the
+/// [`Clocked`] trait; its runners reproduce the stepping disciplines of the
+/// legacy loops (deadline-clipped, span-clipped resumable, free-running,
+/// fixed-count) so ports stay bit-exact at fixed dt, while the adaptive
+/// policy accelerates quiescent stretches without touching the ledger's
+/// error bound.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    time: Seconds,
+    policy: DtPolicy,
+    /// Steps stay at `min_dt` until the clock passes this mark.
+    edge_until: Seconds,
+    /// The merged component hint from the previous step, applied to the
+    /// next one.
+    pending_hint: Option<Seconds>,
+}
+
+impl Scheduler {
+    /// A scheduler starting at `t = 0` under `policy`.
+    pub fn new(policy: DtPolicy) -> Self {
+        Self::starting_at(Seconds::ZERO, policy)
+    }
+
+    /// A scheduler whose clock starts at `t` under `policy`.
+    ///
+    /// The start is treated as an edge: adaptive runs warm up at `min_dt`
+    /// until components have published their first hints.
+    pub fn starting_at(t: Seconds, policy: DtPolicy) -> Self {
+        Self {
+            time: t,
+            policy,
+            edge_until: t + policy.edge_hold,
+            pending_hint: None,
+        }
+    }
+
+    /// The current clock reading.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// The active timestep policy.
+    pub fn policy(&self) -> &DtPolicy {
+        &self.policy
+    }
+
+    /// Takes exactly one step of width `dt`: clears the bus events, steps
+    /// every component in order, advances the clock, and folds the merged
+    /// [`StepOutcome`] into the adaptive state.
+    pub fn step_once(
+        &mut self,
+        dt: Seconds,
+        comps: &mut [&mut dyn Clocked],
+        bus: &mut SimBus,
+    ) -> StepOutcome {
+        bus.events.clear();
+        let t = self.time;
+        let mut outcome = StepOutcome::quiescent();
+        for comp in comps.iter_mut() {
+            outcome = outcome.merge(comp.step(t, dt, bus));
+        }
+        self.time += dt;
+        self.pending_hint = outcome.max_dt;
+        if outcome.edge {
+            self.edge_until = self.time + self.policy.edge_hold;
+        }
+        outcome
+    }
+
+    /// Picks the next step width. `remaining` clips the step so it cannot
+    /// overshoot a deadline or span end; `slice` is the fixed-policy step.
+    fn choose_dt(&self, remaining: Option<Seconds>, slice: Seconds) -> Seconds {
+        let mut dt = if self.policy.adaptive {
+            let hinted = self.pending_hint.unwrap_or(self.policy.max_dt);
+            let mut dt = hinted.clamp(self.policy.min_dt, self.policy.max_dt);
+            if self.time < self.edge_until {
+                dt = self.policy.min_dt;
+            }
+            dt
+        } else {
+            slice
+        };
+        if let Some(remaining) = remaining {
+            dt = dt.min(remaining);
+        }
+        dt
+    }
+
+    /// Runs until the clock reaches `deadline`, clipping the final step so
+    /// the clock lands on the deadline exactly (the legacy `idle_until`
+    /// discipline). Returns `true` if the deadline was reached, `false` if
+    /// the observer (or a component via `bus.halt`) stopped the run early.
+    pub fn run_until(
+        &mut self,
+        deadline: Seconds,
+        slice: Seconds,
+        comps: &mut [&mut dyn Clocked],
+        bus: &mut SimBus,
+        mut observe: impl FnMut(Seconds, Seconds, &mut SimBus) -> StepControl,
+    ) -> bool {
+        bus.halt = false;
+        while self.time < deadline {
+            let dt = self.choose_dt(Some(deadline - self.time), slice);
+            self.step_once(dt, comps, bus);
+            if observe(self.time, dt, bus) == StepControl::Stop || bus.halt {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs full slices until the clock passes `deadline`, overshooting by
+    /// up to one slice (the legacy `while time < deadline` discipline).
+    /// Returns `true` if the deadline was passed, `false` on early stop.
+    pub fn run_free(
+        &mut self,
+        deadline: Seconds,
+        slice: Seconds,
+        comps: &mut [&mut dyn Clocked],
+        bus: &mut SimBus,
+        mut observe: impl FnMut(Seconds, Seconds, &mut SimBus) -> StepControl,
+    ) -> bool {
+        bus.halt = false;
+        while self.time < deadline {
+            let dt = self.choose_dt(None, slice);
+            self.step_once(dt, comps, bus);
+            if observe(self.time, dt, bus) == StepControl::Stop || bus.halt {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs a span of `duration`, clipping the final step so the span
+    /// completes exactly. `elapsed` is the caller-owned progress
+    /// accumulator: a run stopped early can be *resumed* by calling again
+    /// with the same accumulator, continuing the exact clipped-dt sequence
+    /// (the legacy interruptible phase-window discipline). Returns `true`
+    /// if the span completed, `false` on early stop.
+    pub fn run_span(
+        &mut self,
+        duration: Seconds,
+        slice: Seconds,
+        elapsed: &mut Seconds,
+        comps: &mut [&mut dyn Clocked],
+        bus: &mut SimBus,
+        mut observe: impl FnMut(Seconds, Seconds, &mut SimBus) -> StepControl,
+    ) -> bool {
+        bus.halt = false;
+        while *elapsed < duration {
+            let dt = self.choose_dt(Some(duration - *elapsed), slice);
+            self.step_once(dt, comps, bus);
+            *elapsed += dt;
+            if observe(self.time, dt, bus) == StepControl::Stop || bus.halt {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs full slices until `elapsed` passes `duration`, overshooting by
+    /// up to one slice (the legacy sampling-timeout discipline). Returns
+    /// `true` if the span was passed, `false` on early stop.
+    pub fn run_span_free(
+        &mut self,
+        duration: Seconds,
+        slice: Seconds,
+        elapsed: &mut Seconds,
+        comps: &mut [&mut dyn Clocked],
+        bus: &mut SimBus,
+        mut observe: impl FnMut(Seconds, Seconds, &mut SimBus) -> StepControl,
+    ) -> bool {
+        bus.halt = false;
+        while *elapsed < duration {
+            let dt = self.choose_dt(None, slice);
+            self.step_once(dt, comps, bus);
+            *elapsed += dt;
+            if observe(self.time, dt, bus) == StepControl::Stop || bus.halt {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Takes exactly `steps` steps of width `dt` (the legacy rounded
+    /// fixed-count discipline). Returns `true` if all steps ran, `false`
+    /// on early stop.
+    pub fn run_steps(
+        &mut self,
+        steps: usize,
+        dt: Seconds,
+        comps: &mut [&mut dyn Clocked],
+        bus: &mut SimBus,
+        mut observe: impl FnMut(Seconds, Seconds, &mut SimBus) -> StepControl,
+    ) -> bool {
+        bus.halt = false;
+        for _ in 0..steps {
+            self.step_once(dt, comps, bus);
+            if observe(self.time, dt, bus) == StepControl::Stop || bus.halt {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarml_units::Energy;
+
+    /// Integrates elapsed time; hints `hint` and edges when `edge_at`
+    /// crossing occurs.
+    struct Integrator {
+        total: Seconds,
+        hint: Option<Seconds>,
+        edge_at: Option<Seconds>,
+        steps: usize,
+    }
+
+    impl Integrator {
+        fn new() -> Self {
+            Self {
+                total: Seconds::ZERO,
+                hint: None,
+                edge_at: None,
+                steps: 0,
+            }
+        }
+    }
+
+    impl Clocked for Integrator {
+        fn step(&mut self, t: Seconds, dt: Seconds, bus: &mut SimBus) -> StepOutcome {
+            self.total += dt;
+            self.steps += 1;
+            bus.record(crate::EnergyFlows {
+                delta_stored: Energy::new(dt.as_seconds()),
+                harvested: Energy::new(dt.as_seconds()),
+                ..crate::EnergyFlows::default()
+            });
+            let edge = self.edge_at.is_some_and(|at| t < at && at <= t + dt);
+            match self.hint {
+                Some(h) => StepOutcome::hint(h).with_edge(edge),
+                None => StepOutcome::quiescent().with_edge(edge),
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_lands_exactly_on_the_deadline() {
+        let mut sched = Scheduler::new(DtPolicy::fixed());
+        let mut comp = Integrator::new();
+        let mut bus = SimBus::new();
+        let done = sched.run_until(
+            Seconds::new(1.05),
+            Seconds::new(0.5),
+            &mut [&mut comp],
+            &mut bus,
+            |_, _, _| StepControl::Continue,
+        );
+        assert!(done);
+        assert_eq!(sched.time(), Seconds::new(1.05));
+        assert_eq!(comp.steps, 3);
+        assert_eq!(comp.total, Seconds::new(1.05));
+        assert_eq!(bus.audit().discrepancy, Energy::ZERO);
+    }
+
+    #[test]
+    fn run_free_overshoots_by_up_to_one_slice() {
+        let mut sched = Scheduler::new(DtPolicy::fixed());
+        let mut comp = Integrator::new();
+        let mut bus = SimBus::new();
+        sched.run_free(
+            Seconds::new(1.05),
+            Seconds::new(0.5),
+            &mut [&mut comp],
+            &mut bus,
+            |_, _, _| StepControl::Continue,
+        );
+        assert_eq!(comp.steps, 3);
+        assert_eq!(sched.time(), Seconds::new(1.5));
+    }
+
+    #[test]
+    fn stopped_span_resumes_with_the_same_dt_sequence() {
+        let mut sched = Scheduler::new(DtPolicy::fixed());
+        let mut comp = Integrator::new();
+        let mut bus = SimBus::new();
+        let mut elapsed = Seconds::ZERO;
+        let mut count = 0;
+        let done = sched.run_span(
+            Seconds::new(1.25),
+            Seconds::new(0.5),
+            &mut elapsed,
+            &mut [&mut comp],
+            &mut bus,
+            |_, _, _| {
+                count += 1;
+                if count == 2 {
+                    StepControl::Stop
+                } else {
+                    StepControl::Continue
+                }
+            },
+        );
+        assert!(!done);
+        assert_eq!(elapsed, Seconds::new(1.0));
+        let done = sched.run_span(
+            Seconds::new(1.25),
+            Seconds::new(0.5),
+            &mut elapsed,
+            &mut [&mut comp],
+            &mut bus,
+            |_, _, _| StepControl::Continue,
+        );
+        assert!(done);
+        assert_eq!(elapsed, Seconds::new(1.25));
+        assert_eq!(comp.total, Seconds::new(1.25));
+    }
+
+    #[test]
+    fn adaptive_steps_follow_hints_and_shrink_on_edges() {
+        let policy = DtPolicy::adaptive(Seconds::new(0.001), Seconds::new(10.0));
+        let mut sched = Scheduler::new(policy);
+        let mut comp = Integrator::new();
+        comp.hint = Some(Seconds::new(2.0));
+        comp.edge_at = Some(Seconds::new(4.0));
+        let mut bus = SimBus::new();
+        let mut dts = Vec::new();
+        sched.run_until(
+            Seconds::new(6.0),
+            Seconds::new(1.0),
+            &mut [&mut comp],
+            &mut bus,
+            |_, dt, _| {
+                dts.push(dt);
+                StepControl::Continue
+            },
+        );
+        assert_eq!(sched.time(), Seconds::new(6.0));
+        // Warm-up at min_dt (start counts as an edge), then hint-sized
+        // strides, then min_dt again inside the post-edge hold window.
+        assert_eq!(dts[0], Seconds::new(0.001));
+        assert!(dts.contains(&Seconds::new(2.0)));
+        let edge_idx = dts
+            .iter()
+            .position(|&d| d == Seconds::new(2.0))
+            .expect("hinted stride");
+        // Immediately after the edge-containing step the hold pins min_dt.
+        let after_edge = dts[edge_idx + 2];
+        assert_eq!(after_edge, Seconds::new(0.001));
+    }
+
+    #[test]
+    fn fixed_count_runner_takes_exactly_n_steps() {
+        let mut sched = Scheduler::new(DtPolicy::fixed());
+        let mut comp = Integrator::new();
+        let mut bus = SimBus::new();
+        let done = sched.run_steps(
+            7,
+            Seconds::new(0.25),
+            &mut [&mut comp],
+            &mut bus,
+            |_, _, _| StepControl::Continue,
+        );
+        assert!(done);
+        assert_eq!(comp.steps, 7);
+        assert_eq!(sched.time(), Seconds::new(1.75));
+    }
+}

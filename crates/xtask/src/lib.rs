@@ -9,8 +9,9 @@
 //!
 //! * [`scan`] — the **physics lint**: a lexical scanner that rejects raw
 //!   `f64`/`f32` in public signatures of the physics crates (forcing
-//!   `solarml-units` newtypes), float `==`/`!=` against literals, and
-//!   `unwrap()`/`expect()` in non-test library code.
+//!   `solarml-units` newtypes), float `==`/`!=` against literals,
+//!   `unwrap()`/`expect()` in non-test library code, and manual
+//!   time-stepping loops that bypass the co-simulation scheduler.
 //! * [`manifest`] — the **workspace lint gate**: every crate must opt into
 //!   the `[workspace.lints]` table so the curated clippy deny-set applies
 //!   tree-wide.
@@ -58,6 +59,11 @@ pub enum ViolationKind {
     /// the brownout/fault path, where a panic would masquerade as the
     /// fault being injected.
     FaultPathUnwrap,
+    /// A manual time-stepping loop (`while t < …` / `for _ in 0..n` around
+    /// a `.step(` call) outside the co-simulation scheduler crate. All
+    /// stepping must go through `solarml_sim::Scheduler` so there is one
+    /// clock and one energy ledger.
+    AdhocSimLoop,
     /// A crate manifest does not opt into `[workspace.lints]`.
     MissingLintsTable,
     /// The root manifest lacks the `[workspace.lints.clippy]` deny-set.
@@ -74,6 +80,7 @@ impl ViolationKind {
             ViolationKind::Expect => "expect",
             ViolationKind::RcRefCell => "rc-refcell",
             ViolationKind::FaultPathUnwrap => "fault-path",
+            ViolationKind::AdhocSimLoop => "adhoc-sim-loop",
             ViolationKind::MissingLintsTable => "missing-lints-table",
             ViolationKind::MissingWorkspaceLints => "missing-workspace-lints",
         }

@@ -31,6 +31,11 @@ pub struct ScanConfig {
     /// inline escapes, no allow-list. A panic in fault-handling code is
     /// indistinguishable from the fault it was supposed to model.
     pub fault_path_files: Vec<PathBuf>,
+    /// Crates whose non-test library code may not hand-roll a time-stepping
+    /// loop around `.step(…)`: all stepping goes through the
+    /// `solarml_sim::Scheduler` so the workspace keeps one clock and one
+    /// energy ledger. The scheduler crate itself is exempt by omission.
+    pub sim_loop_crates: Vec<String>,
     /// Parsed allow-list (see [`AllowList`]).
     pub allow: AllowList,
 }
@@ -52,6 +57,7 @@ impl ScanConfig {
                 PathBuf::from("crates/circuit/src/fault.rs"),
                 PathBuf::from("crates/platform/src/intermittent.rs"),
             ],
+            sim_loop_crates: physics.iter().map(|s| s.to_string()).collect(),
             allow,
         }
     }
@@ -624,6 +630,100 @@ pub fn scan_fault_path(rel: &Path, src: &str) -> Vec<Violation> {
     out
 }
 
+/// Does this (blanked) line open a time-stepping loop? Either a `while`
+/// whose condition compares a time-like variable (`t`, `…time…`,
+/// `…elapsed…`, `…deadline…`, `…clock…`, `…remaining…`) with `<`/`>`, or a
+/// `for … in 0..n` counter loop — the two shapes the legacy per-module
+/// simulation loops used.
+fn is_time_loop_header(line: &str) -> bool {
+    let t = line.trim_start();
+    if let Some(cond) = t.strip_prefix("while ") {
+        if !(cond.contains('<') || cond.contains('>')) {
+            return false;
+        }
+        let mut ident = String::new();
+        let mut idents = Vec::new();
+        for c in cond.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                ident.push(c);
+            } else if !ident.is_empty() {
+                idents.push(std::mem::take(&mut ident));
+            }
+        }
+        if !ident.is_empty() {
+            idents.push(ident);
+        }
+        idents.iter().any(|id| {
+            id == "t"
+                || id.contains("time")
+                || id.contains("elapsed")
+                || id.contains("deadline")
+                || id.contains("clock")
+                || id.contains("remaining")
+        })
+    } else if let Some(rest) = t.strip_prefix("for ") {
+        rest.contains(" in 0..")
+    } else {
+        false
+    }
+}
+
+/// The co-simulation rule: flags a manual time-stepping loop — a loop
+/// header matched by [`is_time_loop_header`] whose header or following few
+/// lines call `.step(` — in non-test library code. All stepping must go
+/// through the `solarml_sim::Scheduler` so the workspace keeps one clock
+/// and one bus-owned energy ledger; ad-hoc loops re-grow the per-module dt
+/// drift and side-channel accounting the scheduler refactor removed.
+/// Honors the file-wildcard allow-list and
+/// `// physics-lint: allow(adhoc-sim-loop)` on either the header or the
+/// `.step(` line; `#[cfg(test)]` regions are exempt (a hand-rolled
+/// reference loop is exactly how the scheduler itself gets checked).
+pub fn scan_sim_loops(rel: &Path, src: &str, allow: &AllowList) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if allow.allows(rel, "*") {
+        return out;
+    }
+    let blanked = blank_noncode(src);
+    let tests = test_regions(&blanked);
+    let allowed_lines = inline_allows(src, "adhoc-sim-loop");
+    let lines: Vec<&str> = blanked.lines().collect();
+    let mut offsets = Vec::with_capacity(lines.len());
+    let mut off = 0usize;
+    for l in &lines {
+        offsets.push(off);
+        off += l.len() + 1;
+    }
+    for (i, header) in lines.iter().enumerate() {
+        if !is_time_loop_header(header) || in_regions(&tests, offsets[i]) {
+            continue;
+        }
+        // The stepped component call sits in the header or shortly after it
+        // in every loop shape this workspace has had; six lines of lookahead
+        // covers a rustfmt-wrapped call without reaching into a sibling loop.
+        let window_end = (i + 7).min(lines.len());
+        let Some(step_at) = (i..window_end).find(|&j| lines[j].contains(".step(")) else {
+            continue;
+        };
+        let line = i + 1;
+        if allowed_lines.contains(&line) || allowed_lines.contains(&(step_at + 1)) {
+            continue;
+        }
+        out.push(Violation {
+            file: rel.to_path_buf(),
+            line,
+            kind: ViolationKind::AdhocSimLoop,
+            detail: format!(
+                "manual stepping loop drives `.step(` (line {}) outside the \
+                 co-simulation scheduler — use `solarml_sim::Scheduler` \
+                 (run_until/run_span/run_steps) or add \
+                 `// physics-lint: allow(adhoc-sim-loop)` with a reason",
+                step_at + 1
+            ),
+        });
+    }
+    out
+}
+
 /// Walks `crates/<name>/src` for every crate in the policy and scans each
 /// `.rs` file. `root` is the workspace root.
 pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<Violation>> {
@@ -633,6 +733,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
         .iter()
         .chain(config.strict_crates.iter())
         .chain(config.sendsync_crates.iter())
+        .chain(config.sim_loop_crates.iter())
         .collect();
     crates.sort();
     crates.dedup();
@@ -640,6 +741,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
         let check_sigs = config.signature_crates.iter().any(|c| c == name);
         let check_strict = config.strict_crates.iter().any(|c| c == name);
         let check_sendsync = config.sendsync_crates.iter().any(|c| c == name);
+        let check_simloops = config.sim_loop_crates.iter().any(|c| c == name);
         let src_dir = root.join("crates").join(name).join("src");
         for file in rs_files(&src_dir)? {
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
@@ -652,6 +754,9 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
                 check_sendsync,
                 &config.allow,
             ));
+            if check_simloops {
+                out.extend(scan_sim_loops(&rel, &text, &config.allow));
+            }
         }
     }
     for rel in &config.fault_path_files {
@@ -1002,6 +1107,81 @@ fn live() { let x = maybe().unwrap(); } // physics-lint: allow(unwrap): nope\n\
         let src = "/// Never call `.unwrap()` here.\nfn go() { log(\".expect(\"); }\n";
         let vs = scan_fault_path(Path::new("crates/circuit/src/fault.rs"), src);
         assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn detects_while_time_loop_around_step() {
+        let src = "\
+fn run(sim: &mut Sim) {\n\
+    let mut time = 0.0;\n\
+    while time < 60.0 {\n\
+        let s = sim.step();\n\
+        time += 0.001;\n\
+    }\n\
+}\n";
+        let vs = scan_sim_loops(
+            Path::new("crates/circuit/src/sim.rs"),
+            src,
+            &AllowList::default(),
+        );
+        assert_eq!(kinds(&vs), vec![ViolationKind::AdhocSimLoop]);
+        assert_eq!(vs[0].line, 3);
+    }
+
+    #[test]
+    fn detects_counter_loop_around_step() {
+        let src = "fn run(sim: &mut Sim, n: usize) {\n    for _ in 0..n {\n        sim.step();\n    }\n}\n";
+        let vs = scan_sim_loops(Path::new("a.rs"), src, &AllowList::default());
+        assert_eq!(kinds(&vs), vec![ViolationKind::AdhocSimLoop]);
+    }
+
+    #[test]
+    fn non_stepping_and_non_time_loops_are_fine() {
+        // A time loop that never calls `.step(`, a `.step(` under a
+        // non-time `while`, and an iterator `for` are all clean.
+        let src = "\
+fn a(mut elapsed: f64) { while elapsed < 9.0 { elapsed += 1.0; } }\n\
+fn b(q: &mut Vec<Sim>) { while let Some(mut s) = q.pop() { s.step(); } }\n\
+fn c(xs: &[u8]) { for x in xs { step_count(*x); } }\n";
+        let vs = scan_sim_loops(Path::new("a.rs"), src, &AllowList::default());
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn sim_loops_in_tests_and_comments_are_exempt() {
+        let src = "\
+/// while t < end { sim.step(); }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn reference() { let mut t = 0.0; while t < 1.0 { sim.step(); t += 0.1; } }\n\
+}\n";
+        let vs = scan_sim_loops(Path::new("a.rs"), src, &AllowList::default());
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn inline_marker_and_wildcard_suppress_sim_loop() {
+        let src = "\
+fn run(sim: &mut Sim) {\n\
+    let mut time = 0.0;\n\
+    // physics-lint: allow(adhoc-sim-loop): scheduler bootstrap\n\
+    while time < 60.0 {\n\
+        sim.step();\n\
+        time += 0.001;\n\
+    }\n\
+}\n";
+        let vs = scan_sim_loops(Path::new("a.rs"), src, &AllowList::default());
+        assert!(vs.is_empty(), "{vs:?}");
+        let flagged = "fn r(sim: &mut Sim) {\n    let mut t = 0.0;\n    while t < 1.0 {\n        sim.step();\n        t += 0.1;\n    }\n}\n";
+        let allow = AllowList::parse("crates/x/src/lib.rs::*");
+        let vs = scan_sim_loops(Path::new("crates/x/src/lib.rs"), flagged, &allow);
+        assert!(vs.is_empty(), "{vs:?}");
+        let vs = scan_sim_loops(
+            Path::new("crates/x/src/lib.rs"),
+            flagged,
+            &AllowList::default(),
+        );
+        assert_eq!(kinds(&vs), vec![ViolationKind::AdhocSimLoop]);
     }
 
     #[test]
