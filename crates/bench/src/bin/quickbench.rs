@@ -2,9 +2,11 @@
 //!
 //! Times the conv kernels (optimized vs. naive reference), the quick
 //! eNAS search at 1 worker vs. N workers (verifying the two searches agree
-//! bit-for-bit), and the 24 h end-to-end day simulation at fixed vs.
+//! bit-for-bit), the 24 h end-to-end day simulation at fixed vs.
 //! adaptive timestep (verifying identical interaction outcomes and a
-//! sub-nanojoule energy-ledger residual), and writes the medians to
+//! sub-nanojoule energy-ledger residual), and a 64-node fleet campaign at
+//! 1 vs. 4 workers (verifying byte-identical reports and per-node ledger
+//! closure), and writes the medians to
 //! `BENCH_hotpaths.json` so future PRs have a trajectory to beat.
 //! Wall-clock timing with `std::time`; the JSON is hand-rendered because
 //! the workspace vendors no JSON crate.
@@ -19,6 +21,7 @@
 use std::time::Instant;
 
 use rand::SeedableRng;
+use solarml::fleet::{run_campaign, CampaignConfig, FleetReport};
 use solarml::nas::parallel::available_workers;
 use solarml::nn::layers::Conv2d;
 use solarml::nn::reference;
@@ -175,6 +178,26 @@ fn timed_search(workers: usize, reps: usize) -> (u128, solarml::SearchOutcome) {
     )
 }
 
+/// Times a 64-node smoke fleet campaign at a worker count; returns the
+/// median wall-clock and the last report (for the cross-worker identity
+/// and ledger gates).
+fn timed_fleet(workers: usize, reps: usize) -> (u128, FleetReport) {
+    let mut cfg = CampaignConfig::smoke(64, 0xF1EE7);
+    cfg.workers = workers;
+    let mut samples = Vec::with_capacity(reps);
+    let mut report = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = run_campaign(&cfg);
+        samples.push(start.elapsed().as_nanos());
+        report = Some(r);
+    }
+    (
+        median_ns(&mut samples),
+        report.expect("at least one fleet rep"),
+    )
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -233,6 +256,25 @@ fn main() {
     let day_outcomes_identical = fixed_day.completed == adaptive_day.completed
         && fixed_day.attempted == adaptive_day.attempted
         && fixed_day.rejected == adaptive_day.rejected;
+
+    let fleet_reps = if quick { 1 } else { 3 };
+    eprintln!("quickbench: 64-node fleet campaign at 1 worker ({fleet_reps} rep(s))…");
+    let (fleet_1w_ns, fleet_1w) = timed_fleet(1, fleet_reps);
+    stages.push(Stage {
+        name: "fleet_campaign_64n_1w",
+        median_ns: fleet_1w_ns,
+        iters: 1,
+    });
+    eprintln!("quickbench: 64-node fleet campaign at 4 workers…");
+    let (fleet_4w_ns, fleet_4w) = timed_fleet(4, fleet_reps);
+    stages.push(Stage {
+        name: "fleet_campaign_64n_4w",
+        median_ns: fleet_4w_ns,
+        iters: 1,
+    });
+    let fleet_reports_identical = fleet_1w.to_json() == fleet_4w.to_json();
+    let fleet_nodes_per_sec = 64.0 / (fleet_4w_ns.min(fleet_1w_ns) as f64 / 1e9).max(1e-9);
+    let fleet_max_residual_nj = fleet_1w.aggregate.residual_nj_stat.max_or_zero();
 
     let histories_identical = serial_outcome == parallel_outcome;
     let ratio = |num: &str, den: &str| -> f64 {
@@ -295,7 +337,16 @@ fn main() {
         "    \"day_sim_ledger_residual_nj\": {day_residual_nj:.3},\n"
     ));
     json.push_str(&format!(
-        "    \"day_sim_outcomes_identical\": {day_outcomes_identical}\n"
+        "    \"day_sim_outcomes_identical\": {day_outcomes_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_nodes_per_sec\": {fleet_nodes_per_sec:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_max_residual_nj\": {fleet_max_residual_nj:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_reports_identical\": {fleet_reports_identical}\n"
     ));
     json.push_str("  }\n}\n");
 
@@ -315,6 +366,16 @@ fn main() {
     }
     if day_residual_nj > 1.0 {
         eprintln!("quickbench: ERROR — day-sim ledger residual {day_residual_nj:.3} nJ > 1 nJ");
+        std::process::exit(1);
+    }
+    if !fleet_reports_identical {
+        eprintln!("quickbench: ERROR — 1-worker and 4-worker fleet reports diverge");
+        std::process::exit(1);
+    }
+    if fleet_max_residual_nj > 1.0 {
+        eprintln!(
+            "quickbench: ERROR — worst fleet ledger residual {fleet_max_residual_nj:.3} nJ > 1 nJ"
+        );
         std::process::exit(1);
     }
 }

@@ -19,6 +19,10 @@ pub struct Options {
     pub seed: Option<u64>,
     /// `--workers <usize>` (0 = available parallelism)
     pub workers: Option<usize>,
+    /// `--nodes <usize>`
+    pub nodes: Option<usize>,
+    /// `--out <path>`
+    pub out: Option<String>,
     /// `--full`
     pub full: bool,
 }
@@ -56,6 +60,14 @@ impl Options {
                             .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?,
                     );
                 }
+                "--nodes" => {
+                    let raw: String = take(&mut it, flag)?;
+                    opts.nodes = Some(
+                        raw.parse()
+                            .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?,
+                    );
+                }
+                "--out" => opts.out = Some(take(&mut it, flag)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -121,6 +133,21 @@ mod tests {
         assert!(parse(&["--task", "audio"]).is_err());
         assert!(parse(&["--workers", "-1"]).is_err());
         assert!(parse(&["--workers", "two"]).is_err());
+    }
+
+    #[test]
+    fn parses_fleet_flags() {
+        let opts = parse(&["--nodes", "256", "--out", "report.json"]).expect("valid");
+        assert_eq!(opts.nodes, Some(256));
+        assert_eq!(opts.out.as_deref(), Some("report.json"));
+    }
+
+    #[test]
+    fn rejects_bad_fleet_flags() {
+        assert!(parse(&["--nodes"]).is_err(), "--nodes needs a value");
+        assert!(parse(&["--nodes", "-5"]).is_err());
+        assert!(parse(&["--nodes", "many"]).is_err());
+        assert!(parse(&["--out"]).is_err(), "--out needs a path");
     }
 
     #[test]

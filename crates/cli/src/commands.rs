@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 use solarml::dsp::{AudioFrontendParams, GestureSensingParams, Resolution};
+use solarml::fleet::{run_campaign, CampaignConfig};
 use solarml::mcu::McuPowerModel;
 use solarml::nas::{run_enas, EnasConfig, TaskContext};
 use solarml::nn::{LayerSpec, ModelSpec, Padding, TrainConfig};
@@ -37,6 +38,11 @@ pub fn help() {
     println!("      --budget-uj <e>     per-inference energy  [6660]");
     println!("  day                     24-hour interaction simulation");
     println!("      --budget-mj <e>     per-inference energy  [2.5]");
+    println!("  fleet                   population campaign: N node-days, aggregated");
+    println!("      --nodes <n>         fleet size            [64]");
+    println!("      --seed <n>          campaign seed         [0xF1EE7]");
+    println!("      --workers <n>       sim threads, 0=auto   [auto]");
+    println!("      --out <file>        write the FleetReport JSON");
 }
 
 /// `solarml detector`.
@@ -213,5 +219,61 @@ pub fn day(opts: &Options) -> Result<(), String> {
         "  harvested {}; supercap {} at midnight (min {})",
         report.harvested, report.final_voltage, report.min_voltage
     );
+    Ok(())
+}
+
+/// `solarml fleet`.
+pub fn fleet(opts: &Options) -> Result<(), String> {
+    let mut cfg = CampaignConfig::new(opts.nodes.unwrap_or(64), opts.seed.unwrap_or(0xF1EE7));
+    if let Some(workers) = opts.workers {
+        cfg.workers = workers;
+    }
+    let start = std::time::Instant::now();
+    let report = run_campaign(&cfg);
+    let elapsed = start.elapsed().as_secs_f64();
+    let a = &report.aggregate;
+
+    println!(
+        "fleet campaign: {} node-days, seed {:#x}",
+        report.nodes, report.seed
+    );
+    println!(
+        "  environments: {} outdoor-window, {} office, {} home",
+        a.env_counts[0], a.env_counts[1], a.env_counts[2]
+    );
+    println!(
+        "  runtimes: {} retained-checkpoint, {} volatile, {} naive",
+        a.policy_counts[0], a.policy_counts[1], a.policy_counts[2]
+    );
+    println!(
+        "  interactions: {}/{} completed ({} degraded, {} abandoned, {} brownouts)",
+        a.completed, a.attempted, a.degraded, a.abandoned, a.brownouts
+    );
+    println!(
+        "  completion rate: mean {:.3}, p50 {:.2}, p90 {:.2}",
+        a.completion_rate_stat.mean(),
+        a.completion_rate.quantile(0.50),
+        a.completion_rate.quantile(0.90)
+    );
+    println!(
+        "  dead window: mean {:.2} h, worst {:.2} h",
+        a.dead_window_s.mean() / 3600.0,
+        a.dead_window_s.max_or_zero() / 3600.0
+    );
+    println!(
+        "  ledger: worst residual {:.3} nJ, {} violation(s) of the 1 nJ bound",
+        a.residual_nj_stat.max_or_zero(),
+        a.residual_violations
+    );
+    println!(
+        "  throughput: {:.1} nodes/sec ({elapsed:.2} s wall)",
+        report.nodes as f64 / elapsed.max(1e-9)
+    );
+
+    if let Some(path) = &opts.out {
+        let json = report.to_json() + "\n";
+        std::fs::write(path, json).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
     Ok(())
 }

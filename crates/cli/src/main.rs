@@ -7,6 +7,8 @@
 //!                                       run eNAS and report the winner
 //! solarml harvest [--budget-uj E]       harvesting times at 250/500/1000 lux
 //! solarml day [--budget-mj E]           24-hour interaction simulation
+//! solarml fleet [--nodes N] [--seed S] [--workers W] [--out FILE]
+//!                                       population campaign with aggregate report
 //! solarml help                          this text
 //! ```
 
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
         "search" => commands::search(&opts),
         "harvest" => commands::harvest(&opts),
         "day" => commands::day(&opts),
+        "fleet" => commands::fleet(&opts),
         "help" | "--help" | "-h" => {
             commands::help();
             Ok(())

@@ -23,12 +23,13 @@
 //!
 //! The layer crates are re-exported under their domain names: [`units`],
 //! [`trace`], [`sim`], [`circuit`], [`mcu`], [`dsp`], [`nn`], [`datasets`],
-//! [`energy`], [`nas`], [`platform`].
+//! [`energy`], [`nas`], [`platform`], [`fleet`].
 
 pub use solarml_circuit as circuit;
 pub use solarml_datasets as datasets;
 pub use solarml_dsp as dsp;
 pub use solarml_energy as energy;
+pub use solarml_fleet as fleet;
 pub use solarml_mcu as mcu;
 pub use solarml_nas as nas;
 pub use solarml_nn as nn;

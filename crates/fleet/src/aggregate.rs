@@ -1,0 +1,485 @@
+//! Streaming, associatively-mergeable campaign statistics.
+//!
+//! A fleet campaign never retains per-node traces: each simulated day
+//! collapses into a [`crate::campaign::NodeSummary`] that is folded into a
+//! [`FleetAggregate`] and dropped. Aggregates from different workers merge
+//! into the same result as a sequential fold — *bit for bit* — because
+//! every accumulator here is exactly associative and commutative:
+//!
+//! * sums are `i128` fixed-point at 10⁻¹² resolution (picojoules for
+//!   energies, picoseconds for durations) — integer addition, no
+//!   floating-point reassociation error;
+//! * histograms are `u64` bin counters;
+//! * extrema are `f64` folded with `total_cmp`, which is associative and
+//!   commutative for any input ordering.
+//!
+//! The merge-order independence is pinned by the crate's determinism test
+//! suite, and the campaign runner relies on it to give identical
+//! [`crate::report::FleetReport`]s at any worker count.
+
+use crate::campaign::NodeSummary;
+
+/// Scale of the fixed-point accumulators: 10¹² counts per unit, i.e.
+/// picojoule / picosecond resolution over an `i128` range that holds
+/// ~10¹⁷ unit-years without overflow.
+const FIXED_SCALE: f64 = 1e12;
+
+/// Ledger-residual tolerance per node-day, in nanojoules.
+pub const RESIDUAL_TOLERANCE_NJ: f64 = 1.0;
+
+/// An exact fixed-point sum: `i128` counts of 10⁻¹² units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedPoint(i128);
+
+impl FixedPoint {
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+
+    /// Quantizes `value` (in units) to the nearest 10⁻¹² count.
+    pub fn from_units(value: f64) -> Self {
+        Self((value * FIXED_SCALE).round() as i128)
+    }
+
+    /// Exact integer addition.
+    pub fn add(self, other: Self) -> Self {
+        Self(self.0 + other.0)
+    }
+
+    /// Converts back to units (lossless up to f64 precision of the total).
+    pub fn to_units(self) -> f64 {
+        self.0 as f64 / FIXED_SCALE
+    }
+}
+
+/// Count / exact sum / extrema of one scalar across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStat {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact fixed-point sum of the samples.
+    pub sum: FixedPoint,
+    /// Smallest sample (`+∞` while empty).
+    pub min: f64,
+    /// Largest sample (`-∞` while empty).
+    pub max: f64,
+}
+
+impl Default for StreamStat {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: FixedPoint::ZERO,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl StreamStat {
+    /// Folds one sample in.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum = self.sum.add(FixedPoint::from_units(value));
+        if value.total_cmp(&self.min).is_lt() {
+            self.min = value;
+        }
+        if value.total_cmp(&self.max).is_gt() {
+            self.max = value;
+        }
+    }
+
+    /// Folds another stat in. Associative and commutative, bit for bit.
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum = self.sum.add(other.sum);
+        if other.min.total_cmp(&self.min).is_lt() {
+            self.min = other.min;
+        }
+        if other.max.total_cmp(&self.max).is_gt() {
+            self.max = other.max;
+        }
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum.to_units() / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or 0 when empty (keeps reports finite).
+    pub fn min_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A fixed-range histogram with `u64` bins plus under/overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge of bin 0.
+    lo: f64,
+    /// Exclusive upper edge of the last bin.
+    hi: f64,
+    /// Per-bin counts.
+    bins: Vec<u64>,
+    /// Samples below `lo`.
+    underflow: u64,
+    /// Samples at or above `hi`.
+    overflow: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be nonempty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Folds one sample in.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Folds another histogram in. Both must share the same shape; merging
+    /// is then pure `u64` addition — associative and commutative.
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            self.bins.len() == other.bins.len()
+                && self.lo.total_cmp(&other.lo).is_eq()
+                && self.hi.total_cmp(&other.hi).is_eq(),
+            "cannot merge histograms with different shapes"
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.underflow + self.overflow + self.bins.iter().sum::<u64>()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) as the *upper edge* of the bin the
+    /// rank lands in — a deterministic integer walk, conservative by at
+    /// most one bin width. Underflow counts resolve to `lo`, overflow to
+    /// `hi`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = self.underflow;
+        if cumulative >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return self.lo + width * (i + 1) as f64;
+            }
+        }
+        self.hi
+    }
+
+    /// Per-bin counts (without under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples that fell below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+/// The campaign-wide rollup: everything the fleet report publishes,
+/// nothing per-node. `record` folds one node in; `merge` combines two
+/// rollups and is exactly associative and commutative, so any chunking of
+/// the fleet across workers produces the same aggregate bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAggregate {
+    /// Nodes folded in.
+    pub nodes: u64,
+    /// Total interaction cycles attempted across the fleet.
+    pub attempted: u64,
+    /// Total cycles completed (any rung).
+    pub completed: u64,
+    /// Total cycles abandoned after retries ran out.
+    pub abandoned: u64,
+    /// Total completions below the full rung.
+    pub degraded: u64,
+    /// Total brownout events.
+    pub brownouts: u64,
+    /// Nodes per environment: `[outdoor, office, home]`.
+    pub env_counts: [u64; 3],
+    /// Nodes per checkpoint policy: `[retained, volatile, none]`.
+    pub policy_counts: [u64; 3],
+    /// Nodes whose ledger residual exceeded [`RESIDUAL_TOLERANCE_NJ`].
+    pub residual_violations: u64,
+    /// Per-node completion rate (completed / attempted).
+    pub completion_rate: Histogram,
+    /// Per-node dead-window time, in hours.
+    pub dead_window_h: Histogram,
+    /// Per-node energy wasted on lost progress, in millijoules.
+    pub wasted_mj: Histogram,
+    /// Per-node absolute ledger residual, in nanojoules.
+    pub residual_nj: Histogram,
+    /// Per-node completion rate, exact-sum stats.
+    pub completion_rate_stat: StreamStat,
+    /// Per-node dead-window seconds, exact-sum stats.
+    pub dead_window_s: StreamStat,
+    /// Per-node harvested energy (joules), exact-sum stats.
+    pub harvested_j: StreamStat,
+    /// Per-node consumed energy (joules), exact-sum stats.
+    pub consumed_j: StreamStat,
+    /// Per-node wasted energy (joules), exact-sum stats.
+    pub wasted_j: StreamStat,
+    /// Per-node absolute ledger residual (nanojoules), exact-sum stats.
+    pub residual_nj_stat: StreamStat,
+    /// Per-node mean accuracy proxy, exact-sum stats.
+    pub accuracy: StreamStat,
+}
+
+impl Default for FleetAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetAggregate {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        Self {
+            nodes: 0,
+            attempted: 0,
+            completed: 0,
+            abandoned: 0,
+            degraded: 0,
+            brownouts: 0,
+            env_counts: [0; 3],
+            policy_counts: [0; 3],
+            residual_violations: 0,
+            completion_rate: Histogram::new(0.0, 1.0001, 20),
+            dead_window_h: Histogram::new(0.0, 24.0, 24),
+            wasted_mj: Histogram::new(0.0, 100.0, 25),
+            residual_nj: Histogram::new(0.0, 2.0, 20),
+            completion_rate_stat: StreamStat::default(),
+            dead_window_s: StreamStat::default(),
+            harvested_j: StreamStat::default(),
+            consumed_j: StreamStat::default(),
+            wasted_j: StreamStat::default(),
+            residual_nj_stat: StreamStat::default(),
+            accuracy: StreamStat::default(),
+        }
+    }
+
+    /// Folds one node's day in.
+    pub fn record(&mut self, node: &NodeSummary) {
+        self.nodes += 1;
+        self.attempted += node.attempted as u64;
+        self.completed += node.completed as u64;
+        self.abandoned += node.abandoned as u64;
+        self.degraded += node.degraded as u64;
+        self.brownouts += node.brownouts as u64;
+        self.env_counts[node.env_index.min(2)] += 1;
+        self.policy_counts[node.policy_index.min(2)] += 1;
+
+        let rate = if node.attempted == 0 {
+            1.0
+        } else {
+            node.completed as f64 / node.attempted as f64
+        };
+        let residual_nj = node.residual_j.abs() * 1e9;
+        if residual_nj > RESIDUAL_TOLERANCE_NJ {
+            self.residual_violations += 1;
+        }
+        self.completion_rate.record(rate);
+        self.dead_window_h.record(node.dead_window_s / 3600.0);
+        self.wasted_mj.record(node.wasted_j * 1e3);
+        self.residual_nj.record(residual_nj);
+        self.completion_rate_stat.record(rate);
+        self.dead_window_s.record(node.dead_window_s);
+        self.harvested_j.record(node.harvested_j);
+        self.consumed_j.record(node.consumed_j);
+        self.wasted_j.record(node.wasted_j);
+        self.residual_nj_stat.record(residual_nj);
+        self.accuracy.record(node.mean_accuracy);
+    }
+
+    /// Folds another rollup in. Exactly associative and commutative.
+    pub fn merge(&mut self, other: &Self) {
+        self.nodes += other.nodes;
+        self.attempted += other.attempted;
+        self.completed += other.completed;
+        self.abandoned += other.abandoned;
+        self.degraded += other.degraded;
+        self.brownouts += other.brownouts;
+        for (mine, theirs) in self.env_counts.iter_mut().zip(&other.env_counts) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.policy_counts.iter_mut().zip(&other.policy_counts) {
+            *mine += theirs;
+        }
+        self.residual_violations += other.residual_violations;
+        self.completion_rate.merge(&other.completion_rate);
+        self.dead_window_h.merge(&other.dead_window_h);
+        self.wasted_mj.merge(&other.wasted_mj);
+        self.residual_nj.merge(&other.residual_nj);
+        self.completion_rate_stat.merge(&other.completion_rate_stat);
+        self.dead_window_s.merge(&other.dead_window_s);
+        self.harvested_j.merge(&other.harvested_j);
+        self.consumed_j.merge(&other.consumed_j);
+        self.wasted_j.merge(&other.wasted_j);
+        self.residual_nj_stat.merge(&other.residual_nj_stat);
+        self.accuracy.merge(&other.accuracy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_node(i: u64) -> NodeSummary {
+        NodeSummary {
+            node: i as usize,
+            seed: i.wrapping_mul(0x9E37),
+            env_index: (i % 3) as usize,
+            policy_index: ((i / 3) % 3) as usize,
+            attempted: 10 + (i % 5) as usize,
+            completed: (i % 9) as usize,
+            abandoned: 1,
+            degraded: (i % 2) as usize,
+            brownouts: (i % 4) as usize,
+            dead_window_s: 13.7 * i as f64,
+            harvested_j: 0.01 * i as f64 + 0.003,
+            consumed_j: 0.009 * i as f64,
+            wasted_j: 0.0001 * i as f64,
+            residual_j: 1.3e-10 * (i % 7) as f64,
+            mean_accuracy: 0.8 + 0.01 * (i % 10) as f64,
+        }
+    }
+
+    #[test]
+    fn fixed_point_sums_are_exact_and_associative() {
+        // A sum that reassociates badly in f64 is exact in fixed point.
+        let xs = [1e6, 1e-9, -1e6, 1e-9];
+        let mut left = FixedPoint::ZERO;
+        for &x in &xs {
+            left = left.add(FixedPoint::from_units(x));
+        }
+        let mut right = FixedPoint::ZERO;
+        for &x in xs.iter().rev() {
+            right = right.add(FixedPoint::from_units(x));
+        }
+        assert_eq!(left, right);
+        assert!((left.to_units() - 2e-9).abs() < 1e-13);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_the_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.quantile(0.5) - 5.0).abs() < 1e-12);
+        assert!((h.quantile(0.0) - 1.0).abs() < 1e-12, "first nonempty bin");
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_routes_out_of_range_samples() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold_for_any_split() {
+        let nodes: Vec<NodeSummary> = (0..50).map(sample_node).collect();
+        let mut sequential = FleetAggregate::new();
+        for n in &nodes {
+            sequential.record(n);
+        }
+        for split in [1usize, 3, 7, 25, 49] {
+            let mut merged = FleetAggregate::new();
+            for chunk in nodes.chunks(split) {
+                let mut partial = FleetAggregate::new();
+                for n in chunk {
+                    partial.record(n);
+                }
+                merged.merge(&partial);
+            }
+            assert_eq!(merged, sequential, "split {split}");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = FleetAggregate::new();
+        let mut b = FleetAggregate::new();
+        for i in 0..20 {
+            a.record(&sample_node(i));
+        }
+        for i in 20..45 {
+            b.record(&sample_node(i));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn empty_stat_renders_finite_values() {
+        let s = StreamStat::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min_or_zero(), 0.0);
+        assert_eq!(s.max_or_zero(), 0.0);
+    }
+}

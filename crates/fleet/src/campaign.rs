@@ -1,0 +1,194 @@
+//! The campaign runner: a fleet of simulated days fanned over worker
+//! threads, folded into one deterministic aggregate.
+//!
+//! Each node's seed derives from the campaign seed with the same
+//! SplitMix64-finalizer splitting the NAS engine uses
+//! ([`solarml_nas::parallel::derive_seed`]) under a fleet-reserved cycle
+//! tag, so node streams never collide with NAS training streams even when
+//! both run from the same base seed. Nodes are simulated in chunks via the
+//! scoped-thread [`parallel_map`] pool (results return in input order at
+//! any worker count), each chunk folds sequentially into a partial
+//! [`FleetAggregate`], and the partials merge left-to-right. Because the
+//! aggregate's merge is exactly associative, the chunked/parallel fold and
+//! the fully sequential fold produce bit-identical results — the
+//! production path exercises the merge on every run, and the determinism
+//! suite pins it.
+
+use solarml_nas::parallel::{derive_seed, effective_workers, parallel_map};
+use solarml_platform::simulate_faulted_day;
+
+use crate::aggregate::FleetAggregate;
+use crate::population::PopulationSpec;
+use crate::report::FleetReport;
+
+/// Cycle tag reserved for fleet node-seed derivation, keeping fleet
+/// streams disjoint from NAS evaluation streams at the same base seed.
+pub const FLEET_SEED_CYCLE: usize = 0xF1EE7;
+
+/// A fleet campaign: how many nodes, from which population, on how many
+/// workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Number of nodes to simulate (one day each).
+    pub nodes: usize,
+    /// Campaign base seed; node `i` runs from
+    /// `derive_seed(seed, FLEET_SEED_CYCLE, i)`.
+    pub seed: u64,
+    /// Worker threads; 0 selects the machine's available parallelism.
+    /// The result is identical at any value.
+    pub workers: usize,
+    /// Nodes per parallel work item. Purely a throughput knob — the
+    /// result is identical at any chunk size ≥ 1.
+    pub chunk: usize,
+    /// The population nodes are drawn from.
+    pub population: PopulationSpec,
+}
+
+impl CampaignConfig {
+    /// A campaign of `nodes` representative nodes on all available cores.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        Self {
+            nodes,
+            seed,
+            workers: 0,
+            chunk: 16,
+            population: PopulationSpec::representative(),
+        }
+    }
+
+    /// A cheap smoke campaign (light interaction load) for tests and CI.
+    pub fn smoke(nodes: usize, seed: u64) -> Self {
+        Self {
+            population: PopulationSpec::smoke(),
+            ..Self::new(nodes, seed)
+        }
+    }
+}
+
+/// What one simulated node-day leaves behind — the only per-node state the
+/// campaign ever holds, folded into the aggregate and dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSummary {
+    /// Node index within the campaign.
+    pub node: usize,
+    /// The node's derived seed.
+    pub seed: u64,
+    /// Environment bucket: 0 = outdoor window, 1 = office, 2 = home.
+    pub env_index: usize,
+    /// Checkpoint-policy bucket: 0 = retained, 1 = volatile, 2 = none.
+    pub policy_index: usize,
+    /// Interaction cycles attempted.
+    pub attempted: usize,
+    /// Cycles completed (any rung).
+    pub completed: usize,
+    /// Cycles abandoned after retries ran out.
+    pub abandoned: usize,
+    /// Completions below the full rung.
+    pub degraded: usize,
+    /// Brownout events.
+    pub brownouts: usize,
+    /// Time below the brownout threshold (seconds).
+    pub dead_window_s: f64,
+    /// Energy harvested over the day (joules).
+    pub harvested_j: f64,
+    /// Energy consumed over the day (joules).
+    pub consumed_j: f64,
+    /// Energy wasted on lost progress (joules).
+    pub wasted_j: f64,
+    /// Signed ledger conservation residual (joules).
+    pub residual_j: f64,
+    /// Mean accuracy proxy across completed cycles.
+    pub mean_accuracy: f64,
+}
+
+/// Simulates one node's day and collapses it to a summary.
+pub fn simulate_node(spec: &PopulationSpec, node: usize, seed: u64) -> NodeSummary {
+    let blueprint = spec.node_blueprint(seed);
+    let report = simulate_faulted_day(&blueprint.config);
+    NodeSummary {
+        node,
+        seed,
+        env_index: blueprint.env_index,
+        policy_index: blueprint.policy_index,
+        attempted: report.attempted,
+        completed: report.completed,
+        abandoned: report.abandoned,
+        degraded: report.degraded,
+        brownouts: report.brownouts,
+        dead_window_s: report.dead_window.as_seconds(),
+        harvested_j: report.harvested.as_joules(),
+        consumed_j: report.consumed.as_joules(),
+        wasted_j: report.wasted.as_joules(),
+        residual_j: report.audit.discrepancy.as_joules(),
+        mean_accuracy: report.mean_accuracy.get(),
+    }
+}
+
+/// Runs the whole campaign and returns its report.
+///
+/// Deterministic: the report depends only on `(cfg.nodes, cfg.seed,
+/// cfg.population)` — never on `workers`, `chunk`, machine, or wall clock.
+pub fn run_campaign(cfg: &CampaignConfig) -> FleetReport {
+    let chunk = cfg.chunk.max(1);
+    let workers = effective_workers(cfg.workers);
+    let ranges: Vec<(usize, usize)> = (0..cfg.nodes)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(cfg.nodes)))
+        .collect();
+
+    // Each work item folds its chunk sequentially into a partial
+    // aggregate; the partials come back in input order and merge
+    // left-to-right. Associativity makes the result chunking-independent.
+    let partials = parallel_map(workers, &ranges, |_, &(start, end)| {
+        let mut partial = FleetAggregate::new();
+        for node in start..end {
+            let seed = derive_seed(cfg.seed, FLEET_SEED_CYCLE, node);
+            partial.record(&simulate_node(&cfg.population, node, seed));
+        }
+        partial
+    });
+
+    let mut aggregate = FleetAggregate::new();
+    for partial in &partials {
+        aggregate.merge(partial);
+    }
+    FleetReport {
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+        aggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_seeds_are_stable_and_distinct() {
+        let a = derive_seed(42, FLEET_SEED_CYCLE, 0);
+        let b = derive_seed(42, FLEET_SEED_CYCLE, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed(42, FLEET_SEED_CYCLE, 0));
+        // Disjoint from NAS evaluation streams at the same base seed.
+        assert_ne!(a, derive_seed(42, 0, 0));
+    }
+
+    #[test]
+    fn node_summaries_are_deterministic() {
+        let spec = PopulationSpec::smoke();
+        let seed = derive_seed(7, FLEET_SEED_CYCLE, 3);
+        assert_eq!(simulate_node(&spec, 3, seed), simulate_node(&spec, 3, seed));
+    }
+
+    #[test]
+    fn tiny_campaign_is_worker_count_invariant() {
+        let mut cfg = CampaignConfig::smoke(12, 99);
+        cfg.chunk = 4;
+        cfg.workers = 1;
+        let sequential = run_campaign(&cfg);
+        cfg.workers = 4;
+        let parallel = run_campaign(&cfg);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.aggregate.nodes, 12);
+    }
+}

@@ -1,0 +1,41 @@
+//! Population-scale SolarML deployment simulation.
+//!
+//! The rest of the workspace answers "what does *one* node do on *one*
+//! day?" — this crate answers "what does a *fleet* do?": a thousand
+//! deployed nodes, each with its own lighting environment, supercap aging,
+//! panel area, interaction load, and runtime policy, each simulated on the
+//! full intermittency-aware scheduler with its energy ledger audited, all
+//! folded into one streaming aggregate.
+//!
+//! The pipeline, module by module:
+//!
+//! 1. [`env`] — parametric environments (clear-sky solar geometry with a
+//!    Markov weather layer, office and home lux schedules) producing
+//!    [`solarml_platform::DayProfile`]-compatible input;
+//! 2. [`population`] — declared distributions over node parameters,
+//!    collapsed into per-node [`solarml_platform::IntermittentConfig`]s
+//!    from split seeds;
+//! 3. [`campaign`] — the runner: nodes fanned over the scoped-thread pool
+//!    in chunks, each day simulated on the `solarml-sim` scheduler with
+//!    the EnergyAudit ledger;
+//! 4. [`aggregate`] — exactly-associative streaming statistics (`i128`
+//!    fixed-point sums, `u64` histograms), so parallel merge equals
+//!    sequential fold bit for bit;
+//! 5. [`report`] — the byte-stable JSON [`FleetReport`].
+//!
+//! The headline invariant, pinned by `tests/determinism.rs`: a campaign's
+//! report is a pure function of `(nodes, seed, population)` — identical
+//! bytes at any worker count, chunk size, or repetition.
+
+pub mod aggregate;
+pub mod campaign;
+pub mod env;
+pub mod population;
+pub mod report;
+mod rng;
+
+pub use aggregate::{FleetAggregate, Histogram, StreamStat, RESIDUAL_TOLERANCE_NJ};
+pub use campaign::{run_campaign, CampaignConfig, NodeSummary, FLEET_SEED_CYCLE};
+pub use env::Environment;
+pub use population::{Dist, NodeBlueprint, PopulationSpec};
+pub use report::{FleetReport, FLEET_REPORT_SCHEMA};

@@ -1,0 +1,164 @@
+//! The campaign's published artifact: a byte-stable JSON fleet report.
+//!
+//! Rendered with the shared [`JsonObject`] writer ([`solarml_trace`]), the
+//! same machinery that pins `DayFaultReport` to its golden fixtures. The
+//! report deliberately excludes anything run-dependent — worker count,
+//! chunk size, timing — so two campaigns with the same `(nodes, seed,
+//! population)` emit *identical bytes*, which is what the CI fleet job
+//! diffs across worker counts.
+
+use solarml_trace::JsonObject;
+
+use crate::aggregate::{FleetAggregate, Histogram, StreamStat, RESIDUAL_TOLERANCE_NJ};
+
+/// Schema tag stamped into every report.
+pub const FLEET_REPORT_SCHEMA: &str = "solarml-fleet-report/v1";
+
+/// Outcome of one fleet campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// The campaign base seed.
+    pub seed: u64,
+    /// The merged fleet-wide rollup.
+    pub aggregate: FleetAggregate,
+}
+
+/// Renders one distribution section: exact-sum stats (scaled into the
+/// histogram's units) plus quantiles and raw bins.
+fn distribution(hist: &Histogram, stat: &StreamStat, stat_scale: f64) -> JsonObject {
+    let bins: Vec<usize> = hist.bins().iter().map(|&b| b as usize).collect();
+    let mut obj = JsonObject::new();
+    obj.number("mean", stat.mean() * stat_scale)
+        .number("min", stat.min_or_zero() * stat_scale)
+        .number("max", stat.max_or_zero() * stat_scale)
+        .number("p10", hist.quantile(0.10))
+        .number("p50", hist.quantile(0.50))
+        .number("p90", hist.quantile(0.90))
+        .counts("bins", &bins)
+        .count("underflow", hist.underflow() as usize)
+        .count("overflow", hist.overflow() as usize);
+    obj
+}
+
+impl FleetReport {
+    /// The report as a structured JSON document.
+    pub fn to_json_object(&self) -> JsonObject {
+        let a = &self.aggregate;
+
+        let mut totals = JsonObject::new();
+        totals
+            .count("attempted", a.attempted as usize)
+            .count("completed", a.completed as usize)
+            .count("abandoned", a.abandoned as usize)
+            .count("degraded", a.degraded as usize)
+            .count("brownouts", a.brownouts as usize);
+
+        let mut composition = JsonObject::new();
+        composition
+            .count("outdoor_window", a.env_counts[0] as usize)
+            .count("office", a.env_counts[1] as usize)
+            .count("home", a.env_counts[2] as usize)
+            .count("checkpoint_retained", a.policy_counts[0] as usize)
+            .count("checkpoint_volatile", a.policy_counts[1] as usize)
+            .count("checkpoint_none", a.policy_counts[2] as usize);
+
+        let mut energy = JsonObject::new();
+        energy
+            .number("harvested_total_j", a.harvested_j.sum.to_units())
+            .number("consumed_total_j", a.consumed_j.sum.to_units())
+            .number("wasted_total_j", a.wasted_j.sum.to_units())
+            .number("harvested_mean_j", a.harvested_j.mean())
+            .number("consumed_mean_j", a.consumed_j.mean())
+            .number("wasted_mean_j", a.wasted_j.mean());
+
+        let mut ledger = JsonObject::new();
+        ledger
+            .number("tolerance_nj", RESIDUAL_TOLERANCE_NJ)
+            .count("violations", a.residual_violations as usize)
+            .number("max_residual_nj", a.residual_nj_stat.max_or_zero())
+            .number("mean_residual_nj", a.residual_nj_stat.mean());
+
+        let mut obj = JsonObject::new();
+        obj.string("schema", FLEET_REPORT_SCHEMA)
+            .count("nodes", self.nodes)
+            .raw("seed", self.seed.to_string())
+            .number("mean_accuracy", a.accuracy.mean())
+            .object("totals", totals)
+            .object("composition", composition)
+            .object(
+                "completion_rate",
+                distribution(&a.completion_rate, &a.completion_rate_stat, 1.0),
+            )
+            .object(
+                "dead_window_h",
+                distribution(&a.dead_window_h, &a.dead_window_s, 1.0 / 3600.0),
+            )
+            .object("wasted_mj", distribution(&a.wasted_mj, &a.wasted_j, 1e3))
+            .object(
+                "residual_nj",
+                distribution(&a.residual_nj, &a.residual_nj_stat, 1.0),
+            )
+            .object("energy_j", energy)
+            .object("ledger", ledger);
+        obj
+    }
+
+    /// The report as byte-stable JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        self.to_json_object().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::NodeSummary;
+
+    fn tiny_report() -> FleetReport {
+        let mut aggregate = FleetAggregate::new();
+        aggregate.record(&NodeSummary {
+            node: 0,
+            seed: 1,
+            env_index: 1,
+            policy_index: 0,
+            attempted: 10,
+            completed: 8,
+            abandoned: 2,
+            degraded: 1,
+            brownouts: 3,
+            dead_window_s: 1800.0,
+            harvested_j: 1.25,
+            consumed_j: 1.0,
+            wasted_j: 0.002,
+            residual_j: 4.0e-10,
+            mean_accuracy: 0.91,
+        });
+        FleetReport {
+            nodes: 1,
+            seed: 42,
+            aggregate,
+        }
+    }
+
+    #[test]
+    fn render_is_stable_and_carries_the_schema() {
+        let report = tiny_report();
+        let json = report.to_json();
+        assert_eq!(json, report.to_json(), "rendering must be pure");
+        assert!(json.starts_with("{\n  \"schema\": \"solarml-fleet-report/v1\""));
+        assert!(!json.ends_with('\n'));
+        assert!(json.contains("\"nodes\": 1"));
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"violations\": 0"));
+    }
+
+    #[test]
+    fn report_equality_tracks_aggregate_equality() {
+        assert_eq!(tiny_report(), tiny_report());
+        let mut other = tiny_report();
+        other.seed = 43;
+        assert_ne!(tiny_report(), other);
+    }
+}

@@ -507,6 +507,37 @@ mod tests {
     }
 
     #[test]
+    fn day_profile_hour_boundaries_hit_table_values_exactly() {
+        // At the top of each hour the interpolation weight is exactly 0/1,
+        // so lux_at must return the table entry with no blending — including
+        // hour 0, the 23→0 wrap boundary, and the exact end of day (86400 s
+        // ≡ 0 s after rem_euclid).
+        let p = DayProfile::office();
+        for h in 0..24 {
+            let at_boundary = p.lux_at(Seconds::new(h as f64 * 3600.0)).as_lux();
+            assert!(
+                (at_boundary - p.lux_by_hour[h]).abs() < 1e-12,
+                "hour {h}: {at_boundary} != {}",
+                p.lux_by_hour[h]
+            );
+        }
+        let end_of_day = p.lux_at(Seconds::new(24.0 * 3600.0)).as_lux();
+        assert!((end_of_day - p.lux_by_hour[0]).abs() < 1e-12);
+        // One ulp-scale step before a boundary interpolates toward the
+        // earlier hour, never reads the next table entry.
+        let just_before_9 = p.lux_at(Seconds::new(9.0 * 3600.0 - 1e-6)).as_lux();
+        assert!((just_before_9 - 400.0).abs() < 1e-3, "{just_before_9}");
+        // The 23→0 wrap segment interpolates between lux_by_hour[23] and
+        // lux_by_hour[0] (both 1.0 in the office profile).
+        let wrap_mid = p.lux_at(Seconds::new(23.5 * 3600.0)).as_lux();
+        let expected = 0.5 * (p.lux_by_hour[23] + p.lux_by_hour[0]);
+        assert!((wrap_mid - expected).abs() < 1e-12);
+        // Negative offsets wrap backwards: -1 h ≡ 23 h.
+        let neg = p.lux_at(Seconds::new(-3600.0)).as_lux();
+        assert!((neg - p.lux_by_hour[23]).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "no net power")]
     fn darkness_cannot_harvest() {
         let dark = HarvestScenario {

@@ -39,6 +39,7 @@ use solarml_circuit::sim::{EnergyAudit, ADAPTIVE_EPS_V};
 use solarml_circuit::Supercap;
 use solarml_mcu::{Mcu, McuPowerModel, PowerState};
 use solarml_sim::{Clocked, DtPolicy, Scheduler, SimBus, SimEvent, StepControl, StepOutcome};
+use solarml_trace::JsonObject;
 use solarml_units::{Amps, Energy, Farads, Lux, Power, Ratio, Seconds, Volts};
 
 use crate::endtoend::DaySimConfig;
@@ -378,79 +379,44 @@ pub struct DayFaultReport {
 }
 
 impl DayFaultReport {
-    /// Renders the report as a JSON object (hand-rolled: the workspace has
+    /// Renders the report as a JSON document via the workspace's shared
+    /// byte-stable writer ([`solarml_trace::JsonObject`]; the workspace has
     /// no JSON dependency). Numeric formatting uses Rust's shortest
     /// round-trip `f64` representation, so identical reports produce
-    /// byte-identical JSON.
+    /// byte-identical JSON — the exact bytes are pinned by the golden
+    /// fixtures in `tests/golden/`.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(1024);
-        s.push_str("{\n");
-        let mut field = |key: &str, value: String, last: bool| {
-            s.push_str("  \"");
-            s.push_str(key);
-            s.push_str("\": ");
-            s.push_str(&value);
-            s.push_str(if last { "\n" } else { ",\n" });
-        };
-        field("attempted", self.attempted.to_string(), false);
-        field("completed", self.completed.to_string(), false);
-        field("interrupted", self.interrupted.to_string(), false);
-        field("resumed", self.resumed.to_string(), false);
-        field("abandoned", self.abandoned.to_string(), false);
-        field("degraded", self.degraded.to_string(), false);
-        field("brownout_warns", self.warns.to_string(), false);
-        field("brownouts", self.brownouts.to_string(), false);
-        field("recoveries", self.recoveries.to_string(), false);
-        let rungs = self
-            .rung_completions
-            .iter()
-            .map(|c| c.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
-        field("rung_completions", format!("[{rungs}]"), false);
-        field(
-            "mean_accuracy",
-            format!("{}", self.mean_accuracy.get()),
-            false,
-        );
-        field(
-            "harvested_j",
-            format!("{}", self.harvested.as_joules()),
-            false,
-        );
-        field(
-            "consumed_j",
-            format!("{}", self.consumed.as_joules()),
-            false,
-        );
-        field("wasted_j", format!("{}", self.wasted.as_joules()), false);
-        field(
-            "checkpoint_overhead_j",
-            format!("{}", self.checkpoint_overhead.as_joules()),
-            false,
-        );
-        field(
-            "dead_window_s",
-            format!("{}", self.dead_window.as_seconds()),
-            false,
-        );
-        field(
-            "final_voltage_v",
-            format!("{}", self.final_voltage.as_volts()),
-            false,
-        );
-        field(
-            "min_voltage_v",
-            format!("{}", self.min_voltage.as_volts()),
-            false,
-        );
-        field(
-            "audit_discrepancy_j",
-            format!("{}", self.audit.discrepancy.as_joules()),
-            true,
-        );
-        s.push('}');
-        s
+        self.to_json_object().render()
+    }
+
+    /// The report as a [`JsonObject`], for embedding in larger documents
+    /// (the cloudy-day example nests two of these; fleet campaigns embed
+    /// per-cohort summaries).
+    pub fn to_json_object(&self) -> JsonObject {
+        let mut obj = JsonObject::new();
+        obj.count("attempted", self.attempted)
+            .count("completed", self.completed)
+            .count("interrupted", self.interrupted)
+            .count("resumed", self.resumed)
+            .count("abandoned", self.abandoned)
+            .count("degraded", self.degraded)
+            .count("brownout_warns", self.warns)
+            .count("brownouts", self.brownouts)
+            .count("recoveries", self.recoveries)
+            .counts("rung_completions", &self.rung_completions)
+            .number("mean_accuracy", self.mean_accuracy.get())
+            .number("harvested_j", self.harvested.as_joules())
+            .number("consumed_j", self.consumed.as_joules())
+            .number("wasted_j", self.wasted.as_joules())
+            .number(
+                "checkpoint_overhead_j",
+                self.checkpoint_overhead.as_joules(),
+            )
+            .number("dead_window_s", self.dead_window.as_seconds())
+            .number("final_voltage_v", self.final_voltage.as_volts())
+            .number("min_voltage_v", self.min_voltage.as_volts())
+            .number("audit_discrepancy_j", self.audit.discrepancy.as_joules());
+        obj
     }
 }
 

@@ -28,10 +28,12 @@
 //! ```
 
 mod analysis;
+pub mod json;
 mod stats;
 mod trace;
 
 pub use analysis::{detect_phases, downsample, energy_between, Phase};
+pub use json::JsonObject;
 pub use stats::{
     error_cdf, mean, mean_absolute_percent_error, median, percentile, r_squared, rmse, std_dev,
 };

@@ -85,16 +85,23 @@ pub fn mean_absolute_percent_error(observed: &[f64], predicted: &[f64]) -> f64 {
 
 /// Empirical CDF of absolute percent errors: returns `(error_pct, fraction)`
 /// pairs sorted by error, where `fraction` is the share of samples with error
-/// at most `error_pct`.
+/// at most `error_pct`. Empty inputs yield an empty CDF.
 ///
 /// # Panics
 ///
-/// Panics if the two slices have different lengths.
+/// Panics if the two slices have different lengths, or if either contains
+/// NaN (a NaN observation would otherwise be silently dropped by the
+/// zero-magnitude filter and a NaN prediction would corrupt the error
+/// ordering).
 pub fn error_cdf(observed: &[f64], predicted: &[f64]) -> Vec<(f64, f64)> {
     assert_eq!(
         observed.len(),
         predicted.len(),
         "observed and predicted lengths must match"
+    );
+    assert!(
+        observed.iter().chain(predicted).all(|x| !x.is_nan()),
+        "error_cdf input contains NaN"
     );
     let mut errors: Vec<f64> = observed
         .iter()
@@ -147,9 +154,15 @@ pub fn rmse(observed: &[f64], predicted: &[f64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+/// Panics if `xs` is empty, contains NaN (`total_cmp` would sort NaN to one
+/// end and silently return it as an extreme percentile), or `p` is outside
+/// `[0, 100]`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!(
+        xs.iter().all(|x| !x.is_nan()),
+        "percentile of sample containing NaN"
+    );
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
     let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
@@ -268,6 +281,44 @@ mod tests {
     #[should_panic(expected = "percentile of empty sample")]
     fn percentile_empty_panics() {
         let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        for p in [0.0, 37.0, 50.0, 100.0] {
+            assert_eq!(percentile(&[4.25], p), 4.25);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "containing NaN")]
+    fn percentile_rejects_nan() {
+        let _ = percentile(&[1.0, f64::NAN, 2.0], 50.0);
+    }
+
+    #[test]
+    fn error_cdf_empty_input_yields_empty_cdf() {
+        assert!(error_cdf(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn error_cdf_single_sample_reaches_one() {
+        let cdf = error_cdf(&[100.0], &[90.0]);
+        assert_eq!(cdf.len(), 1);
+        assert!((cdf[0].0 - 10.0).abs() < 1e-12);
+        assert!((cdf[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "contains NaN")]
+    fn error_cdf_rejects_nan_observed() {
+        let _ = error_cdf(&[f64::NAN], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contains NaN")]
+    fn error_cdf_rejects_nan_predicted() {
+        let _ = error_cdf(&[1.0], &[f64::NAN]);
     }
 
     proptest! {

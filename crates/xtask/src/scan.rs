@@ -42,22 +42,29 @@ pub struct ScanConfig {
 
 impl ScanConfig {
     /// The shipped policy: the five physics crates get both rule families;
-    /// `units` and the user-facing `cli` get the strict rules; `nas` and
-    /// `nn` get the `Send + Sync` rule.
+    /// `units`, `fleet` and the user-facing `cli` get the strict rules;
+    /// `nas`, `nn` and `fleet` get the `Send + Sync` rule (fleet state
+    /// crosses the campaign worker threads); `fleet` also gets the
+    /// sim-loop rule (campaigns must drive days through the scheduler) but
+    /// not the signature rule — its sampling distributions legitimately
+    /// traffic in raw `f64` parameters.
     pub fn default_policy(allow: AllowList) -> Self {
         let physics = ["circuit", "mcu", "energy", "platform", "trace"];
         let mut strict: Vec<String> = physics.iter().map(|s| s.to_string()).collect();
         strict.push("units".to_string());
         strict.push("cli".to_string());
+        strict.push("fleet".to_string());
+        let mut sim_loop: Vec<String> = physics.iter().map(|s| s.to_string()).collect();
+        sim_loop.push("fleet".to_string());
         Self {
             signature_crates: physics.iter().map(|s| s.to_string()).collect(),
             strict_crates: strict,
-            sendsync_crates: vec!["nas".to_string(), "nn".to_string()],
+            sendsync_crates: vec!["nas".to_string(), "nn".to_string(), "fleet".to_string()],
             fault_path_files: vec![
                 PathBuf::from("crates/circuit/src/fault.rs"),
                 PathBuf::from("crates/platform/src/intermittent.rs"),
             ],
-            sim_loop_crates: physics.iter().map(|s| s.to_string()).collect(),
+            sim_loop_crates: sim_loop,
             allow,
         }
     }

@@ -29,6 +29,7 @@ use solarml::platform::{
     simulate_faulted_day, stressed_office_day, DayFaultReport, DegradationLadder,
     IntermittentConfig, PhasePlan,
 };
+use solarml::trace::JsonObject;
 use solarml::units::{Lux, Ratio};
 
 const SEED: u64 = 42;
@@ -134,11 +135,12 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = out_path {
-        let json = format!(
-            "{{\n\"seed\": {SEED},\n\"peak_lux\": 200,\n\"naive\": {},\n\"resilient\": {}\n}}\n",
-            naive.to_json(),
-            resilient.to_json()
-        );
+        let mut doc = JsonObject::new();
+        doc.raw("seed", SEED.to_string())
+            .count("peak_lux", 200)
+            .object("naive", naive.to_json_object())
+            .object("resilient", resilient.to_json_object());
+        let json = doc.render() + "\n";
         if let Err(err) = fs::write(&path, json) {
             eprintln!("failed to write {path}: {err}");
             return ExitCode::FAILURE;
