@@ -27,6 +27,12 @@ use solarml_units::{Farads, Ratio, Seconds, Volts};
 
 use crate::components::Supercap;
 
+/// Domain-separation tag for the fault-plan generator's private stream:
+/// XORed into the caller's seed so the same `u64` fed to other seeded
+/// generators never replays the same draw sequence here. Registered with
+/// the seed-discipline lint.
+pub const FAULT_STREAM_TAG: u64 = 0xC10D_DA7A_5EED_F00D;
+
 /// SplitMix64 step: advances `state` and returns the next raw 64-bit value.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -168,7 +174,7 @@ impl FaultPlan {
     /// bit — the generator consumes a private SplitMix64 stream in a fixed
     /// order and never touches a wall clock.
     pub fn seeded_cloudy_day(seed: u64) -> Self {
-        let mut state = seed ^ 0xC10D_DA7A_5EED_F00D;
+        let mut state = seed ^ FAULT_STREAM_TAG;
         let day_start = 8.0 * 3600.0;
         let day_end = 18.0 * 3600.0;
         let n_clouds = 10 + (splitmix64(&mut state) % 7) as usize;

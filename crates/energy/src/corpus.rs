@@ -165,8 +165,8 @@ pub fn random_gesture_params(rng: &mut impl Rng) -> GestureSensingParams {
         (Resolution::Float, rng.gen_range(9..=32u8))
     };
     #[allow(clippy::expect_used)]
-    GestureSensingParams::new(channels, rate, resolution, quant).expect("ranges are valid")
     // physics-lint: allow(expect): RNG ranges are the constructor's exact validity domain (Table II)
+    GestureSensingParams::new(channels, rate, resolution, quant).expect("ranges are valid")
 }
 
 /// Feature encoding for the audio sensing model: raw `(s, d, f)` plus the

@@ -6,7 +6,7 @@
 //! poorly elsewhere — the paper's critique ("measuring all layer
 //! configurations is time-intensive") shows up as sparse-bucket fallback.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use solarml_nn::{LayerClass, MacSummary, ModelSpec};
@@ -33,7 +33,10 @@ fn bucket_of(macs: u64) -> u32 {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LookupTableModel {
     /// Mean energy (µJ) per (class index in `LayerClass::ALL`, bucket).
-    table: HashMap<(usize, u32), (f64, usize)>,
+    /// Ordered so that serialization bytes and the nearest-bucket fallback's
+    /// tie-break (equidistant buckets resolve to the lowest key) are
+    /// deterministic — with a hashed map both depended on RandomState.
+    table: BTreeMap<(usize, u32), (f64, usize)>,
     global_uj_per_mac: f64,
     intercept_uj: f64,
     fitted: bool,
@@ -67,7 +70,7 @@ impl LookupTableModel {
         };
         self.intercept_uj = 0.0;
 
-        let mut sums: HashMap<(usize, u32), (f64, usize)> = HashMap::new();
+        let mut sums: BTreeMap<(usize, u32), (f64, usize)> = BTreeMap::new();
         for (f, &e) in corpus.features.iter().zip(&corpus.measured_uj) {
             let model_macs: f64 = f.iter().sum();
             if model_macs <= 0.0 {

@@ -151,8 +151,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         }
         for row in col + 1..n {
             let factor = a[row][col] / diag;
+            // physics-lint: allow(float-eq): exact-zero skip is an elimination shortcut, not a tolerance test
             if factor == 0.0 {
-                // physics-lint: allow(float-eq): exact-zero skip is an elimination shortcut, not a tolerance test
                 continue;
             }
             for k in col..n {

@@ -24,6 +24,11 @@ use solarml_units::Lux;
 
 use crate::rng::{pick_weighted, uniform};
 
+/// Domain-separation tag for day-profile generation: XORed into the
+/// caller's seed so weather draws never replay another consumer of the
+/// same seed. Registered with the seed-discipline lint.
+pub const ENV_STREAM_TAG: u64 = 0xF1EE_7DAE_11F0_0D5E;
+
 /// Peak direct solar illuminance at normal incidence (lux). The standard
 /// full-sun figure; scaled by the sine of the solar elevation.
 const DIRECT_SOLAR_LUX: f64 = 130_000.0;
@@ -75,7 +80,7 @@ impl Environment {
     /// Generates this environment's 24-hour profile from `seed`.
     /// Deterministic: the same `(self, seed)` yields bit-identical output.
     pub fn day_profile(&self, seed: u64) -> DayProfile {
-        let mut state = seed ^ 0xF1EE_7DAE_11F0_0D5E;
+        let mut state = seed ^ ENV_STREAM_TAG;
         let mut lux = [0.0_f64; 24];
         match *self {
             Environment::OutdoorWindow {

@@ -21,6 +21,11 @@ use solarml_units::{Energy, Farads, Lux, Power, Ratio, Seconds, Volts};
 use crate::env::Environment;
 use crate::rng::{pick_weighted, splitmix64, uniform};
 
+/// Domain-separation tag for per-node blueprint draws: XORed into the
+/// node seed so blueprint sampling never replays another consumer of the
+/// same seed. Registered with the seed-discipline lint.
+pub const POPULATION_STREAM_TAG: u64 = 0xF1EE_7000_0000_0001;
+
 /// A one-dimensional sampling distribution over `f64`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Dist {
@@ -172,7 +177,7 @@ impl PopulationSpec {
     /// consumes the same prefix of its stream regardless of which
     /// environment or policy it lands in.
     pub fn node_blueprint(&self, node_seed: u64) -> NodeBlueprint {
-        let mut state = node_seed ^ 0xF1EE_7000_0000_0001;
+        let mut state = node_seed ^ POPULATION_STREAM_TAG;
 
         // Fixed draw program: every node consumes these in this order.
         let env_pick = pick_weighted(

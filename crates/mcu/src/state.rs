@@ -1,6 +1,5 @@
 //! The MCU power-state machine.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -29,6 +28,34 @@ pub enum PowerState {
     /// brownout loses volatile state mid-task; recovery requires a cold
     /// boot via [`Mcu::power_on`].
     Brownout,
+}
+
+impl PowerState {
+    /// Every state, in declaration order — the canonical accounting order
+    /// used by [`Mcu::total_energy`] so per-state sums are always reduced
+    /// in the same sequence.
+    pub const ALL: [PowerState; 7] = [
+        PowerState::Off,
+        PowerState::DeepSleep,
+        PowerState::Standby,
+        PowerState::WakeTransition,
+        PowerState::Tickless,
+        PowerState::Active,
+        PowerState::Brownout,
+    ];
+
+    /// Index into [`PowerState::ALL`]-ordered accounting arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            PowerState::Off => 0,
+            PowerState::DeepSleep => 1,
+            PowerState::Standby => 2,
+            PowerState::WakeTransition => 3,
+            PowerState::Tickless => 4,
+            PowerState::Active => 5,
+            PowerState::Brownout => 6,
+        }
+    }
 }
 
 impl fmt::Display for PowerState {
@@ -98,8 +125,13 @@ pub struct Mcu {
     pending: Option<(Seconds, PowerState)>,
     /// Power of the tickless peripheral mix while sampling.
     tickless_power: Power,
-    energy_by_state: HashMap<PowerState, Energy>,
-    time_by_state: HashMap<PowerState, Seconds>,
+    /// Per-state accounting, indexed by [`PowerState::index`]. Fixed arrays
+    /// rather than a hashed map so [`Mcu::total_energy`]'s float sum always
+    /// reduces in [`PowerState::ALL`] order — with a `HashMap`, RandomState
+    /// reordered the additions and the total differed in the last ulp
+    /// between runs.
+    energy_by_state: [Energy; PowerState::ALL.len()],
+    time_by_state: [Seconds; PowerState::ALL.len()],
     clock: Seconds,
 }
 
@@ -111,8 +143,8 @@ impl Mcu {
             state: PowerState::Off,
             pending: None,
             tickless_power: Power::ZERO,
-            energy_by_state: HashMap::new(),
-            time_by_state: HashMap::new(),
+            energy_by_state: [Energy::ZERO; PowerState::ALL.len()],
+            time_by_state: [Seconds::ZERO; PowerState::ALL.len()],
             clock: Seconds::ZERO,
         }
     }
@@ -265,36 +297,31 @@ impl Mcu {
 
     /// Energy accumulated in a given state so far.
     pub fn energy_in(&self, state: PowerState) -> Energy {
-        self.energy_by_state
-            .get(&state)
-            .copied()
-            .unwrap_or(Energy::ZERO)
+        self.energy_by_state[state.index()]
     }
 
     /// Time accumulated in a given state so far.
     pub fn time_in(&self, state: PowerState) -> Seconds {
-        self.time_by_state
-            .get(&state)
-            .copied()
-            .unwrap_or(Seconds::ZERO)
+        self.time_by_state[state.index()]
     }
 
-    /// Total energy spent since construction.
+    /// Total energy spent since construction, summed in
+    /// [`PowerState::ALL`] order (bit-stable across runs).
     pub fn total_energy(&self) -> Energy {
-        self.energy_by_state.values().copied().sum()
+        self.energy_by_state.iter().copied().sum()
     }
 
     /// Resets the energy/time accounting without changing the state.
     pub fn reset_accounting(&mut self) {
-        self.energy_by_state.clear();
-        self.time_by_state.clear();
+        self.energy_by_state = [Energy::ZERO; PowerState::ALL.len()];
+        self.time_by_state = [Seconds::ZERO; PowerState::ALL.len()];
         self.clock = Seconds::ZERO;
     }
 
     fn account(&mut self, state: PowerState, power: Power, dt: Seconds) -> Energy {
         let e = power * dt;
-        *self.energy_by_state.entry(state).or_insert(Energy::ZERO) += e;
-        *self.time_by_state.entry(state).or_insert(Seconds::ZERO) += dt;
+        self.energy_by_state[state.index()] += e;
+        self.time_by_state[state.index()] += dt;
         self.clock += dt;
         e
     }

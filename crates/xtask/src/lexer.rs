@@ -1,0 +1,919 @@
+//! A small Rust lexer for the physics lint.
+//!
+//! The first generation of the lint blanked comments and string literals
+//! with a textual pass ([`reference_blank`], kept as a differential-testing
+//! oracle) and matched rules line by line. That was enough for five rule
+//! families but line-granular escapes over-suppress (an allow on line N
+//! also silenced lines N±1) and the determinism rules need real token
+//! context: "is this ident a hashed container", "is this arithmetic inside
+//! `derive_seed`", "which statement does this escape annotate".
+//!
+//! This module lexes a source file into a flat token stream with byte
+//! spans, line numbers and brace depth, and derives from it:
+//!
+//! * [`blank_noncode`] — the comment/string blanking every rule scans over,
+//!   now produced from the token spans instead of a second ad-hoc scanner;
+//! * [`fn_items`] — `fn`-item boundaries (name + body span), used to exempt
+//!   sanctioned seed-mixer functions from the seed-discipline rule;
+//! * [`allow_spans`] — the byte ranges covered by each
+//!   `physics-lint: allow(<rule>)` escape, scoped to the *attached
+//!   statement* (trailing comment → the statement it trails; standalone
+//!   comment line → the next statement), so an allow can no longer mask a
+//!   violation in a neighboring statement.
+//!
+//! The lexer is deliberately smaller than a compiler front end: it only
+//! needs to classify spans (code vs comment vs literal) and track brace
+//! structure. It handles nested block comments, raw strings (`r"…"`,
+//! `r#"…"#`, byte variants), escapes in string/char literals, and the
+//! lifetime-vs-char-literal ambiguity, because those are exactly the
+//! constructs the textual pass got subtly wrong.
+
+/// What a token span is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw idents `r#ident`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) or a loop label.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String literal, including `b"…"` byte strings.
+    Str,
+    /// Raw string literal `r"…"` / `r#"…"#` / `br#"…"#`.
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (incl. `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Any other single byte of punctuation.
+    Punct,
+}
+
+/// One lexed token: kind, byte span, and structural position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Span classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// Brace depth at the token. An opening `{` and its matching `}` carry
+    /// the *outer* depth; tokens between them are one deeper.
+    pub depth: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is code (not a comment and not a literal that the
+    /// blanking pass erases).
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::Str
+                | TokenKind::RawStr
+                | TokenKind::Char
+        )
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into a token stream. Whitespace is skipped (it carries no
+/// rule information; line numbers and byte spans preserve layout). The
+/// lexer never fails: bytes it cannot classify become one-byte
+/// [`TokenKind::Punct`] tokens, and unterminated literals run to the end of
+/// the file — the lint must degrade gracefully on code mid-edit.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut depth = 0u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        let kind = if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            TokenKind::LineComment
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut nest = 1u32;
+            i += 2;
+            while i < b.len() && nest > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    nest += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    nest -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            TokenKind::BlockComment
+        } else if let Some(k) = try_lex_string_like(b, &mut i, &mut line) {
+            k
+        } else if c == b'\'' {
+            lex_quote(b, &mut i, &mut line)
+        } else if is_ident_start(c) {
+            i += 1;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            lex_number(b, &mut i);
+            TokenKind::Number
+        } else {
+            if c == b'{' {
+                // Opening brace carries the outer depth; bump after.
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    start,
+                    end: i + 1,
+                    line: start_line,
+                    depth,
+                });
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            if c == b'}' {
+                depth = depth.saturating_sub(1);
+            }
+            i += 1;
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: i,
+            line: start_line,
+            depth,
+        });
+    }
+    out
+}
+
+/// Lexes `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br#"…"#`, and raw idents
+/// (`r#ident`, which must *not* be mistaken for a raw string). Returns
+/// `None` when the cursor is not at a string-like token.
+fn try_lex_string_like(b: &[u8], i: &mut usize, line: &mut usize) -> Option<TokenKind> {
+    let c = b[*i];
+    // Plain or byte string.
+    let quote_at = if c == b'"' {
+        Some(*i)
+    } else if c == b'b' && b.get(*i + 1) == Some(&b'"') {
+        Some(*i + 1)
+    } else {
+        None
+    };
+    if let Some(q) = quote_at {
+        *i = q + 1;
+        while *i < b.len() {
+            match b[*i] {
+                b'\\' => *i = (*i + 2).min(b.len()),
+                b'"' => {
+                    *i += 1;
+                    break;
+                }
+                b'\n' => {
+                    *line += 1;
+                    *i += 1;
+                }
+                _ => *i += 1,
+            }
+        }
+        return Some(TokenKind::Str);
+    }
+    // Raw string (optionally byte): r / br, then hashes, then a quote.
+    let after_prefix = if c == b'r' {
+        *i + 1
+    } else if c == b'b' && b.get(*i + 1) == Some(&b'r') {
+        *i + 2
+    } else {
+        return None;
+    };
+    let mut j = after_prefix;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None; // `r#ident` or a plain ident starting with r/b.
+    }
+    j += 1;
+    // Find `"` followed by `hashes` hashes.
+    loop {
+        match b.get(j) {
+            None => break,
+            Some(&b'\n') => {
+                *line += 1;
+                j += 1;
+            }
+            Some(&b'"')
+                if b[j + 1..].len() >= hashes
+                    && b[j + 1..j + 1 + hashes].iter().all(|&h| h == b'#') =>
+            {
+                j += 1 + hashes;
+                break;
+            }
+            Some(_) => j += 1,
+        }
+    }
+    *i = j;
+    Some(TokenKind::RawStr)
+}
+
+/// Disambiguates `'` between a char literal and a lifetime. A lifetime is
+/// `'` + ident where the byte after the ident is not `'`; everything else
+/// (including `'a'`, escapes, and multi-byte chars) is a char literal.
+fn lex_quote(b: &[u8], i: &mut usize, line: &mut usize) -> TokenKind {
+    let after = b.get(*i + 1).copied();
+    if let Some(a) = after {
+        if is_ident_start(a) {
+            // Scan the ident; a closing quote right after makes it a char.
+            let mut j = *i + 2;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            if b.get(j) != Some(&b'\'') {
+                *i = j;
+                return TokenKind::Lifetime;
+            }
+        }
+    }
+    // Char literal: consume to the closing quote, honoring escapes.
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i = (*i + 2).min(b.len()),
+            b'\'' => {
+                *i += 1;
+                break;
+            }
+            b'\n' => {
+                // An unterminated char literal; stop at the line break so a
+                // stray quote cannot swallow the rest of the file.
+                *line += *line; // keep clippy quiet about unused assignment
+                *line /= 2;
+                break;
+            }
+            _ => *i += 1,
+        }
+    }
+    TokenKind::Char
+}
+
+/// Consumes a numeric literal: digits in any base, `_` separators, one
+/// fractional part, an exponent with optional sign, and an alphanumeric
+/// suffix (`f64`, `u32`, …). `1..5` keeps the range dots.
+fn lex_number(b: &[u8], i: &mut usize) {
+    let start = *i;
+    let hex_or_bin = b[*i] == b'0'
+        && matches!(
+            b.get(*i + 1),
+            Some(&b'x') | Some(&b'X') | Some(&b'b') | Some(&b'o')
+        );
+    *i += 1;
+    while *i < b.len() {
+        let c = b[*i];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            // Exponent sign: `1e-3` / `1E+3` (not in hex literals).
+            if !hex_or_bin
+                && (c == b'e' || c == b'E')
+                && matches!(b.get(*i + 1), Some(&b'-') | Some(&b'+'))
+                && b.get(*i + 2).is_some_and(u8::is_ascii_digit)
+            {
+                *i += 2;
+            }
+            *i += 1;
+        } else if c == b'.'
+            && b.get(*i + 1).is_some_and(u8::is_ascii_digit)
+            && !b[start..*i].contains(&b'.')
+        {
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Produces the blanked view of `src`: comments, string literals and char
+/// literals replaced with spaces (newlines kept), everything else copied
+/// verbatim. Same length, same line structure — the drop-in replacement for
+/// the old textual pass, now derived from the token stream so every rule
+/// shares one definition of "code".
+pub fn blank_noncode(src: &str) -> String {
+    let tokens = lex(src);
+    blank_with_tokens(src, &tokens)
+}
+
+/// [`blank_noncode`] when the caller already holds the token stream.
+pub fn blank_with_tokens(src: &str, tokens: &[Token]) -> String {
+    let mut out = src.as_bytes().to_vec();
+    for t in tokens {
+        if !t.is_code() {
+            for byte in &mut out[t.start..t.end] {
+                if *byte != b'\n' {
+                    *byte = b' ';
+                }
+            }
+        }
+    }
+    #[allow(clippy::expect_used)] // blanking replaces ASCII bytes with ASCII, so UTF-8 is preserved
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}
+
+/// The legacy textual blanking pass, kept verbatim as a differential-
+/// testing oracle: `crates/xtask/tests/lexer_prop.rs` proves the token-
+/// based [`blank_noncode`] agrees with it on comment- and literal-free
+/// sources, and the unit tests below pin the cases where the lexer is
+/// *better* (nested comments inside strings, `r#ident`, …).
+pub fn reference_blank(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, bytes: &[u8]| {
+        for &c in bytes {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
+                blank(&mut out, &b[i..end]);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, &b[i..j]);
+                i = j;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    match b[j] {
+                        b'\\' => j += 2,
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                blank(&mut out, &b[i..j.min(b.len())]);
+                i = j.min(b.len());
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                let mut hashes = 0;
+                let mut j = i + 1;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    while j < b.len() && !b[j..].starts_with(&closer) {
+                        j += 1;
+                    }
+                    j = (j + closer.len()).min(b.len());
+                    blank(&mut out, &b[i..j]);
+                    i = j;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let rest = &b[i + 1..];
+                let lit_len = if rest.first() == Some(&b'\\') {
+                    rest.iter().skip(1).position(|&c| c == b'\'').map(|p| p + 3)
+                } else if rest.len() >= 2 && rest[1] == b'\'' {
+                    Some(3)
+                } else {
+                    None
+                };
+                match lit_len {
+                    Some(n) => {
+                        blank(&mut out, &b[i..(i + n).min(b.len())]);
+                        i = (i + n).min(b.len());
+                    }
+                    None => {
+                        out.push(b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    #[allow(clippy::expect_used)] // blanking replaces ASCII bytes with ASCII, so UTF-8 is preserved
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}
+
+/// One `fn` item: its name and the byte span of its brace-delimited body.
+/// Trait-method declarations without a body (`fn f(…);`) are skipped.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub start: usize,
+    /// Byte span of the body, `{` through `}` inclusive.
+    pub body: (usize, usize),
+}
+
+/// Extracts `fn`-item boundaries from a token stream. Structural, not
+/// semantic: closures and nested fns each get their own entry, which is
+/// exactly what "is this byte inside a function named X" needs.
+pub fn fn_items(src: &str, tokens: &[Token]) -> Vec<FnItem> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut out = Vec::new();
+    for (idx, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text(src) != "fn" {
+            continue;
+        }
+        let Some(name_tok) = code.get(idx + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // The body opens at the first `{` at the fn's depth before any `;`
+        // at that depth (a `;` first means a bodiless trait method).
+        let mut open = None;
+        for t in &code[idx + 2..] {
+            if t.kind == TokenKind::Punct && t.depth == tok.depth {
+                match t.text(src) {
+                    "{" => {
+                        open = Some(t);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+        }
+        let Some(open) = open else { continue };
+        let close = code
+            .iter()
+            .find(|t| {
+                t.kind == TokenKind::Punct
+                    && t.start > open.start
+                    && t.depth == open.depth
+                    && t.text(src) == "}"
+            })
+            .map_or(src.len(), |t| t.end);
+        out.push(FnItem {
+            name: name_tok.text(src).to_string(),
+            start: tok.start,
+            body: (open.start, close),
+        });
+    }
+    out
+}
+
+/// The byte ranges suppressed by `physics-lint: allow(<rule>)` escapes for
+/// one rule, scoped to the attached statement:
+///
+/// * a **trailing** escape (code earlier on the same line) covers the
+///   statement spanning that line — from the statement's start (after the
+///   previous `;`/`{`/`}` boundary) through its terminator;
+/// * a **standalone** escape (its own line) covers the *next* statement or
+///   item, brace bodies included (so an escape above a `while` header
+///   covers the loop, and one above a one-line `fn` covers its body).
+///
+/// An escape therefore no longer leaks onto neighboring statements: an
+/// allow trailing statement N cannot mask a violation in statement N+1.
+pub fn allow_spans(src: &str, tokens: &[Token], rule: &str) -> Vec<(usize, usize)> {
+    let needle = format!("physics-lint: allow({rule})");
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut out = Vec::new();
+    for tok in tokens {
+        if !tok.is_comment() || !tok.text(src).contains(&needle) {
+            continue;
+        }
+        // Trailing if any code token starts on the comment's line.
+        let line_first = code
+            .iter()
+            .position(|t| t.line == tok.line && t.start < tok.start);
+        let span = match line_first {
+            Some(first_idx) => {
+                let start = statement_start(src, &code, first_idx);
+                let end = statement_end(src, &code, first_idx);
+                (start, end)
+            }
+            None => {
+                // Standalone: anchor on the next code token.
+                match code.iter().position(|t| t.start > tok.end) {
+                    Some(anchor) => {
+                        let start = code[anchor].start;
+                        let end = statement_end(src, &code, anchor);
+                        (start, end)
+                    }
+                    None => continue,
+                }
+            }
+        };
+        out.push(span);
+    }
+    out
+}
+
+/// Whether `pos` falls inside any of `spans`.
+pub fn in_spans(spans: &[(usize, usize)], pos: usize) -> bool {
+    spans.iter().any(|&(a, b)| pos >= a && pos < b)
+}
+
+/// Walks backward from `code[anchor]` to the start of its statement: the
+/// byte after the previous `;`, `{` or `}` boundary. A `}` reached while
+/// walking back is skipped to its matching `{` only when it closes an
+/// expression block *inside* the statement; a plain `}` boundary ends the
+/// walk. (Lexically those are hard to tell apart; treating `}` as a
+/// boundary is the conservative choice — it can only make the covered span
+/// smaller.)
+fn statement_start(src: &str, code: &[&Token], anchor: usize) -> usize {
+    for t in code[..anchor].iter().rev() {
+        if t.kind == TokenKind::Punct && matches!(t.text(src), ";" | "{" | "}") {
+            return t.end;
+        }
+    }
+    0
+}
+
+/// Walks forward from `code[anchor]` to the end of its statement or item:
+/// the first `;` at the anchor's depth or shallower. Brace bodies opened at
+/// the anchor's depth are skipped whole; if the token after the matched `}`
+/// does not continue the expression (`.`, `?`, an operator, `else`, a
+/// closing delimiter), the `}` ends the statement — that is what scopes an
+/// item-level escape to exactly its item.
+fn statement_end(src: &str, code: &[&Token], anchor: usize) -> usize {
+    let depth = code[anchor].depth;
+    let mut i = anchor;
+    while i < code.len() {
+        let t = code[i];
+        if t.kind == TokenKind::Punct {
+            match t.text(src) {
+                ";" if t.depth <= depth => return t.end,
+                "}" if t.depth < depth => return t.start,
+                "{" if t.depth == depth => {
+                    // Skip the block body.
+                    let close = code[i + 1..]
+                        .iter()
+                        .position(|c| {
+                            c.kind == TokenKind::Punct && c.depth == depth && c.text(src) == "}"
+                        })
+                        .map(|off| i + 1 + off);
+                    let Some(close) = close else {
+                        return src.len();
+                    };
+                    match code.get(close + 1) {
+                        Some(next) if expression_continues(src, next) => {
+                            i = close + 1;
+                            continue;
+                        }
+                        _ => return code[close].end,
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    src.len()
+}
+
+/// Whether `tok`, seen right after a closed brace block, continues the same
+/// expression/statement rather than starting a new one.
+fn expression_continues(src: &str, tok: &Token) -> bool {
+    match tok.kind {
+        TokenKind::Ident => tok.text(src) == "else",
+        TokenKind::Punct => matches!(
+            tok.text(src),
+            "." | "?"
+                | ";"
+                | ")"
+                | "]"
+                | ","
+                | "+"
+                | "-"
+                | "*"
+                | "/"
+                | "%"
+                | "&"
+                | "|"
+                | "^"
+                | "<"
+                | ">"
+                | "="
+        ),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_puncts() {
+        let ks = kinds("let x = 1.5e-3 + 0xFF;");
+        assert_eq!(
+            ks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Number,
+                TokenKind::Punct,
+                TokenKind::Number,
+                TokenKind::Punct,
+            ]
+        );
+        assert_eq!(ks[3].1, "1.5e-3");
+        assert_eq!(ks[5].1, "0xFF");
+    }
+
+    #[test]
+    fn range_dots_stay_out_of_numbers() {
+        let ks = kinds("for i in 0..20_000 {}");
+        let nums: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "20_000"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r##"let s = r#"a "quoted" f64"#; let t = 1;"##;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::RawStr && s.contains("quoted")));
+        let blanked = blank_noncode(src);
+        assert!(!blanked.contains("f64"));
+        assert!(blanked.contains("let t = 1;"));
+        assert_eq!(blanked.len(), src.len());
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let src = "let r#type = 3; let x = r#type;";
+        let blanked = blank_noncode(src);
+        assert_eq!(blanked, src, "raw idents must survive blanking");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_blank() {
+        let src = "let a = b\"f64 == 1.0\"; let c = b'x'; let d = 2;";
+        let blanked = blank_noncode(src);
+        assert!(!blanked.contains("f64"));
+        assert!(!blanked.contains("1.0"));
+        assert!(!blanked.contains("'x'"));
+        assert!(blanked.contains("let d = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].0, TokenKind::BlockComment);
+        assert_eq!(ks[2].1, "b");
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_inert() {
+        // The textual pass got this right too, but the property is
+        // load-bearing enough to pin at the lexer level.
+        let src = "let s = \"/* not a comment\"; let t = \"// nor this\"; x()";
+        let blanked = blank_noncode(src);
+        assert!(blanked.contains("x()"));
+        assert!(!blanked.contains("not a comment"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'a'; let d = '\\''; c }";
+        let ks = kinds(src);
+        let lifetimes: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\''"]);
+        let blanked = blank_noncode(src);
+        assert!(blanked.contains("'a>"), "{blanked}");
+        assert!(!blanked.contains("'a'"));
+    }
+
+    #[test]
+    fn static_lifetime_survives() {
+        let src = "static S: &'static str = \"x\";";
+        let blanked = blank_noncode(src);
+        assert!(blanked.contains("'static"));
+        assert!(!blanked.contains('x'));
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let src = "fn f() { if x { y(); } }";
+        let tokens = lex(src);
+        let y = tokens.iter().find(|t| t.text(src) == "y").expect("y token");
+        assert_eq!(y.depth, 2);
+        let outer_open = tokens
+            .iter()
+            .find(|t| t.text(src) == "{")
+            .expect("open brace");
+        assert_eq!(outer_open.depth, 0);
+        let last_close = tokens.last().expect("close brace");
+        assert_eq!(last_close.text(src), "}");
+        assert_eq!(last_close.depth, 0);
+    }
+
+    #[test]
+    fn fn_items_find_names_and_bodies() {
+        let src = "fn alpha() { beta_call(); }\n\
+                   pub fn beta(x: u64) -> u64 {\n    x ^ 1\n}\n\
+                   trait T { fn decl(&self); }";
+        let tokens = lex(src);
+        let items = fn_items(src, &tokens);
+        let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"], "bodiless decls skipped");
+        let alpha = &items[0];
+        assert!(src[alpha.body.0..alpha.body.1].contains("beta_call"));
+        let beta = &items[1];
+        assert!(src[beta.body.0..beta.body.1].contains("x ^ 1"));
+    }
+
+    #[test]
+    fn blank_agrees_with_reference_on_plain_code() {
+        let src =
+            "pub fn power(&self, lux: f64) -> Power {\n    let x = 1.0;\n    Power::new(x)\n}\n";
+        assert_eq!(blank_noncode(src), reference_blank(src));
+        assert_eq!(blank_noncode(src), src, "pure code is untouched");
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_statement_only() {
+        let src = "\
+fn f(m: &M) {
+    let a = m.one().unwrap(); // physics-lint: allow(unwrap): reason here
+    let b = m.two().unwrap();
+}
+";
+        let tokens = lex(src);
+        let spans = allow_spans(src, &tokens, "unwrap");
+        assert_eq!(spans.len(), 1);
+        let first = src.find("m.one").expect("site");
+        let second = src.find("m.two").expect("site");
+        assert!(in_spans(&spans, first), "annotated statement covered");
+        assert!(!in_spans(&spans, second), "next statement NOT covered");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_statement_only() {
+        let src = "\
+fn f(m: &M) {
+    // physics-lint: allow(unwrap): reason here
+    let a = m.one().unwrap();
+    let b = m.two().unwrap();
+}
+";
+        let tokens = lex(src);
+        let spans = allow_spans(src, &tokens, "unwrap");
+        let first = src.find("m.one").expect("site");
+        let second = src.find("m.two").expect("site");
+        assert!(in_spans(&spans, first));
+        assert!(!in_spans(&spans, second));
+    }
+
+    #[test]
+    fn standalone_allow_covers_a_whole_loop_body() {
+        let src = "\
+fn f(sim: &mut Sim) {
+    let mut t = 0.0;
+    // physics-lint: allow(adhoc-sim-loop): bootstrap
+    while t < 1.0 {
+        sim.step();
+        t += 0.1;
+    }
+}
+";
+        let tokens = lex(src);
+        let spans = allow_spans(src, &tokens, "adhoc-sim-loop");
+        let header = src.find("while").expect("header");
+        let step = src.find("sim.step").expect("step");
+        assert!(in_spans(&spans, header));
+        assert!(in_spans(&spans, step), "loop body is part of the statement");
+        let decl = src.find("let mut t").expect("decl");
+        assert!(!in_spans(&spans, decl), "preceding statement not covered");
+    }
+
+    #[test]
+    fn trailing_allow_on_multiline_statement_covers_all_of_it() {
+        let src = "\
+fn f(m: &M) {
+    let a = m
+        .chain(|y| { y })
+        .unwrap(); // physics-lint: allow(unwrap): reason
+    let b = m.two().unwrap();
+}
+";
+        let tokens = lex(src);
+        let spans = allow_spans(src, &tokens, "unwrap");
+        let first = src.find(".unwrap").expect("site");
+        let second = src.rfind(".unwrap").expect("site");
+        assert!(in_spans(&spans, first));
+        assert!(!in_spans(&spans, second));
+    }
+
+    #[test]
+    fn allow_after_the_statement_no_longer_leaks_backward() {
+        let src = "\
+fn f(m: &M) {
+    let a = m.one().unwrap();
+    // physics-lint: allow(unwrap): binds forward, not backward
+    let b = m.two().unwrap();
+}
+";
+        let tokens = lex(src);
+        let spans = allow_spans(src, &tokens, "unwrap");
+        let first = src.find("m.one").expect("site");
+        let second = src.find("m.two").expect("site");
+        assert!(!in_spans(&spans, first), "previous statement not covered");
+        assert!(in_spans(&spans, second));
+    }
+}

@@ -21,7 +21,10 @@
 //! information. See DESIGN.md §"Correctness tooling" for the allow-list
 //! format and escape hatches.
 
+pub mod corpus;
+pub mod lexer;
 pub mod manifest;
+pub mod rules;
 pub mod scan;
 
 use std::fmt;
@@ -64,6 +67,25 @@ pub enum ViolationKind {
     /// stepping must go through `solarml_sim::Scheduler` so there is one
     /// clock and one energy ledger.
     AdhocSimLoop,
+    /// Nondeterministic construct in engine code: iteration over a
+    /// `HashMap`/`HashSet` (hasher-dependent order), a wall-clock read
+    /// (`Instant::now`/`SystemTime::now`), or ambient OS entropy
+    /// (`thread_rng`/`from_entropy`). Every result this workspace publishes
+    /// must be recomputable bit-identically from `(spec, seed)`.
+    Determinism,
+    /// Raw seed arithmetic (`seed + i`, `seed ^ 0x…`) outside a sanctioned
+    /// mixer function, or a `derive_seed` call whose cycle tag is not a
+    /// registered named constant. Ad-hoc seed derivation is how two call
+    /// sites silently end up with correlated RNG streams.
+    SeedDiscipline,
+    /// A side-channel energy accumulator: `+= … * dt` integration outside
+    /// the `SimBus`/`EnergyAudit` ledger. Exactly the pattern that once let
+    /// `endtoend` double-count harvest energy.
+    LedgerCoverage,
+    /// A `physics-lint: allow(…)` escape with no `: reason` trailer, or
+    /// naming a rule that does not exist. Escapes are reviewed decisions;
+    /// an unexplained one is indistinguishable from a stale one.
+    AllowWithoutReason,
     /// A crate manifest does not opt into `[workspace.lints]`.
     MissingLintsTable,
     /// The root manifest lacks the `[workspace.lints.clippy]` deny-set.
@@ -81,6 +103,10 @@ impl ViolationKind {
             ViolationKind::RcRefCell => "rc-refcell",
             ViolationKind::FaultPathUnwrap => "fault-path",
             ViolationKind::AdhocSimLoop => "adhoc-sim-loop",
+            ViolationKind::Determinism => "determinism",
+            ViolationKind::SeedDiscipline => "seed-discipline",
+            ViolationKind::LedgerCoverage => "ledger-coverage",
+            ViolationKind::AllowWithoutReason => "allow-without-reason",
             ViolationKind::MissingLintsTable => "missing-lints-table",
             ViolationKind::MissingWorkspaceLints => "missing-workspace-lints",
         }
@@ -97,5 +123,91 @@ impl fmt::Display for Violation {
             self.kind.name(),
             self.detail
         )
+    }
+}
+
+/// Renders the machine-readable report behind `cargo xtask lint --json`.
+/// Hand-rolled (xtask has no dependencies by design): stable field order,
+/// violations in the scanner's deterministic file/line order, plus the
+/// pass/fail status of each subprocess gate that ran. CI uploads this file
+/// as an artifact so downstream tooling never has to parse human output.
+pub fn json_report(violations: &[Violation], gates: &[(&str, bool)]) -> String {
+    let mut s = String::from("{\n  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"file\": \"");
+        s.push_str(&json_escape(&v.file.to_string_lossy().replace('\\', "/")));
+        s.push_str("\", \"line\": ");
+        s.push_str(&v.line.to_string());
+        s.push_str(", \"rule\": \"");
+        s.push_str(v.kind.name());
+        s.push_str("\", \"detail\": \"");
+        s.push_str(&json_escape(&v.detail));
+        s.push_str("\"}");
+    }
+    if !violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"violation_count\": ");
+    s.push_str(&violations.len().to_string());
+    s.push_str(",\n  \"gates\": [");
+    for (i, (label, ok)) in gates.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"gate\": \"");
+        s.push_str(&json_escape(label));
+        s.push_str("\", \"ok\": ");
+        s.push_str(if *ok { "true" } else { "false" });
+        s.push('}');
+    }
+    if !gates.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"clean\": ");
+    let clean = violations.is_empty() && gates.iter().all(|(_, ok)| *ok);
+    s.push_str(if clean { "true" } else { "false" });
+    s.push_str("\n}\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let vs = vec![Violation {
+            file: PathBuf::from("crates/x/src/lib.rs"),
+            line: 7,
+            kind: ViolationKind::Determinism,
+            detail: "iteration over `map` — \"unordered\"".to_string(),
+        }];
+        let out = json_report(&vs, &[("cargo fmt --check", true), ("cargo clippy", false)]);
+        assert!(out.contains("\"rule\": \"determinism\""));
+        assert!(out.contains("\\\"unordered\\\""), "quotes escaped: {out}");
+        assert!(out.contains("\"violation_count\": 1"));
+        assert!(out.contains("\"clean\": false"));
+        let empty = json_report(&[], &[("cargo fmt --check", true)]);
+        assert!(empty.contains("\"violations\": []"));
+        assert!(empty.contains("\"clean\": true"));
     }
 }

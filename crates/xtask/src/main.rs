@@ -11,6 +11,11 @@
 //! one per line as `file:line: [rule] detail`); 2 means the driver itself
 //! failed (I/O, missing cargo, …).
 //!
+//! `--json` switches the report to a machine-readable JSON document on
+//! stdout; `--out PATH` additionally writes that document to `PATH`
+//! (written even when the lint fails, so CI can upload it as an artifact
+//! from a red job). Exit status semantics are unchanged.
+//!
 //! `cargo xtask bench [--quick]` builds and runs the `quickbench` binary
 //! (crate `solarml-bench`), which times the conv kernels and the quick
 //! eNAS search and writes `BENCH_hotpaths.json` at the workspace root.
@@ -19,13 +24,19 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 use xtask::scan::{scan_workspace, AllowList, ScanConfig};
-use xtask::{manifest, Violation};
+use xtask::{json_report, manifest, Violation};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let json = args.iter().any(|a| a == "--json");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(fast),
+        Some("lint") => run_lint(fast, json, out.as_deref()),
         Some("bench") => run_bench(&args[1..]),
         Some("--help" | "-h") | None => {
             print_usage();
@@ -43,9 +54,12 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
-         lint [--fast]           Physics lint, manifest gate, `cargo fmt\n                          \
+         lint [--fast] [--json] [--out PATH]\n                          \
+         Physics lint, manifest gate, `cargo fmt\n                          \
          --check` and `cargo clippy`. `--fast` skips\n                          \
-         the two cargo subprocess gates.\n  \
+         the two cargo subprocess gates. `--json`\n                          \
+         prints a JSON report; `--out PATH` also\n                          \
+         writes it to PATH (even on failure).\n  \
          bench [--quick] [args]  Build and run the quickbench binary; writes\n                          \
          BENCH_hotpaths.json at the workspace root.\n                          \
          `--quick` cuts repetitions for CI."
@@ -91,7 +105,7 @@ fn run_bench(extra: &[String]) -> ExitCode {
     }
 }
 
-fn run_lint(fast: bool) -> ExitCode {
+fn run_lint(fast: bool, json: bool, out: Option<&Path>) -> ExitCode {
     let root = match workspace_root() {
         Ok(root) => root,
         Err(e) => {
@@ -100,6 +114,7 @@ fn run_lint(fast: bool) -> ExitCode {
         }
     };
     let mut violations: Vec<Violation> = Vec::new();
+    let mut gates: Vec<(&str, bool)> = Vec::new();
     let mut driver_failed = false;
 
     match load_allow_list(&root) {
@@ -127,8 +142,10 @@ fn run_lint(fast: bool) -> ExitCode {
         }
     }
 
-    for v in &violations {
-        println!("{v}");
+    if !json {
+        for v in &violations {
+            println!("{v}");
+        }
     }
     let mut failed = !violations.is_empty();
 
@@ -146,15 +163,31 @@ fn run_lint(fast: bool) -> ExitCode {
                 .current_dir(&root)
                 .status()
             {
-                Ok(status) if status.success() => {}
+                Ok(status) if status.success() => gates.push((label, true)),
                 Ok(_) => {
                     eprintln!("xtask: {label} reported problems");
+                    gates.push((label, false));
                     failed = true;
                 }
                 Err(e) => {
                     eprintln!("xtask: could not run {label}: {e}");
                     driver_failed = true;
                 }
+            }
+        }
+    }
+
+    if json || out.is_some() {
+        let report = json_report(&violations, &gates);
+        if json {
+            println!("{report}");
+        }
+        if let Some(path) = out {
+            // Written before the exit decision so a red run still leaves
+            // the artifact behind for CI upload.
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("xtask: cannot write report to {}: {e}", path.display());
+                driver_failed = true;
             }
         }
     }

@@ -1,16 +1,23 @@
-//! The physics lint: a lexical scanner over workspace sources.
+//! The physics lint: a token-aware scanner over workspace sources.
 //!
-//! No `syn` is available in the offline build environment, so this is a
-//! hand-rolled pass: comments and string literals are blanked first, then
-//! `#[cfg(test)]` regions are masked, and the remaining code is scanned for
-//! the three rule families. Lexical rather than type-aware means the rules
-//! are deliberately conservative in what they match (a float *literal* next
-//! to `==`, a textual `f64` inside a `pub fn` signature) — everything type-
-//! aware is delegated to the clippy gate.
+//! No `syn` is available in the offline build environment, so the pass is
+//! built on the hand-rolled lexer in [`crate::lexer`]: sources are lexed
+//! once, comments/strings are blanked from the token spans, `#[cfg(test)]`
+//! regions are masked, and the remaining code is scanned for the rule
+//! families. Lexical rather than type-aware means the rules are
+//! deliberately conservative in what they match (a float *literal* next to
+//! `==`, a textual `f64` inside a `pub fn` signature, an ident *declared*
+//! as a `HashMap`) — everything type-aware is delegated to the clippy gate.
+//!
+//! This module owns the classic families (signatures, unwrap/expect,
+//! float-eq, Rc/RefCell, fault-path, ad-hoc sim loops) plus the policy
+//! plumbing; the determinism families live in [`crate::rules`].
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
+use crate::lexer;
+pub use crate::lexer::blank_noncode;
 use crate::{Violation, ViolationKind};
 
 /// Which rule families to run over which crates.
@@ -36,6 +43,23 @@ pub struct ScanConfig {
     /// `solarml_sim::Scheduler` so the workspace keeps one clock and one
     /// energy ledger. The scheduler crate itself is exempt by omission.
     pub sim_loop_crates: Vec<String>,
+    /// Crates whose non-test library code may not iterate hashed containers,
+    /// read the wall clock, or draw ambient OS entropy (rule `determinism`).
+    pub determinism_crates: Vec<String>,
+    /// Crates whose non-test library code may not do raw seed arithmetic
+    /// outside a sanctioned mixer function (rule `seed-discipline`).
+    pub seed_crates: Vec<String>,
+    /// Crates whose non-test library code may not grow `+= … * dt`
+    /// side-channel accumulators (rule `ledger-coverage`). The `sim` crate
+    /// is exempt by omission: it is where `SimBus`/`EnergyAudit` live.
+    pub ledger_crates: Vec<String>,
+    /// Registered cycle-tag constants: the only names whose use in seed
+    /// arithmetic (and as `derive_seed` cycle arguments) is sanctioned.
+    /// Registering a tag here is the reviewed act that reserves its stream.
+    pub seed_tags: Vec<String>,
+    /// Sanctioned seed-mixer functions; their bodies are exempt from the
+    /// seed-discipline rule (the mixing has to happen *somewhere*).
+    pub seed_mixer_fns: Vec<String>,
     /// Parsed allow-list (see [`AllowList`]).
     pub allow: AllowList,
 }
@@ -56,6 +80,7 @@ impl ScanConfig {
         strict.push("fleet".to_string());
         let mut sim_loop: Vec<String> = physics.iter().map(|s| s.to_string()).collect();
         sim_loop.push("fleet".to_string());
+        let to_vec = |names: &[&str]| names.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         Self {
             signature_crates: physics.iter().map(|s| s.to_string()).collect(),
             strict_crates: strict,
@@ -65,6 +90,23 @@ impl ScanConfig {
                 PathBuf::from("crates/platform/src/intermittent.rs"),
             ],
             sim_loop_crates: sim_loop,
+            // Everything that feeds a published result: the engine crates
+            // from the ISSUE plus `energy` (its lookup tables are cached
+            // and serialized, so iteration order reaches bytes on disk).
+            determinism_crates: to_vec(&[
+                "sim", "circuit", "mcu", "energy", "platform", "fleet", "nas",
+            ]),
+            // `energy` is deliberately absent: its xorshift lives in local
+            // regression-bootstrap helpers that never share streams.
+            seed_crates: to_vec(&["sim", "circuit", "mcu", "platform", "fleet", "nas"]),
+            ledger_crates: to_vec(&["circuit", "mcu", "platform", "fleet"]),
+            seed_tags: to_vec(&[
+                "FLEET_SEED_CYCLE",
+                "FAULT_STREAM_TAG",
+                "POPULATION_STREAM_TAG",
+                "ENV_STREAM_TAG",
+            ]),
+            seed_mixer_fns: to_vec(&["derive_seed", "mix64", "splitmix64"]),
             allow,
         }
     }
@@ -73,9 +115,11 @@ impl ScanConfig {
 /// The allow-list: one entry per line, `path/to/file.rs::item`, where `item`
 /// is a function name (for `raw-float-signature`) or `*` (whole file, any
 /// rule). `#` starts a comment. Inline escapes are spelled in the source
-/// itself: a line containing `physics-lint: allow(<rule>)` in a comment
-/// suppresses that rule on that line and on both adjacent lines (rustfmt
-/// may push a trailing comment onto its own line).
+/// itself: a comment containing `physics-lint: allow(<rule>): <reason>`
+/// suppresses that rule on the statement it is attached to — the statement
+/// it trails, or (for a comment on its own line) the next statement,
+/// brace body included. See [`crate::lexer::allow_spans`]. The reason is
+/// mandatory; a bare escape is itself a violation (`allow-without-reason`).
 #[derive(Debug, Clone, Default)]
 pub struct AllowList {
     entries: HashSet<(String, String)>,
@@ -103,113 +147,6 @@ impl AllowList {
         self.entries.contains(&(key.clone(), item.to_string()))
             || self.entries.contains(&(key, "*".to_string()))
     }
-}
-
-/// Replaces comments, string literals and char literals with spaces,
-/// preserving length and line structure, so later passes can scan tokens
-/// without tripping over `"== 1.0"` in a message or doc comment.
-pub fn blank_noncode(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let mut i = 0;
-    let blank = |out: &mut Vec<u8>, bytes: &[u8]| {
-        for &c in bytes {
-            out.push(if c == b'\n' { b'\n' } else { b' ' });
-        }
-    };
-    while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
-                blank(&mut out, &b[i..end]);
-                i = end;
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1;
-                let mut j = i + 2;
-                while j < b.len() && depth > 0 {
-                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
-                        depth += 1;
-                        j += 2;
-                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
-                        depth -= 1;
-                        j += 2;
-                    } else {
-                        j += 1;
-                    }
-                }
-                blank(&mut out, &b[i..j]);
-                i = j;
-            }
-            b'"' => {
-                let mut j = i + 1;
-                while j < b.len() {
-                    match b[j] {
-                        b'\\' => j += 2,
-                        b'"' => {
-                            j += 1;
-                            break;
-                        }
-                        _ => j += 1,
-                    }
-                }
-                blank(&mut out, &b[i..j.min(b.len())]);
-                i = j.min(b.len());
-            }
-            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
-                // Raw string r"..." / r#"..."# / r##...
-                let mut hashes = 0;
-                let mut j = i + 1;
-                while j < b.len() && b[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < b.len() && b[j] == b'"' {
-                    j += 1;
-                    let closer: Vec<u8> = std::iter::once(b'"')
-                        .chain(std::iter::repeat_n(b'#', hashes))
-                        .collect();
-                    while j < b.len() && !b[j..].starts_with(&closer) {
-                        j += 1;
-                    }
-                    j = (j + closer.len()).min(b.len());
-                    blank(&mut out, &b[i..j]);
-                    i = j;
-                } else {
-                    out.push(b[i]);
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime. A char literal closes with a '
-                // within a couple of bytes; a lifetime never closes.
-                let rest = &b[i + 1..];
-                let lit_len = if rest.first() == Some(&b'\\') {
-                    rest.iter().skip(1).position(|&c| c == b'\'').map(|p| p + 3)
-                } else if rest.len() >= 2 && rest[1] == b'\'' {
-                    Some(3)
-                } else {
-                    None
-                };
-                match lit_len {
-                    Some(n) => {
-                        blank(&mut out, &b[i..(i + n).min(b.len())]);
-                        i = (i + n).min(b.len());
-                    }
-                    None => {
-                        out.push(b[i]);
-                        i += 1;
-                    }
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    #[allow(clippy::expect_used)] // blanking replaces ASCII bytes with ASCII, so UTF-8 is preserved
-    String::from_utf8(out).expect("blanking preserves UTF-8")
 }
 
 /// Byte ranges of `#[cfg(test)]`-gated items (the brace-delimited item that
@@ -273,25 +210,12 @@ fn find_cfg_test(s: &str, from: usize) -> Option<usize> {
     None
 }
 
-fn line_of(src: &str, byte: usize) -> usize {
+pub(crate) fn line_of(src: &str, byte: usize) -> usize {
     src[..byte].bytes().filter(|&c| c == b'\n').count() + 1
 }
 
-fn in_regions(regions: &[(usize, usize)], byte: usize) -> bool {
+pub(crate) fn in_regions(regions: &[(usize, usize)], byte: usize) -> bool {
     regions.iter().any(|&(a, b)| byte >= a && byte < b)
-}
-
-/// Lines covered by an inline `physics-lint: allow(<rule>)` escape, per
-/// rule. The escape covers its own line plus the lines directly above and
-/// below, so a comment survives rustfmt rewrapping a long trailing comment
-/// onto its own line.
-fn inline_allows(src: &str, rule: &str) -> HashSet<usize> {
-    let needle = format!("physics-lint: allow({rule})");
-    src.lines()
-        .enumerate()
-        .filter(|(_, l)| l.contains(&needle))
-        .flat_map(|(i, _)| [i.max(1), i + 1, i + 2])
-        .collect()
 }
 
 fn is_ident_byte(c: u8) -> bool {
@@ -313,18 +237,19 @@ pub fn scan_source(
     if allow.allows(rel, "*") {
         return out;
     }
-    let blanked = blank_noncode(src);
+    let tokens = lexer::lex(src);
+    let blanked = lexer::blank_with_tokens(src, &tokens);
     let tests = test_regions(&blanked);
 
     if check_signatures {
         scan_pub_fn_signatures(rel, src, &blanked, &tests, allow, &mut out);
     }
     if check_strict {
-        scan_unwraps(rel, src, &blanked, &tests, &mut out);
-        scan_float_eq(rel, src, &blanked, &tests, &mut out);
+        scan_unwraps(rel, src, &tokens, &blanked, &tests, &mut out);
+        scan_float_eq(rel, src, &tokens, &blanked, &tests, &mut out);
     }
     if check_sendsync {
-        scan_rc_refcell(rel, src, &blanked, &tests, &mut out);
+        scan_rc_refcell(rel, src, &tokens, &blanked, &tests, &mut out);
     }
     out.sort_by_key(|v| v.line);
     out
@@ -338,24 +263,22 @@ pub fn scan_source(
 fn scan_rc_refcell(
     rel: &Path,
     src: &str,
+    tokens: &[lexer::Token],
     blanked: &str,
     tests: &[(usize, usize)],
     out: &mut Vec<Violation>,
 ) {
-    let allowed_lines = inline_allows(src, "rc-refcell");
+    let allowed = lexer::allow_spans(src, tokens, "rc-refcell");
     let b = blanked.as_bytes();
     for needle in ["Rc<", "RefCell<"] {
         for (pos, _) in blanked.match_indices(needle) {
             if pos > 0 && is_ident_byte(b[pos - 1]) {
                 continue;
             }
-            if in_regions(tests, pos) {
+            if in_regions(tests, pos) || lexer::in_spans(&allowed, pos) {
                 continue;
             }
             let line = line_of(src, pos);
-            if allowed_lines.contains(&line) {
-                continue;
-            }
             out.push(Violation {
                 file: rel.to_path_buf(),
                 line,
@@ -469,6 +392,7 @@ fn scan_pub_fn_signatures(
 fn scan_unwraps(
     rel: &Path,
     src: &str,
+    tokens: &[lexer::Token],
     blanked: &str,
     tests: &[(usize, usize)],
     out: &mut Vec<Violation>,
@@ -477,15 +401,12 @@ fn scan_unwraps(
         (".unwrap()", ViolationKind::Unwrap, "unwrap"),
         (".expect(", ViolationKind::Expect, "expect"),
     ] {
-        let allowed_lines = inline_allows(src, rule);
+        let allowed = lexer::allow_spans(src, tokens, rule);
         for (pos, _) in blanked.match_indices(needle) {
-            if in_regions(tests, pos) {
+            if in_regions(tests, pos) || lexer::in_spans(&allowed, pos) {
                 continue;
             }
             let line = line_of(src, pos);
-            if allowed_lines.contains(&line) {
-                continue;
-            }
             out.push(Violation {
                 file: rel.to_path_buf(),
                 line,
@@ -533,11 +454,12 @@ fn is_float_literal(tok: &str) -> bool {
 fn scan_float_eq(
     rel: &Path,
     src: &str,
+    tokens: &[lexer::Token],
     blanked: &str,
     tests: &[(usize, usize)],
     out: &mut Vec<Violation>,
 ) {
-    let allowed_lines = inline_allows(src, "float-eq");
+    let allowed = lexer::allow_spans(src, tokens, "float-eq");
     let b = blanked.as_bytes();
     let eqs = blanked.match_indices("==").map(|(p, _)| (p, false));
     let neqs = blanked.match_indices("!=").map(|(p, _)| (p, true));
@@ -551,13 +473,10 @@ fn scan_float_eq(
         if pos + 2 < b.len() && b[pos + 2] == b'=' {
             continue;
         }
-        if in_regions(tests, pos) {
+        if in_regions(tests, pos) || lexer::in_spans(&allowed, pos) {
             continue;
         }
         let line = line_of(src, pos);
-        if allowed_lines.contains(&line) {
-            continue;
-        }
         // Token immediately before (skipping whitespace and a closing paren
         // is NOT attempted: lexical rule, literals only).
         let before = {
@@ -681,18 +600,20 @@ fn is_time_loop_header(line: &str) -> bool {
 /// through the `solarml_sim::Scheduler` so the workspace keeps one clock
 /// and one bus-owned energy ledger; ad-hoc loops re-grow the per-module dt
 /// drift and side-channel accounting the scheduler refactor removed.
-/// Honors the file-wildcard allow-list and
-/// `// physics-lint: allow(adhoc-sim-loop)` on either the header or the
-/// `.step(` line; `#[cfg(test)]` regions are exempt (a hand-rolled
-/// reference loop is exactly how the scheduler itself gets checked).
+/// Honors the file-wildcard allow-list and a
+/// `// physics-lint: allow(adhoc-sim-loop)` escape attached to either the
+/// loop statement or the statement containing the `.step(` call;
+/// `#[cfg(test)]` regions are exempt (a hand-rolled reference loop is
+/// exactly how the scheduler itself gets checked).
 pub fn scan_sim_loops(rel: &Path, src: &str, allow: &AllowList) -> Vec<Violation> {
     let mut out = Vec::new();
     if allow.allows(rel, "*") {
         return out;
     }
-    let blanked = blank_noncode(src);
+    let tokens = lexer::lex(src);
+    let blanked = lexer::blank_with_tokens(src, &tokens);
     let tests = test_regions(&blanked);
-    let allowed_lines = inline_allows(src, "adhoc-sim-loop");
+    let allowed = lexer::allow_spans(src, &tokens, "adhoc-sim-loop");
     let lines: Vec<&str> = blanked.lines().collect();
     let mut offsets = Vec::with_capacity(lines.len());
     let mut off = 0usize;
@@ -712,7 +633,9 @@ pub fn scan_sim_loops(rel: &Path, src: &str, allow: &AllowList) -> Vec<Violation
             continue;
         };
         let line = i + 1;
-        if allowed_lines.contains(&line) || allowed_lines.contains(&(step_at + 1)) {
+        let header_pos = offsets[i] + (header.len() - header.trim_start().len());
+        let step_pos = offsets[step_at] + lines[step_at].find(".step(").unwrap_or(0);
+        if lexer::in_spans(&allowed, header_pos) || lexer::in_spans(&allowed, step_pos) {
             continue;
         }
         out.push(Violation {
@@ -731,6 +654,56 @@ pub fn scan_sim_loops(rel: &Path, src: &str, allow: &AllowList) -> Vec<Violation
     out
 }
 
+/// Which rule families apply to one file. Derived from [`ScanConfig`] per
+/// crate by [`scan_workspace`]; the corpus harness builds one directly from
+/// a fixture's `// lint-rules:` header.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// raw-float-signature
+    pub signatures: bool,
+    /// unwrap / expect / float-eq
+    pub strict: bool,
+    /// rc-refcell
+    pub sendsync: bool,
+    /// adhoc-sim-loop
+    pub sim_loops: bool,
+    /// determinism
+    pub determinism: bool,
+    /// seed-discipline
+    pub seed_discipline: bool,
+    /// ledger-coverage
+    pub ledger_coverage: bool,
+    /// fault-path (unwrap/expect everywhere, no escapes)
+    pub fault_path: bool,
+}
+
+/// Scans one file under an explicit rule set: the classic families from
+/// this module plus the determinism families from [`crate::rules`], plus
+/// the allow-hygiene check (which runs whenever *any* family does — an
+/// unexplained escape is a finding regardless of which rule it names).
+pub fn scan_file(rel: &Path, src: &str, rules: RuleSet, config: &ScanConfig) -> Vec<Violation> {
+    let mut out = scan_source(
+        rel,
+        src,
+        rules.signatures,
+        rules.strict,
+        rules.sendsync,
+        &config.allow,
+    );
+    if !config.allow.allows(rel, "*") {
+        if rules.sim_loops {
+            out.extend(scan_sim_loops(rel, src, &config.allow));
+        }
+        out.extend(crate::rules::scan_new_families(rel, src, rules, config));
+        out.extend(crate::rules::scan_allow_hygiene(rel, src));
+    }
+    if rules.fault_path {
+        out.extend(scan_fault_path(rel, src));
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
 /// Walks `crates/<name>/src` for every crate in the policy and scans each
 /// `.rs` file. `root` is the workspace root.
 pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<Violation>> {
@@ -741,29 +714,29 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
         .chain(config.strict_crates.iter())
         .chain(config.sendsync_crates.iter())
         .chain(config.sim_loop_crates.iter())
+        .chain(config.determinism_crates.iter())
+        .chain(config.seed_crates.iter())
+        .chain(config.ledger_crates.iter())
         .collect();
     crates.sort();
     crates.dedup();
     for name in crates {
-        let check_sigs = config.signature_crates.iter().any(|c| c == name);
-        let check_strict = config.strict_crates.iter().any(|c| c == name);
-        let check_sendsync = config.sendsync_crates.iter().any(|c| c == name);
-        let check_simloops = config.sim_loop_crates.iter().any(|c| c == name);
+        let has = |list: &[String]| list.iter().any(|c| c == name);
+        let rules = RuleSet {
+            signatures: has(&config.signature_crates),
+            strict: has(&config.strict_crates),
+            sendsync: has(&config.sendsync_crates),
+            sim_loops: has(&config.sim_loop_crates),
+            determinism: has(&config.determinism_crates),
+            seed_discipline: has(&config.seed_crates),
+            ledger_coverage: has(&config.ledger_crates),
+            fault_path: false, // fault-path scoping is per file, below
+        };
         let src_dir = root.join("crates").join(name).join("src");
         for file in rs_files(&src_dir)? {
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
             let text = std::fs::read_to_string(&file)?;
-            out.extend(scan_source(
-                &rel,
-                &text,
-                check_sigs,
-                check_strict,
-                check_sendsync,
-                &config.allow,
-            ));
-            if check_simloops {
-                out.extend(scan_sim_loops(&rel, &text, &config.allow));
-            }
+            out.extend(scan_file(&rel, &text, rules, config));
         }
     }
     for rel in &config.fault_path_files {

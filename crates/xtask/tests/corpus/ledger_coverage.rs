@@ -1,0 +1,35 @@
+// lint-rules: ledger-coverage
+//
+// `+= … * dt` outside SimBus/EnergyAudit is a side-channel integral the
+// conservation checks never see. Plain time accumulation (`+= dt` with no
+// multiply) is not an energy flow and stays clean.
+
+pub struct Meter {
+    harvested: f64,
+    spent: f64,
+    time: f64,
+}
+
+impl Meter {
+    pub fn step(&mut self, power: f64, dt: f64) {
+        self.harvested += power * dt; //~ ERROR ledger-coverage
+        self.time += dt;
+    }
+
+    pub fn rebate(&mut self, rate: f64, dt: f64) {
+        self.spent -= rate * dt; //~ ERROR ledger-coverage
+    }
+
+    pub fn annotated(&mut self, rate: f64, dt: f64) {
+        // physics-lint: allow(ledger-coverage): derived display metric; the bus records the underlying flow
+        self.harvested += rate * dt;
+    }
+}
+
+pub fn local_accumulator(samples: &[f64], dt: f64) -> f64 {
+    let mut area = 0.0;
+    for s in samples {
+        area += s * dt; //~ ERROR ledger-coverage
+    }
+    area
+}

@@ -1,0 +1,46 @@
+// lint-rules: strict determinism
+//
+// Sources that defeat a line-regex scanner: the engine must reason over
+// tokens, so banned patterns inside raw strings, nested block comments,
+// byte strings, and char literals never fire — and real ones still do.
+
+pub fn raw_strings() -> &'static str {
+    r#"a raw string with .unwrap() and Instant::now() and "quotes" inside"#
+}
+
+pub fn rawer_strings() -> &'static str {
+    r##"ends only at double-hash: "# .expect("still inside") "##
+}
+
+pub fn byte_strings() -> &'static [u8] {
+    b"thread_rng() in a byte string \" with an escaped quote"
+}
+
+pub fn nested_comments() -> u32 {
+    /* outer /* nested .unwrap() */ still one comment */
+    0
+}
+
+pub fn chars_vs_lifetimes<'a>(x: &'a [u8]) -> char {
+    let quote = '"'; // a char holding a double quote must not open a string
+    let newline = '\n';
+    let _ = (x, newline);
+    quote
+}
+
+pub fn raw_ident_is_not_a_raw_string() -> u32 {
+    let r#fn = 1u32; // `r#fn` is a raw identifier, not `r#"…"#`
+    r#fn
+}
+
+pub fn a_real_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() //~ ERROR unwrap
+}
+
+pub fn a_real_float_eq(a: f64) -> bool {
+    a == 0.5 //~ ERROR float-eq
+}
+
+pub fn a_real_clock() -> std::time::Instant {
+    std::time::Instant::now() //~ ERROR determinism
+}

@@ -1,0 +1,59 @@
+// lint-rules: seed-discipline
+//
+// Raw seed arithmetic is only legal inside registered mixer functions or
+// against a registered cycle-tag constant; `derive_seed`'s cycle argument
+// must be a registered named constant.
+
+pub fn node_stream(seed: u64, i: u64) -> u64 {
+    seed + i //~ ERROR seed-discipline
+}
+
+pub fn forked(seed: u64) -> u64 {
+    seed ^ 0xDEAD_BEEF //~ ERROR seed-discipline
+}
+
+pub fn shifted(seed: u64) -> u64 {
+    seed << 1 //~ ERROR seed-discipline
+}
+
+pub fn wrapped(seed: u64) -> u64 {
+    seed.wrapping_mul(3) //~ ERROR seed-discipline
+}
+
+pub fn compound(mut seed: u64, i: u64) -> u64 {
+    seed ^= i; //~ ERROR seed-discipline
+    seed
+}
+
+pub fn tagged(seed: u64) -> u64 {
+    seed ^ FLEET_SEED_CYCLE
+}
+
+pub fn derived(seed: u64, n: u64) -> u64 {
+    derive_seed(seed, FLEET_SEED_CYCLE, n)
+}
+
+pub fn bare_literal(seed: u64) -> u64 {
+    derive_seed(seed, 7, 0) //~ ERROR seed-discipline
+}
+
+pub fn unregistered(seed: u64) -> u64 {
+    derive_seed(seed, MY_PRIVATE_TAG, 0) //~ ERROR seed-discipline
+}
+
+pub fn expression_tag(seed: u64, req: &Request) -> u64 {
+    // An expression carries its own provenance; only bare literals and
+    // unregistered SCREAMING_CASE constants are suspect.
+    derive_seed(seed, req.cycle, 0)
+}
+
+pub fn comparisons_are_fine(seed: u64, other: u64) -> bool {
+    seed < other && seed != 0
+}
+
+// Mixer bodies are exempt: this is where the arithmetic is supposed to live.
+fn derive_seed(base_seed: u64, cycle: u64, index: u64) -> u64 {
+    let mut mixed = base_seed ^ cycle.rotate_left(17);
+    mixed = mixed.wrapping_add(index ^ 0x9E37_79B9_7F4A_7C15);
+    mixed
+}

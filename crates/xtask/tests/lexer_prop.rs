@@ -1,0 +1,84 @@
+//! Property tests pinning the token-derived blanking to the legacy textual
+//! pass (kept as [`xtask::lexer::reference_blank`] exactly for this
+//! differential check) and to its structural invariants.
+//!
+//! The vendored proptest has no string-regex strategies, so sources are
+//! generated as index vectors into explicit alphabets.
+
+use proptest::prelude::*;
+
+use xtask::lexer::{blank_noncode, lex, reference_blank};
+
+/// Code-shaped ASCII with no comment or literal syntax (no `/ " ' #`).
+const PLAIN: &[u8] = b"abcXYZ_09 \n\t(){}[];:,.<>=+*&|!%^-";
+
+/// Full printable ASCII plus newline — includes malformed and unterminated
+/// comment/literal syntax.
+const ANY: &[u8] = b" !\"#$%&'()*+,-./0123456789:;<=>?@AZ[\\]^_`az{|}~\n";
+
+fn string_from(alphabet: &[u8], picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| alphabet[i % alphabet.len()] as char)
+        .collect()
+}
+
+proptest! {
+    /// On sources free of comment and literal syntax both blanking
+    /// implementations are the identity, so they must agree byte for byte.
+    #[test]
+    fn blanking_matches_reference_on_plain_code(
+        picks in collection::vec(0usize..PLAIN.len(), 0..200)
+    ) {
+        let src = string_from(PLAIN, &picks);
+        prop_assert_eq!(blank_noncode(&src), reference_blank(&src));
+    }
+
+    /// On arbitrary printable ASCII (including malformed and unterminated
+    /// literals) blanking preserves length and keeps every newline in
+    /// place, so line numbers computed on the blanked view stay valid.
+    #[test]
+    fn blanking_preserves_geometry(
+        picks in collection::vec(0usize..ANY.len(), 0..200)
+    ) {
+        let src = string_from(ANY, &picks);
+        let blanked = blank_noncode(&src);
+        prop_assert_eq!(blanked.len(), src.len());
+        for (a, b) in src.bytes().zip(blanked.bytes()) {
+            prop_assert_eq!(a == b'\n', b == b'\n');
+        }
+    }
+
+    /// A line comment's body never survives blanking, wherever it lands.
+    #[test]
+    fn comment_bodies_never_survive(
+        code in collection::vec(0usize..PLAIN.len(), 0..80),
+        tail in collection::vec(0usize..PLAIN.len(), 0..40)
+    ) {
+        let code = string_from(PLAIN, &code);
+        let tail = string_from(PLAIN, &tail).replace('\n', " ");
+        let src = format!("{code}\n// SENTINEL{tail}\n");
+        prop_assert!(!blank_noncode(&src).contains("SENTINEL"));
+    }
+
+    /// Lexing covers the source: token spans are in order, never overlap,
+    /// never extend past the end, and anything between them is whitespace.
+    #[test]
+    fn token_spans_tile_the_source(
+        picks in collection::vec(0usize..ANY.len(), 0..200)
+    ) {
+        let src = string_from(ANY, &picks);
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "overlapping spans");
+            prop_assert!(t.end <= src.len());
+            prop_assert!(
+                src[prev_end..t.start].bytes().all(|b| b.is_ascii_whitespace()),
+                "non-whitespace between tokens"
+            );
+            prop_assert!(t.end > t.start, "zero-width token");
+            prev_end = t.end;
+        }
+    }
+}

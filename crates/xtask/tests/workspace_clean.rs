@@ -82,10 +82,30 @@ struct Shared { cache: Rc<RefCell<Vec<u8>>> }\n";
 }
 
 #[test]
-fn inline_escape_survives_rustfmt_comment_motion() {
-    // rustfmt may move a trailing escape comment onto its own line; the
-    // escape must keep covering the adjacent flagged line.
-    let fixture = "\
+fn inline_escape_is_statement_scoped() {
+    // rustfmt keeps a standalone escape comment directly above the
+    // statement it annotates; that placement must cover the statement —
+    // and ONLY that statement. The old line-adjacency slop let an escape
+    // placed after a flagged line suppress it retroactively, and let one
+    // escape bleed onto its neighbors.
+    let covered = "\
+fn pick(&self) {\n\
+    // physics-lint: allow(expect): invariant established at construction\n\
+    let v = self.opt.expect(\"set\");\n\
+    drop(v);\n\
+}\n";
+    let violations = scan_source(
+        Path::new("crates/circuit/src/seeded_fixture.rs"),
+        covered,
+        true,
+        true,
+        true,
+        &shipped_allow_list(),
+    );
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // The same escape placed after the statement covers nothing before it.
+    let trailing_line = "\
 fn pick(&self) {\n\
     let v = self.opt.expect(\"set\");\n\
     // physics-lint: allow(expect): invariant established at construction\n\
@@ -93,11 +113,13 @@ fn pick(&self) {\n\
 }\n";
     let violations = scan_source(
         Path::new("crates/circuit/src/seeded_fixture.rs"),
-        fixture,
+        trailing_line,
         true,
         true,
         true,
         &shipped_allow_list(),
     );
-    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::Expect);
+    assert_eq!(violations[0].line, 2);
 }
