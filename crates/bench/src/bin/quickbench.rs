@@ -21,7 +21,10 @@
 use std::time::Instant;
 
 use rand::SeedableRng;
-use solarml::fleet::{run_campaign, CampaignConfig, FleetReport};
+use solarml::fleet::{
+    resume_campaign, run_campaign, run_campaign_durable, CampaignCheckpoints, CampaignConfig,
+    CampaignError, FleetReport,
+};
 use solarml::nas::parallel::available_workers;
 use solarml::nn::layers::Conv2d;
 use solarml::nn::reference;
@@ -198,6 +201,73 @@ fn timed_fleet(workers: usize, reps: usize) -> (u128, FleetReport) {
     )
 }
 
+/// Peak resident set size of this process in kibibytes, from
+/// `/proc/self/status` `VmHWM`; 0 where the proc filesystem is absent.
+/// A high-water mark, so it bounds the streaming stage from above: the
+/// campaign's merge tree holds O(log nodes) partial aggregates, and this
+/// number is how the trajectory would show an O(n) materialization
+/// sneaking back in.
+fn peak_rss_kib() -> u64 {
+    if cfg!(target_os = "linux") {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+/// The 1M-class streaming stage, scaled to bench time: times an
+/// uninterrupted durable campaign for throughput, then kills a second run
+/// at mid-campaign via the harness hook and resumes it on a different
+/// worker count — the resumed report must match the uninterrupted one
+/// byte-for-byte.
+fn timed_stream(nodes: usize) -> (u128, f64, bool) {
+    let mut cfg = CampaignConfig::smoke(nodes, 0x57AE);
+    cfg.workers = 1;
+    let scratch = std::env::temp_dir().join(format!("solarml-bench-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let checkpoints = |dir: &std::path::Path| {
+        let mut ckpt = CampaignCheckpoints::new(dir);
+        ckpt.every_nodes = (nodes as u64 / 8).max(1);
+        ckpt
+    };
+
+    let durable_dir = scratch.join("durable");
+    std::fs::create_dir_all(&durable_dir).expect("bench scratch dir");
+    let start = Instant::now();
+    let baseline =
+        run_campaign_durable(&cfg, &checkpoints(&durable_dir)).expect("uninterrupted durable run");
+    let elapsed_ns = start.elapsed().as_nanos();
+    let node_days_per_sec = nodes as f64 / (elapsed_ns as f64 / 1e9).max(1e-9);
+
+    let kill_dir = scratch.join("killed");
+    std::fs::create_dir_all(&kill_dir).expect("bench scratch dir");
+    let mut kill = checkpoints(&kill_dir);
+    kill.abort_after_nodes = Some(nodes as u64 / 2);
+    let aborted = matches!(
+        run_campaign_durable(&cfg, &kill),
+        Err(CampaignError::Aborted { .. })
+    );
+    let mut resumed_cfg = cfg.clone();
+    resumed_cfg.workers = 4;
+    let resume_identical = aborted
+        && resume_campaign(&resumed_cfg, &checkpoints(&kill_dir))
+            .is_ok_and(|r| r.to_json() == baseline.to_json());
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    (elapsed_ns, node_days_per_sec, resume_identical)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -276,6 +346,19 @@ fn main() {
     let fleet_nodes_per_sec = 64.0 / (fleet_4w_ns.min(fleet_1w_ns) as f64 / 1e9).max(1e-9);
     let fleet_max_residual_nj = fleet_1w.aggregate.residual_nj_stat.max_or_zero();
 
+    // The streaming stage stands in for the million-node campaign the
+    // engine is built for, scaled to bench time: same code path
+    // (durable run, checkpoints, kill, resume), smaller node count.
+    let stream_nodes = if quick { 96 } else { 384 };
+    eprintln!("quickbench: {stream_nodes}-node durable streaming campaign + kill/resume…");
+    let (stream_ns, stream_node_days_per_sec, stream_resume_identical) = timed_stream(stream_nodes);
+    stages.push(Stage {
+        name: "fleet_campaign_stream_durable",
+        median_ns: stream_ns,
+        iters: 1,
+    });
+    let stream_peak_rss_kib = peak_rss_kib();
+
     let histories_identical = serial_outcome == parallel_outcome;
     let ratio = |num: &str, den: &str| -> f64 {
         let get = |n: &str| {
@@ -346,7 +429,17 @@ fn main() {
         "    \"fleet_max_residual_nj\": {fleet_max_residual_nj:.3},\n"
     ));
     json.push_str(&format!(
-        "    \"fleet_reports_identical\": {fleet_reports_identical}\n"
+        "    \"fleet_reports_identical\": {fleet_reports_identical},\n"
+    ));
+    json.push_str(&format!("    \"fleet_stream_nodes\": {stream_nodes},\n"));
+    json.push_str(&format!(
+        "    \"fleet_stream_node_days_per_sec\": {stream_node_days_per_sec:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_stream_peak_rss_kib\": {stream_peak_rss_kib},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_stream_resume_identical\": {stream_resume_identical}\n"
     ));
     json.push_str("  }\n}\n");
 
@@ -376,6 +469,10 @@ fn main() {
         eprintln!(
             "quickbench: ERROR — worst fleet ledger residual {fleet_max_residual_nj:.3} nJ > 1 nJ"
         );
+        std::process::exit(1);
+    }
+    if !stream_resume_identical {
+        eprintln!("quickbench: ERROR — killed-and-resumed streaming campaign diverges");
         std::process::exit(1);
     }
 }

@@ -23,6 +23,12 @@ pub struct Options {
     pub nodes: Option<usize>,
     /// `--out <path>`
     pub out: Option<String>,
+    /// `--checkpoint-dir <dir>`
+    pub checkpoint_dir: Option<String>,
+    /// `--checkpoint-every <node-days>`
+    pub checkpoint_every: Option<u64>,
+    /// `--resume`
+    pub resume: bool,
     /// `--full`
     pub full: bool,
 }
@@ -68,8 +74,26 @@ impl Options {
                     );
                 }
                 "--out" => opts.out = Some(take(&mut it, flag)?),
+                "--checkpoint-dir" => opts.checkpoint_dir = Some(take(&mut it, flag)?),
+                "--checkpoint-every" => {
+                    let raw: String = take(&mut it, flag)?;
+                    let every: u64 = raw
+                        .parse()
+                        .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?;
+                    if every == 0 {
+                        return Err(format!("{flag} must be at least 1 node-day"));
+                    }
+                    opts.checkpoint_every = Some(every);
+                }
+                "--resume" => opts.resume = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
+        }
+        if opts.resume && opts.checkpoint_dir.is_none() {
+            return Err("--resume requires --checkpoint-dir <dir>".to_string());
+        }
+        if opts.checkpoint_every.is_some() && opts.checkpoint_dir.is_none() {
+            return Err("--checkpoint-every requires --checkpoint-dir <dir>".to_string());
         }
         if let Some(task) = &opts.task {
             if task != "gesture" && task != "kws" {
@@ -148,6 +172,32 @@ mod tests {
         assert!(parse(&["--nodes", "-5"]).is_err());
         assert!(parse(&["--nodes", "many"]).is_err());
         assert!(parse(&["--out"]).is_err(), "--out needs a path");
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let opts = parse(&[
+            "--checkpoint-dir",
+            "ckpts",
+            "--checkpoint-every",
+            "64",
+            "--resume",
+        ])
+        .expect("valid");
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some("ckpts"));
+        assert_eq!(opts.checkpoint_every, Some(64));
+        assert!(opts.resume);
+    }
+
+    #[test]
+    fn rejects_checkpoint_flags_without_a_dir() {
+        let err = parse(&["--resume"]).expect_err("resume needs a dir");
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = parse(&["--checkpoint-every", "8"]).expect_err("cadence needs a dir");
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        assert!(parse(&["--checkpoint-dir"]).is_err(), "needs a value");
+        assert!(parse(&["--checkpoint-dir", "d", "--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["--checkpoint-dir", "d", "--checkpoint-every", "x"]).is_err());
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The CLI subcommands.
 
 use solarml::dsp::{AudioFrontendParams, GestureSensingParams, Resolution};
-use solarml::fleet::{run_campaign, CampaignConfig};
+use solarml::fleet::{
+    resume_campaign_verbose, run_campaign, run_campaign_durable, CampaignCheckpoints,
+    CampaignConfig,
+};
 use solarml::mcu::McuPowerModel;
 use solarml::nas::{run_enas, EnasConfig, TaskContext};
 use solarml::nn::{LayerSpec, ModelSpec, Padding, TrainConfig};
@@ -43,6 +46,9 @@ pub fn help() {
     println!("      --seed <n>          campaign seed         [0xF1EE7]");
     println!("      --workers <n>       sim threads, 0=auto   [auto]");
     println!("      --out <file>        write the FleetReport JSON");
+    println!("      --checkpoint-dir <d> crash-safe snapshots into <d>");
+    println!("      --checkpoint-every <n> snapshot cadence, node-days [4096]");
+    println!("      --resume            continue the campaign checkpointed in <d>");
 }
 
 /// `solarml detector`.
@@ -228,8 +234,33 @@ pub fn fleet(opts: &Options) -> Result<(), String> {
     if let Some(workers) = opts.workers {
         cfg.workers = workers;
     }
+    let checkpoints = opts.checkpoint_dir.as_ref().map(|dir| {
+        let mut ckpt = CampaignCheckpoints::new(dir);
+        if let Some(every) = opts.checkpoint_every {
+            ckpt.every_nodes = every;
+        }
+        ckpt
+    });
     let start = std::time::Instant::now();
-    let report = run_campaign(&cfg);
+    let report = match (&checkpoints, opts.resume) {
+        (None, _) => run_campaign(&cfg),
+        (Some(ckpt), false) => {
+            run_campaign_durable(&cfg, ckpt).map_err(|e| format!("fleet campaign: {e}"))?
+        }
+        (Some(ckpt), true) => {
+            let (report, resumed) =
+                resume_campaign_verbose(&cfg, ckpt).map_err(|e| format!("fleet resume: {e}"))?;
+            println!(
+                "resumed from {} node-days checkpointed in {}",
+                resumed.snapshot.nodes_done,
+                ckpt.dir.display()
+            );
+            for skipped in &resumed.skipped {
+                println!("  recomputing past corrupt snapshot: {skipped}");
+            }
+            report
+        }
+    };
     let elapsed = start.elapsed().as_secs_f64();
     let a = &report.aggregate;
 
@@ -265,6 +296,12 @@ pub fn fleet(opts: &Options) -> Result<(), String> {
         a.residual_nj_stat.max_or_zero(),
         a.residual_violations
     );
+    if !report.failed.is_empty() {
+        println!(
+            "  quarantined: {} node(s) panicked and were excluded (see failed_nodes)",
+            report.failed.len()
+        );
+    }
     println!(
         "  throughput: {:.1} nodes/sec ({elapsed:.2} s wall)",
         report.nodes as f64 / elapsed.max(1e-9)

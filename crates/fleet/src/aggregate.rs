@@ -17,6 +17,8 @@
 //! suite, and the campaign runner relies on it to give identical
 //! [`crate::report::FleetReport`]s at any worker count.
 
+use solarml_trace::bytes::{ByteReader, ByteWriter, CodecError};
+
 use crate::campaign::NodeSummary;
 
 /// Scale of the fixed-point accumulators: 10¹² counts per unit, i.e.
@@ -48,6 +50,16 @@ impl FixedPoint {
     /// Converts back to units (lossless up to f64 precision of the total).
     pub fn to_units(self) -> f64 {
         self.0 as f64 / FIXED_SCALE
+    }
+
+    /// Appends the raw `i128` count to a checkpoint payload.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.push_i128(self.0);
+    }
+
+    /// Reads a count written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self(r.read_i128()?))
     }
 }
 
@@ -125,6 +137,26 @@ impl StreamStat {
         } else {
             self.max
         }
+    }
+
+    /// Appends the stat to a checkpoint payload. Extrema travel as IEEE-754
+    /// bit patterns, so the empty sentinels (`±∞`), `-0.0`, and every other
+    /// value round-trip bit-exactly.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.push_u64(self.count);
+        self.sum.encode_into(w);
+        w.push_f64_bits(self.min.to_bits());
+        w.push_f64_bits(self.max.to_bits());
+    }
+
+    /// Reads a stat written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            count: r.read_u64()?,
+            sum: FixedPoint::decode_from(r)?,
+            min: f64::from_bits(r.read_f64_bits()?),
+            max: f64::from_bits(r.read_f64_bits()?),
+        })
     }
 }
 
@@ -228,6 +260,47 @@ impl Histogram {
     /// Samples that fell at or above the range.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Appends the histogram (shape and counts) to a checkpoint payload.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.push_f64_bits(self.lo.to_bits());
+        w.push_f64_bits(self.hi.to_bits());
+        w.push_u64(self.bins.len() as u64);
+        for &b in &self.bins {
+            w.push_u64(b);
+        }
+        w.push_u64(self.underflow);
+        w.push_u64(self.overflow);
+    }
+
+    /// Reads a histogram written by [`Self::encode_into`]. The declared
+    /// bin count is bounded by the bytes that remain, so a corrupted
+    /// length cannot trigger an oversized allocation.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let lo = f64::from_bits(r.read_f64_bits()?);
+        let hi = f64::from_bits(r.read_f64_bits()?);
+        let declared = r.read_u64()?;
+        let remaining = r.remaining();
+        let n = usize::try_from(declared)
+            .ok()
+            .filter(|&n| n <= remaining / 8)
+            .ok_or(CodecError::BadLength {
+                offset: r.position().saturating_sub(8),
+                declared,
+                remaining,
+            })?;
+        let mut bins = Vec::with_capacity(n);
+        for _ in 0..n {
+            bins.push(r.read_u64()?);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            bins,
+            underflow: r.read_u64()?,
+            overflow: r.read_u64()?,
+        })
     }
 }
 
@@ -372,6 +445,180 @@ impl FleetAggregate {
         self.residual_nj_stat.merge(&other.residual_nj_stat);
         self.accuracy.merge(&other.accuracy);
     }
+
+    /// Appends the whole rollup to a checkpoint payload, every field in
+    /// declaration order. Encoding the same rollup twice yields identical
+    /// bytes, which is what lets checkpoint parity be checked with `cmp`.
+    ///
+    /// The histogram shapes are compile-time constants of [`Self::new`];
+    /// changing them is a checkpoint format break and must bump
+    /// [`crate::checkpoint::CHECKPOINT_VERSION`].
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.push_u64(self.nodes);
+        w.push_u64(self.attempted);
+        w.push_u64(self.completed);
+        w.push_u64(self.abandoned);
+        w.push_u64(self.degraded);
+        w.push_u64(self.brownouts);
+        for &c in &self.env_counts {
+            w.push_u64(c);
+        }
+        for &c in &self.policy_counts {
+            w.push_u64(c);
+        }
+        w.push_u64(self.residual_violations);
+        self.completion_rate.encode_into(w);
+        self.dead_window_h.encode_into(w);
+        self.wasted_mj.encode_into(w);
+        self.residual_nj.encode_into(w);
+        self.completion_rate_stat.encode_into(w);
+        self.dead_window_s.encode_into(w);
+        self.harvested_j.encode_into(w);
+        self.consumed_j.encode_into(w);
+        self.wasted_j.encode_into(w);
+        self.residual_nj_stat.encode_into(w);
+        self.accuracy.encode_into(w);
+    }
+
+    /// Reads a rollup written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let nodes = r.read_u64()?;
+        let attempted = r.read_u64()?;
+        let completed = r.read_u64()?;
+        let abandoned = r.read_u64()?;
+        let degraded = r.read_u64()?;
+        let brownouts = r.read_u64()?;
+        let mut env_counts = [0u64; 3];
+        for c in &mut env_counts {
+            *c = r.read_u64()?;
+        }
+        let mut policy_counts = [0u64; 3];
+        for c in &mut policy_counts {
+            *c = r.read_u64()?;
+        }
+        Ok(Self {
+            nodes,
+            attempted,
+            completed,
+            abandoned,
+            degraded,
+            brownouts,
+            env_counts,
+            policy_counts,
+            residual_violations: r.read_u64()?,
+            completion_rate: Histogram::decode_from(r)?,
+            dead_window_h: Histogram::decode_from(r)?,
+            wasted_mj: Histogram::decode_from(r)?,
+            residual_nj: Histogram::decode_from(r)?,
+            completion_rate_stat: StreamStat::decode_from(r)?,
+            dead_window_s: StreamStat::decode_from(r)?,
+            harvested_j: StreamStat::decode_from(r)?,
+            consumed_j: StreamStat::decode_from(r)?,
+            wasted_j: StreamStat::decode_from(r)?,
+            residual_nj_stat: StreamStat::decode_from(r)?,
+            accuracy: StreamStat::decode_from(r)?,
+        })
+    }
+}
+
+/// A binary-counter fold of partial aggregates: O(log n) live memory for
+/// an n-partial stream, bit-identical to the sequential left-to-right
+/// fold.
+///
+/// Level `k` holds (at most) one aggregate covering `2^k` consecutive
+/// partials; pushing a new partial ripples like binary addition, always
+/// merging an *earlier* span with the *immediately following* one. Every
+/// merge therefore combines adjacent spans in stream order, and because
+/// [`FleetAggregate::merge`] is exactly associative, any such
+/// parenthesization — including [`Self::finish`]'s final sweep — equals
+/// the flat fold bit for bit. This is what lets a million-node campaign
+/// hold ~20 partial aggregates instead of a million node summaries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MergeTree {
+    /// `levels[k]` covers `2^k` partials when occupied; earlier spans live
+    /// at higher levels.
+    levels: Vec<Option<FleetAggregate>>,
+}
+
+impl MergeTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the next partial in stream order into the tree.
+    pub fn push(&mut self, partial: FleetAggregate) {
+        let mut carry = partial;
+        for level in &mut self.levels {
+            match level.take() {
+                None => {
+                    *level = Some(carry);
+                    return;
+                }
+                Some(mut earlier) => {
+                    // `earlier` covers the span just before `carry`:
+                    // merging earlier←carry preserves stream order.
+                    earlier.merge(&carry);
+                    carry = earlier;
+                }
+            }
+        }
+        self.levels.push(Some(carry));
+    }
+
+    /// Number of levels — the live-memory bound, ⌈log₂(partials)⌉ + 1.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Collapses the tree into the full-stream aggregate (earliest span
+    /// first; merge-with-empty is the pinned bit-exact identity, so the
+    /// empty accumulator is free).
+    pub fn finish(&self) -> FleetAggregate {
+        let mut acc = FleetAggregate::new();
+        for level in self.levels.iter().rev().flatten() {
+            acc.merge(level);
+        }
+        acc
+    }
+
+    /// Appends the tree to a checkpoint payload.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.push_u64(self.levels.len() as u64);
+        for level in &self.levels {
+            match level {
+                None => w.push_u8(0),
+                Some(agg) => {
+                    w.push_u8(1);
+                    agg.encode_into(w);
+                }
+            }
+        }
+    }
+
+    /// Reads a tree written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let declared = r.read_u64()?;
+        let remaining = r.remaining();
+        // Each level costs at least one occupancy byte, which bounds a
+        // corrupted count before any allocation happens.
+        let n = usize::try_from(declared)
+            .ok()
+            .filter(|&n| n <= remaining)
+            .ok_or(CodecError::BadLength {
+                offset: r.position().saturating_sub(8),
+                declared,
+                remaining,
+            })?;
+        let mut levels = Vec::with_capacity(n);
+        for _ in 0..n {
+            levels.push(match r.read_u8()? {
+                0 => None,
+                _ => Some(FleetAggregate::decode_from(r)?),
+            });
+        }
+        Ok(Self { levels })
+    }
 }
 
 #[cfg(test)]
@@ -481,5 +728,117 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.min_or_zero(), 0.0);
         assert_eq!(s.max_or_zero(), 0.0);
+    }
+
+    /// The aggregate's exact bytes, down to every extremum's sign bit —
+    /// `assert_eq!` on the struct would let `-0.0 == 0.0` slip through.
+    fn bits_of(agg: &FleetAggregate) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        agg.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn merge_with_empty_is_the_identity_bit_for_bit() {
+        let mut populated = FleetAggregate::new();
+        for i in 0..17 {
+            populated.record(&sample_node(i));
+        }
+        // A signed-zero extremum: the classic value struct equality would
+        // conflate with +0.0 if merge replaced instead of kept it.
+        let mut signed_zero = sample_node(99);
+        signed_zero.dead_window_s = -0.0;
+        populated.record(&signed_zero);
+        assert_eq!(populated.dead_window_s.min.to_bits(), (-0.0f64).to_bits());
+        let before = bits_of(&populated);
+
+        // populated ∪ ∅ — the zero-node chunk at a stream's tail.
+        let mut right = populated.clone();
+        right.merge(&FleetAggregate::new());
+        assert_eq!(bits_of(&right), before, "merging an empty partial in");
+
+        // ∅ ∪ populated — the empty accumulator a streaming fold starts
+        // from (MergeTree::finish leans on exactly this).
+        let mut left = FleetAggregate::new();
+        left.merge(&populated);
+        assert_eq!(bits_of(&left), before, "merging into an empty rollup");
+
+        // And the derived views the report publishes stay untouched.
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                right.wasted_mj.quantile(q).to_bits(),
+                populated.wasted_mj.quantile(q).to_bits()
+            );
+        }
+        assert_eq!(
+            right.dead_window_s.min_or_zero().to_bits(),
+            populated.dead_window_s.min_or_zero().to_bits()
+        );
+        assert_eq!(
+            right.harvested_j.max_or_zero().to_bits(),
+            populated.harvested_j.max_or_zero().to_bits()
+        );
+    }
+
+    #[test]
+    fn aggregate_codec_round_trips_bit_exactly() {
+        let mut agg = FleetAggregate::new();
+        for i in 0..23 {
+            agg.record(&sample_node(i));
+        }
+        let bytes = bits_of(&agg);
+        let mut r = ByteReader::new(&bytes);
+        let back = FleetAggregate::decode_from(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "decode must consume the payload");
+        assert_eq!(bits_of(&back), bytes);
+        // Empty aggregates (±∞ sentinels in every stat) round-trip too.
+        let empty_bytes = bits_of(&FleetAggregate::new());
+        let mut r = ByteReader::new(&empty_bytes);
+        let back = FleetAggregate::decode_from(&mut r).expect("decode empty");
+        assert_eq!(bits_of(&back), empty_bytes);
+    }
+
+    #[test]
+    fn merge_tree_equals_sequential_fold_at_logarithmic_depth() {
+        let mut sequential = FleetAggregate::new();
+        let mut tree = MergeTree::new();
+        for n in 0..1000 {
+            // Deliberately non-uniform "chunks": 1 or 3 nodes per partial.
+            let mut partial = FleetAggregate::new();
+            for i in 0..(1 + 2 * (n % 2)) {
+                let node = sample_node((n * 3 + i) as u64);
+                sequential.record(&node);
+                partial.record(&node);
+            }
+            tree.push(partial);
+        }
+        assert_eq!(bits_of(&tree.finish()), bits_of(&sequential));
+        // 1000 partials fit in ⌈log₂ 1000⌉ = 10 levels.
+        assert!(tree.depth() <= 10, "depth {} for 1000 pushes", tree.depth());
+    }
+
+    #[test]
+    fn merge_tree_codec_round_trips_and_resumes() {
+        let mut tree = MergeTree::new();
+        for n in 0..13u64 {
+            let mut partial = FleetAggregate::new();
+            partial.record(&sample_node(n));
+            tree.push(partial);
+        }
+        let mut w = ByteWriter::new();
+        tree.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut revived = MergeTree::decode_from(&mut r).expect("decode");
+        assert_eq!(revived, tree);
+        // Continuing to push after revival matches the uninterrupted tree.
+        let mut uninterrupted = tree.clone();
+        for n in 13..20u64 {
+            let mut partial = FleetAggregate::new();
+            partial.record(&sample_node(n));
+            uninterrupted.push(partial.clone());
+            revived.push(partial);
+        }
+        assert_eq!(bits_of(&revived.finish()), bits_of(&uninterrupted.finish()));
     }
 }

@@ -1,29 +1,62 @@
-//! The campaign runner: a fleet of simulated days fanned over worker
-//! threads, folded into one deterministic aggregate.
+//! The streaming campaign engine: lazily generated nodes fanned over
+//! worker threads, folded through an O(log n) merge tree, checkpointed to
+//! disk, and resumable bit-exactly after a crash.
 //!
 //! Each node's seed derives from the campaign seed with the same
 //! SplitMix64-finalizer splitting the NAS engine uses
 //! ([`solarml_nas::parallel::derive_seed`]) under a fleet-reserved cycle
 //! tag, so node streams never collide with NAS training streams even when
-//! both run from the same base seed. Nodes are simulated in chunks via the
-//! scoped-thread [`parallel_map`] pool (results return in input order at
-//! any worker count), each chunk folds sequentially into a partial
-//! [`FleetAggregate`], and the partials merge left-to-right. Because the
-//! aggregate's merge is exactly associative, the chunked/parallel fold and
-//! the fully sequential fold produce bit-identical results — the
-//! production path exercises the merge on every run, and the determinism
-//! suite pins it.
+//! both run from the same base seed. Nothing about a node exists before
+//! its chunk is simulated — the whole fleet is derivable from
+//! `(PopulationSpec, seed, index)` — so a million-node campaign holds
+//! one *wave* of chunk ranges plus the [`MergeTree`]'s ~⌈log₂ n⌉ partial
+//! aggregates, never an O(n) materialization.
+//!
+//! Three robustness layers ride on the exact associativity of
+//! [`FleetAggregate::merge`]:
+//!
+//! * **Streaming fold.** Chunks are simulated via the scoped-thread
+//!   [`parallel_map`] pool (results return in input order at any worker
+//!   count) and pushed into the merge tree in stream order; any
+//!   parenthesization of an associative fold is bit-identical, so the
+//!   report is invariant to workers, chunk size, wave size — and to where
+//!   a crash split the stream.
+//! * **Checkpoint/resume.** With [`CampaignCheckpoints`], the engine
+//!   periodically snapshots `(nodes_done, tree, failed)` via the
+//!   versioned, checksummed, atomically-written format in
+//!   [`crate::checkpoint`]. [`resume_campaign`] reloads the newest valid
+//!   snapshot — skipping corrupt ones, hard-erroring on a foreign spec —
+//!   and continues from node `nodes_done` as if nothing happened. The
+//!   `abort_after_nodes` hook turns any node count into a deterministic
+//!   kill point for the fault harness.
+//! * **Quarantine.** Each node simulates under `catch_unwind`: a panic
+//!   inside [`simulate_faulted_day`] becomes a [`FailedNode`] entry in
+//!   the report's `failed_nodes` section (message extracted with the same
+//!   [`panic_message`] reduction as [`solarml_nas::parallel::EvalPanic`])
+//!   and the campaign keeps going instead of dying at node 817,442.
 
-use solarml_nas::parallel::{derive_seed, effective_workers, parallel_map};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use solarml_nas::parallel::{derive_seed, effective_workers, panic_message, parallel_map};
 use solarml_platform::simulate_faulted_day;
 
-use crate::aggregate::FleetAggregate;
+use crate::aggregate::{FleetAggregate, MergeTree};
+use crate::checkpoint::{
+    campaign_fingerprint, has_snapshots, load_latest, write_snapshot, CampaignSnapshot,
+    CheckpointError, Resumed,
+};
 use crate::population::PopulationSpec;
 use crate::report::FleetReport;
 
 /// Cycle tag reserved for fleet node-seed derivation, keeping fleet
 /// streams disjoint from NAS evaluation streams at the same base seed.
 pub const FLEET_SEED_CYCLE: usize = 0xF1EE7;
+
+/// Waves per pool dispatch, in chunks per worker: each `parallel_map`
+/// call covers `workers × chunk × WAVE_CHUNKS_PER_WORKER` nodes, enough
+/// to amortize pool wakeup while keeping live range state O(workers).
+const WAVE_CHUNKS_PER_WORKER: usize = 4;
 
 /// A fleet campaign: how many nodes, from which population, on how many
 /// workers.
@@ -63,6 +96,94 @@ impl CampaignConfig {
             ..Self::new(nodes, seed)
         }
     }
+}
+
+/// Durability policy for a campaign: where snapshots go and how often.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoints {
+    /// Directory snapshots are written into (created if missing).
+    pub dir: PathBuf,
+    /// Checkpoint cadence in node-days. Snapshots land on the first wave
+    /// boundary at or past each multiple, so this bounds recomputation
+    /// after a crash to roughly one cadence plus one wave.
+    pub every_nodes: u64,
+    /// Snapshots retained on disk (older ones are pruned best-effort).
+    /// Keeping a few means a corrupted newest file only costs the range
+    /// back to the previous one.
+    pub keep: usize,
+    /// Fault-harness hook: checkpoint and abort (with
+    /// [`CampaignError::Aborted`]) once this many node-days are folded.
+    /// The wave is clipped to land *exactly* here, so tests can exercise
+    /// resume from arbitrary — including chunk-misaligned — kill points.
+    pub abort_after_nodes: Option<u64>,
+}
+
+impl CampaignCheckpoints {
+    /// Snapshots into `dir` every 4096 node-days, keeping the newest 3.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every_nodes: 4096,
+            keep: 3,
+            abort_after_nodes: None,
+        }
+    }
+}
+
+/// Why a durable campaign run stopped without a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// Snapshot persistence or resume failed; see the inner error.
+    Checkpoint(CheckpointError),
+    /// The [`CampaignCheckpoints::abort_after_nodes`] kill point fired —
+    /// state up to `nodes_done` is on disk and resumable.
+    Aborted {
+        /// Node-days folded (and checkpointed) before aborting.
+        nodes_done: u64,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "{e}"),
+            Self::Aborted { nodes_done } => {
+                write!(
+                    f,
+                    "campaign aborted at kill point after {nodes_done} node-days"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            Self::Aborted { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// A node whose day simulation panicked: quarantined, not fatal. Appears
+/// in the report's `failed_nodes` section and in checkpoints, so the
+/// quarantine survives crashes too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedNode {
+    /// Node index within the campaign.
+    pub node: usize,
+    /// The node's derived seed — enough to replay the failure in
+    /// isolation with [`simulate_node`].
+    pub seed: u64,
+    /// The panic message, reduced like [`solarml_nas::parallel::EvalPanic`].
+    pub message: String,
 }
 
 /// What one simulated node-day leaves behind — the only per-node state the
@@ -124,39 +245,216 @@ pub fn simulate_node(spec: &PopulationSpec, node: usize, seed: u64) -> NodeSumma
     }
 }
 
-/// Runs the whole campaign and returns its report.
+/// One chunk's outcome: its partial aggregate plus any quarantined nodes
+/// (in node order — `parallel_map` returns chunks in input order, so the
+/// concatenation across a wave stays sorted).
+fn simulate_chunk<F>(
+    cfg: &CampaignConfig,
+    sim: &F,
+    start: usize,
+    end: usize,
+) -> (FleetAggregate, Vec<FailedNode>)
+where
+    F: Fn(&PopulationSpec, usize, u64) -> NodeSummary + Sync,
+{
+    let mut partial = FleetAggregate::new();
+    let mut failed = Vec::new();
+    for node in start..end {
+        let seed = derive_seed(cfg.seed, FLEET_SEED_CYCLE, node);
+        match catch_unwind(AssertUnwindSafe(|| sim(&cfg.population, node, seed))) {
+            Ok(summary) => partial.record(&summary),
+            Err(payload) => failed.push(FailedNode {
+                node,
+                seed,
+                message: panic_message(payload),
+            }),
+        }
+    }
+    (partial, failed)
+}
+
+/// The streaming core shared by every entry point: fold nodes
+/// `resumed.nodes_done .. cfg.nodes` wave by wave into `resumed`'s tree.
+fn run_streaming<F>(
+    cfg: &CampaignConfig,
+    sim: &F,
+    ckpt: Option<&CampaignCheckpoints>,
+    resumed: CampaignSnapshot,
+) -> Result<FleetReport, CampaignError>
+where
+    F: Fn(&PopulationSpec, usize, u64) -> NodeSummary + Sync,
+{
+    let chunk = cfg.chunk.max(1);
+    let workers = effective_workers(cfg.workers);
+    let wave = chunk
+        .saturating_mul(workers)
+        .saturating_mul(WAVE_CHUNKS_PER_WORKER)
+        .max(chunk);
+
+    let CampaignSnapshot {
+        fingerprint,
+        nodes_done,
+        mut tree,
+        mut failed,
+    } = resumed;
+    let mut done = usize::try_from(nodes_done)
+        .unwrap_or(cfg.nodes)
+        .min(cfg.nodes);
+    let every = ckpt.map_or(u64::MAX, |c| c.every_nodes.max(1));
+    let mut next_snapshot = (done as u64 / every + 1).saturating_mul(every);
+
+    while done < cfg.nodes {
+        let mut wave_end = done.saturating_add(wave).min(cfg.nodes);
+        if let Some(kill) = ckpt.and_then(|c| c.abort_after_nodes) {
+            // Clip the wave so the kill point lands exactly, even inside
+            // what would have been a chunk.
+            let kill = usize::try_from(kill).unwrap_or(cfg.nodes);
+            if kill > done && kill < wave_end {
+                wave_end = kill;
+            }
+        }
+        let ranges: Vec<(usize, usize)> = (done..wave_end)
+            .step_by(chunk)
+            .map(|s| (s, s.saturating_add(chunk).min(wave_end)))
+            .collect();
+        let outcomes = parallel_map(workers, &ranges, |_, &(s, e)| {
+            simulate_chunk(cfg, sim, s, e)
+        });
+        for (partial, chunk_failed) in outcomes {
+            tree.push(partial);
+            failed.extend(chunk_failed);
+        }
+        done = wave_end;
+
+        if let Some(c) = ckpt {
+            let at_end = done == cfg.nodes;
+            let at_kill = !at_end && c.abort_after_nodes.is_some_and(|kill| done as u64 >= kill);
+            if at_end || at_kill || done as u64 >= next_snapshot {
+                let snapshot = CampaignSnapshot {
+                    fingerprint,
+                    nodes_done: done as u64,
+                    tree: tree.clone(),
+                    failed: failed.clone(),
+                };
+                write_snapshot(&c.dir, &snapshot, c.keep)?;
+                next_snapshot = (done as u64 / every + 1).saturating_mul(every);
+            }
+            if at_kill {
+                return Err(CampaignError::Aborted {
+                    nodes_done: done as u64,
+                });
+            }
+        }
+    }
+
+    Ok(FleetReport {
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+        aggregate: tree.finish(),
+        failed,
+    })
+}
+
+/// A fresh snapshot: nothing folded yet.
+fn fresh_state(cfg: &CampaignConfig) -> CampaignSnapshot {
+    CampaignSnapshot {
+        fingerprint: campaign_fingerprint(cfg),
+        nodes_done: 0,
+        tree: MergeTree::new(),
+        failed: Vec::new(),
+    }
+}
+
+/// Runs the whole campaign in memory and returns its report.
 ///
 /// Deterministic: the report depends only on `(cfg.nodes, cfg.seed,
 /// cfg.population)` — never on `workers`, `chunk`, machine, or wall clock.
 pub fn run_campaign(cfg: &CampaignConfig) -> FleetReport {
-    let chunk = cfg.chunk.max(1);
-    let workers = effective_workers(cfg.workers);
-    let ranges: Vec<(usize, usize)> = (0..cfg.nodes)
-        .step_by(chunk)
-        .map(|start| (start, (start + chunk).min(cfg.nodes)))
-        .collect();
+    run_campaign_with(cfg, &simulate_node)
+}
 
-    // Each work item folds its chunk sequentially into a partial
-    // aggregate; the partials come back in input order and merge
-    // left-to-right. Associativity makes the result chunking-independent.
-    let partials = parallel_map(workers, &ranges, |_, &(start, end)| {
-        let mut partial = FleetAggregate::new();
-        for node in start..end {
-            let seed = derive_seed(cfg.seed, FLEET_SEED_CYCLE, node);
-            partial.record(&simulate_node(&cfg.population, node, seed));
+/// [`run_campaign`] with the node simulation injected — the fault
+/// harness's seam for forcing per-node panics; production callers pass
+/// (or default to) [`simulate_node`].
+pub fn run_campaign_with<F>(cfg: &CampaignConfig, sim: &F) -> FleetReport
+where
+    F: Fn(&PopulationSpec, usize, u64) -> NodeSummary + Sync,
+{
+    match run_streaming(cfg, sim, None, fresh_state(cfg)) {
+        Ok(report) => report,
+        // No checkpointing, no kill hook: neither error source exists.
+        Err(_) => unreachable!("in-memory campaigns have no failure channel"),
+    }
+}
+
+/// Runs a fresh campaign with durable checkpoints.
+///
+/// Refuses (with [`CheckpointError::DirNotEmpty`]) to start over a
+/// directory that already holds snapshots — resuming and clobbering must
+/// both be explicit.
+pub fn run_campaign_durable(
+    cfg: &CampaignConfig,
+    ckpt: &CampaignCheckpoints,
+) -> Result<FleetReport, CampaignError> {
+    run_campaign_durable_with(cfg, ckpt, &simulate_node)
+}
+
+/// [`run_campaign_durable`] with the node simulation injected.
+pub fn run_campaign_durable_with<F>(
+    cfg: &CampaignConfig,
+    ckpt: &CampaignCheckpoints,
+    sim: &F,
+) -> Result<FleetReport, CampaignError>
+where
+    F: Fn(&PopulationSpec, usize, u64) -> NodeSummary + Sync,
+{
+    if has_snapshots(&ckpt.dir)? {
+        return Err(CheckpointError::DirNotEmpty {
+            dir: ckpt.dir.display().to_string(),
         }
-        partial
-    });
+        .into());
+    }
+    run_streaming(cfg, sim, Some(ckpt), fresh_state(cfg))
+}
 
-    let mut aggregate = FleetAggregate::new();
-    for partial in &partials {
-        aggregate.merge(partial);
-    }
-    FleetReport {
-        nodes: cfg.nodes,
-        seed: cfg.seed,
-        aggregate,
-    }
+/// Resumes an interrupted campaign from the newest valid snapshot in
+/// `ckpt.dir` and runs it to completion.
+///
+/// The final report is byte-identical to an uninterrupted run of the same
+/// config at any worker count or chunk size: the snapshot holds the
+/// stream's prefix fold, the engine replays only the suffix, and exact
+/// associativity does the rest. Corrupt snapshots are skipped (their
+/// range is recomputed); a snapshot from a different `(nodes, seed,
+/// population)` is a hard error.
+pub fn resume_campaign(
+    cfg: &CampaignConfig,
+    ckpt: &CampaignCheckpoints,
+) -> Result<FleetReport, CampaignError> {
+    resume_campaign_with(cfg, ckpt, &simulate_node)
+}
+
+/// [`resume_campaign`] with the node simulation injected.
+pub fn resume_campaign_with<F>(
+    cfg: &CampaignConfig,
+    ckpt: &CampaignCheckpoints,
+    sim: &F,
+) -> Result<FleetReport, CampaignError>
+where
+    F: Fn(&PopulationSpec, usize, u64) -> NodeSummary + Sync,
+{
+    let Resumed { snapshot, .. } = load_latest(&ckpt.dir, campaign_fingerprint(cfg))?;
+    run_streaming(cfg, sim, Some(ckpt), snapshot)
+}
+
+/// [`resume_campaign`] that also reports which corrupt snapshots were
+/// skipped on the way to the resume point (for operator-facing output).
+pub fn resume_campaign_verbose(
+    cfg: &CampaignConfig,
+    ckpt: &CampaignCheckpoints,
+) -> Result<(FleetReport, Resumed), CampaignError> {
+    let resumed = load_latest(&ckpt.dir, campaign_fingerprint(cfg))?;
+    let report = run_streaming(cfg, &simulate_node, Some(ckpt), resumed.snapshot.clone())?;
+    Ok((report, resumed))
 }
 
 #[cfg(test)]
@@ -190,5 +488,42 @@ mod tests {
         let parallel = run_campaign(&cfg);
         assert_eq!(sequential, parallel);
         assert_eq!(sequential.aggregate.nodes, 12);
+        assert!(sequential.failed.is_empty());
+    }
+
+    #[test]
+    fn panicking_nodes_are_quarantined_not_fatal() {
+        let mut cfg = CampaignConfig::smoke(10, 5);
+        cfg.chunk = 3;
+        let poison = |spec: &PopulationSpec, node: usize, seed: u64| {
+            assert!(node != 4 && node != 7, "injected fault at node {node}");
+            simulate_node(spec, node, seed)
+        };
+        let report = run_campaign_with(&cfg, &poison);
+        assert_eq!(report.aggregate.nodes, 8, "healthy nodes still folded");
+        assert_eq!(
+            report.failed.iter().map(|f| f.node).collect::<Vec<_>>(),
+            vec![4, 7],
+            "quarantine is in node order"
+        );
+        assert!(report.failed[0]
+            .message
+            .contains("injected fault at node 4"));
+        assert_eq!(
+            report.failed[0].seed,
+            derive_seed(cfg.seed, FLEET_SEED_CYCLE, 4),
+            "quarantine records the seed needed to replay the failure"
+        );
+        // Quarantine is deterministic across worker counts too.
+        let mut wide = cfg.clone();
+        wide.workers = 4;
+        assert_eq!(run_campaign_with(&wide, &poison), report);
+    }
+
+    #[test]
+    fn zero_node_campaign_reports_empty() {
+        let report = run_campaign(&CampaignConfig::smoke(0, 1));
+        assert_eq!(report.aggregate.nodes, 0);
+        assert!(report.failed.is_empty());
     }
 }

@@ -15,27 +15,41 @@
 //! 2. [`population`] — declared distributions over node parameters,
 //!    collapsed into per-node [`solarml_platform::IntermittentConfig`]s
 //!    from split seeds;
-//! 3. [`campaign`] — the runner: nodes fanned over the scoped-thread pool
-//!    in chunks, each day simulated on the `solarml-sim` scheduler with
-//!    the EnergyAudit ledger;
+//! 3. [`campaign`] — the streaming engine: lazily generated nodes fanned
+//!    over the scoped-thread pool in chunks, each day simulated on the
+//!    `solarml-sim` scheduler with the EnergyAudit ledger, panicking
+//!    nodes quarantined instead of fatal;
 //! 4. [`aggregate`] — exactly-associative streaming statistics (`i128`
-//!    fixed-point sums, `u64` histograms), so parallel merge equals
-//!    sequential fold bit for bit;
-//! 5. [`report`] — the byte-stable JSON [`FleetReport`].
+//!    fixed-point sums, `u64` histograms) folded through an O(log n)
+//!    [`MergeTree`], so parallel merge equals sequential fold bit for bit
+//!    at O(log nodes) memory;
+//! 5. [`checkpoint`] — versioned, checksummed, atomically-written
+//!    snapshots of the fold, so a killed campaign resumes byte-identically;
+//! 6. [`report`] — the byte-stable JSON [`FleetReport`].
 //!
-//! The headline invariant, pinned by `tests/determinism.rs`: a campaign's
-//! report is a pure function of `(nodes, seed, population)` — identical
-//! bytes at any worker count, chunk size, or repetition.
+//! The headline invariant, pinned by `tests/determinism.rs` and
+//! `tests/crash_resume.rs`: a campaign's report is a pure function of
+//! `(nodes, seed, population)` — identical bytes at any worker count,
+//! chunk size, repetition, or crash/resume schedule.
 
 pub mod aggregate;
 pub mod campaign;
+pub mod checkpoint;
 pub mod env;
 pub mod population;
 pub mod report;
 mod rng;
 
-pub use aggregate::{FleetAggregate, Histogram, StreamStat, RESIDUAL_TOLERANCE_NJ};
-pub use campaign::{run_campaign, CampaignConfig, NodeSummary, FLEET_SEED_CYCLE};
+pub use aggregate::{FleetAggregate, Histogram, MergeTree, StreamStat, RESIDUAL_TOLERANCE_NJ};
+pub use campaign::{
+    resume_campaign, resume_campaign_verbose, resume_campaign_with, run_campaign,
+    run_campaign_durable, run_campaign_durable_with, run_campaign_with, simulate_node,
+    CampaignCheckpoints, CampaignConfig, CampaignError, FailedNode, NodeSummary, FLEET_SEED_CYCLE,
+};
+pub use checkpoint::{
+    campaign_fingerprint, load_latest, write_snapshot, CampaignSnapshot, CheckpointError, Resumed,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use env::Environment;
 pub use population::{Dist, NodeBlueprint, PopulationSpec};
 pub use report::{FleetReport, FLEET_REPORT_SCHEMA};

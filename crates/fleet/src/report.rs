@@ -10,9 +10,11 @@
 use solarml_trace::JsonObject;
 
 use crate::aggregate::{FleetAggregate, Histogram, StreamStat, RESIDUAL_TOLERANCE_NJ};
+use crate::campaign::FailedNode;
 
-/// Schema tag stamped into every report.
-pub const FLEET_REPORT_SCHEMA: &str = "solarml-fleet-report/v1";
+/// Schema tag stamped into every report. v2 added the `failed_nodes`
+/// quarantine section.
+pub const FLEET_REPORT_SCHEMA: &str = "solarml-fleet-report/v2";
 
 /// Outcome of one fleet campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,8 +23,11 @@ pub struct FleetReport {
     pub nodes: usize,
     /// The campaign base seed.
     pub seed: u64,
-    /// The merged fleet-wide rollup.
+    /// The merged fleet-wide rollup (healthy nodes only).
     pub aggregate: FleetAggregate,
+    /// Nodes whose simulation panicked, quarantined instead of killing
+    /// the campaign; in node order.
+    pub failed: Vec<FailedNode>,
 }
 
 /// Renders one distribution section: exact-sum stats (scaled into the
@@ -80,6 +85,21 @@ impl FleetReport {
             .number("max_residual_nj", a.residual_nj_stat.max_or_zero())
             .number("mean_residual_nj", a.residual_nj_stat.mean());
 
+        let mut quarantine = JsonObject::new();
+        let indices: Vec<usize> = self.failed.iter().map(|f| f.node).collect();
+        let seeds = self
+            .failed
+            .iter()
+            .map(|f| f.seed.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let messages: Vec<&str> = self.failed.iter().map(|f| f.message.as_str()).collect();
+        quarantine
+            .count("count", self.failed.len())
+            .counts("indices", &indices)
+            .raw("seeds", format!("[{seeds}]"))
+            .strings("messages", &messages);
+
         let mut obj = JsonObject::new();
         obj.string("schema", FLEET_REPORT_SCHEMA)
             .count("nodes", self.nodes)
@@ -87,6 +107,7 @@ impl FleetReport {
             .number("mean_accuracy", a.accuracy.mean())
             .object("totals", totals)
             .object("composition", composition)
+            .object("failed_nodes", quarantine)
             .object(
                 "completion_rate",
                 distribution(&a.completion_rate, &a.completion_rate_stat, 1.0),
@@ -139,6 +160,7 @@ mod tests {
             nodes: 1,
             seed: 42,
             aggregate,
+            failed: Vec::new(),
         }
     }
 
@@ -147,11 +169,27 @@ mod tests {
         let report = tiny_report();
         let json = report.to_json();
         assert_eq!(json, report.to_json(), "rendering must be pure");
-        assert!(json.starts_with("{\n  \"schema\": \"solarml-fleet-report/v1\""));
+        assert!(json.starts_with("{\n  \"schema\": \"solarml-fleet-report/v2\""));
         assert!(!json.ends_with('\n'));
         assert!(json.contains("\"nodes\": 1"));
         assert!(json.contains("\"seed\": 42"));
         assert!(json.contains("\"violations\": 0"));
+        assert!(json.contains("\"failed_nodes\""));
+    }
+
+    #[test]
+    fn quarantined_nodes_render_with_replay_coordinates() {
+        let mut report = tiny_report();
+        report.failed.push(FailedNode {
+            node: 13,
+            seed: 18446744073709551615,
+            message: "dt went \"negative\"".to_string(),
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"indices\": [13]"));
+        assert!(json.contains("\"seeds\": [18446744073709551615]"));
+        assert!(json.contains("\"messages\": [\"dt went \\\"negative\\\"\"]"));
     }
 
     #[test]

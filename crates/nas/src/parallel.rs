@@ -166,7 +166,11 @@ impl std::fmt::Display for EvalPanic {
 impl std::error::Error for EvalPanic {}
 
 /// Extracts a printable message from a caught panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+///
+/// Public so other per-item isolation layers (the fleet campaign's
+/// per-node quarantine) reduce payloads to the same message format as
+/// [`EvalPanic`].
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

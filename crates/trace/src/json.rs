@@ -106,6 +106,21 @@ impl JsonObject {
         self.push(key, JsonValue::Raw(format!("[{items}]")))
     }
 
+    /// Adds an inline array of escaped strings (`["a", "b"]`).
+    pub fn strings(&mut self, key: &str, values: &[&str]) -> &mut Self {
+        let mut rendered = String::from("[");
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                rendered.push_str(", ");
+            }
+            rendered.push('"');
+            escape_into(&mut rendered, v);
+            rendered.push('"');
+        }
+        rendered.push(']');
+        self.push(key, JsonValue::Raw(rendered))
+    }
+
     /// Adds a pre-rendered value verbatim. The caller is responsible for it
     /// being valid single-line JSON (use this for integer types the typed
     /// builders do not cover, e.g. `u64`/`u128` via `.to_string()`).
@@ -248,11 +263,13 @@ mod tests {
             .counts("multi", &[1, 2, 3])
             .numbers("floats", &[0.5, 2.0])
             .flag("ok", true)
-            .raw("big", u64::MAX.to_string());
+            .raw("big", u64::MAX.to_string())
+            .strings("msgs", &["plain", "needs \"quotes\""]);
         assert_eq!(
             obj.render(),
             "{\n  \"empty\": [],\n  \"multi\": [1, 2, 3],\n  \"floats\": [0.5, 2],\n  \
-             \"ok\": true,\n  \"big\": 18446744073709551615\n}"
+             \"ok\": true,\n  \"big\": 18446744073709551615,\n  \
+             \"msgs\": [\"plain\", \"needs \\\"quotes\\\"\"]\n}"
         );
     }
 

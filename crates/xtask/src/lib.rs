@@ -82,6 +82,12 @@ pub enum ViolationKind {
     /// the `SimBus`/`EnergyAudit` ledger. Exactly the pattern that once let
     /// `endtoend` double-count harvest energy.
     LedgerCoverage,
+    /// A bare `fs::write(`/`File::create(` in a persistence crate outside
+    /// a registered atomic-write helper. A crash between `create` and the
+    /// final flush leaves a torn checkpoint that resume would then have to
+    /// distinguish from corruption; all durable bytes go through
+    /// `write_atomic` (temp sibling + fsync + rename).
+    AtomicPersist,
     /// A `physics-lint: allow(…)` escape with no `: reason` trailer, or
     /// naming a rule that does not exist. Escapes are reviewed decisions;
     /// an unexplained one is indistinguishable from a stale one.
@@ -106,6 +112,7 @@ impl ViolationKind {
             ViolationKind::Determinism => "determinism",
             ViolationKind::SeedDiscipline => "seed-discipline",
             ViolationKind::LedgerCoverage => "ledger-coverage",
+            ViolationKind::AtomicPersist => "atomic-persist",
             ViolationKind::AllowWithoutReason => "allow-without-reason",
             ViolationKind::MissingLintsTable => "missing-lints-table",
             ViolationKind::MissingWorkspaceLints => "missing-workspace-lints",

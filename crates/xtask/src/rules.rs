@@ -17,7 +17,12 @@
 //!   sites inventing `seed + i` and `seed ^ i` is how streams collide);
 //! * [`ledger-coverage`](ViolationKind::LedgerCoverage) — `+= … * dt`
 //!   side-channel integration outside `SimBus`/`EnergyAudit`, the exact
-//!   double-counting pattern the unified-scheduler refactor removed.
+//!   double-counting pattern the unified-scheduler refactor removed;
+//! * [`atomic-persist`](ViolationKind::AtomicPersist) — bare `fs::write` /
+//!   `File::create` in the persistence crates outside a registered
+//!   atomic-write helper (a crash mid-write leaves a torn checkpoint;
+//!   durable bytes go through `write_atomic`'s temp-sibling + fsync +
+//!   rename protocol).
 //!
 //! All three are lexical like the rest of the lint: they reason over the
 //! token stream from [`crate::lexer`], so a `HashMap` in a doc comment or a
@@ -46,6 +51,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "determinism",
     "seed-discipline",
     "ledger-coverage",
+    "atomic-persist",
 ];
 
 /// Methods whose receiver order is the hasher's iteration order.
@@ -81,7 +87,11 @@ pub fn scan_new_families(
     config: &ScanConfig,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
-    if !(rules.determinism || rules.seed_discipline || rules.ledger_coverage) {
+    if !(rules.determinism
+        || rules.seed_discipline
+        || rules.ledger_coverage
+        || rules.atomic_persist)
+    {
         return out;
     }
     let tokens = lexer::lex(src);
@@ -96,6 +106,9 @@ pub fn scan_new_families(
     }
     if rules.ledger_coverage {
         scan_ledger_coverage(rel, src, &tokens, &code, &tests, &mut out);
+    }
+    if rules.atomic_persist {
+        scan_atomic_persist(rel, src, &tokens, &code, &tests, config, &mut out);
     }
     out.sort_by_key(|v| v.line);
     out
@@ -554,6 +567,69 @@ fn scan_ledger_coverage(
     }
 }
 
+/// The atomic-persist rule: `fs::write(…)` and `File::create(…)` in
+/// non-test persistence code are torn-write hazards — a crash between the
+/// create and the final flush leaves a half-written file that checkpoint
+/// recovery must then treat as corruption. All durable bytes go through a
+/// registered atomic-write helper (`write_atomic`: temp sibling + fsync +
+/// rename), whose own body is exempt — the bare syscalls have to live
+/// *somewhere*, and the registry pins where.
+fn scan_atomic_persist(
+    rel: &Path,
+    src: &str,
+    tokens: &[Token],
+    code: &[Token],
+    tests: &[(usize, usize)],
+    config: &ScanConfig,
+    out: &mut Vec<Violation>,
+) {
+    let allowed = lexer::allow_spans(src, tokens, "atomic-persist");
+    let helper_bodies: Vec<(usize, usize)> = lexer::fn_items(src, tokens)
+        .into_iter()
+        .filter(|f| config.atomic_write_fns.iter().any(|m| m == &f.name))
+        .map(|f| f.body)
+        .collect();
+    let exempt = |pos: usize| {
+        in_regions(tests, pos) || in_regions(&helper_bodies, pos) || lexer::in_spans(&allowed, pos)
+    };
+    for i in 0..code.len() {
+        let t = &code[i];
+        let Some(name) = ident_text(src, Some(t)) else {
+            continue;
+        };
+        // `fs :: write (` / `File :: create (` — `::` lexes as two `:`
+        // puncts; the qualifier ident sits three tokens back either way
+        // (`std::fs::write` still has `fs` at i-3).
+        let qualifier = match name {
+            "write" => "fs",
+            "create" => "File",
+            _ => continue,
+        };
+        if !is_punct(src, code.get(i + 1), "(")
+            || !is_punct(src, code.get(i.wrapping_sub(1)), ":")
+            || !is_punct(src, code.get(i.wrapping_sub(2)), ":")
+            || ident_text(src, code.get(i.wrapping_sub(3))) != Some(qualifier)
+        {
+            continue;
+        }
+        if exempt(t.start) {
+            continue;
+        }
+        out.push(Violation {
+            file: rel.to_path_buf(),
+            line: t.line,
+            kind: ViolationKind::AtomicPersist,
+            detail: format!(
+                "`{qualifier}::{name}(…)` writes durable bytes non-atomically — a \
+                 crash mid-write leaves a torn file; route through \
+                 `solarml_trace::bytes::write_atomic` (temp sibling + fsync + \
+                 rename), or add \
+                 `// physics-lint: allow(atomic-persist): <reason>`"
+            ),
+        });
+    }
+}
+
 /// The allow-hygiene check: every `physics-lint: allow(<rule>)` escape must
 /// name a known rule and carry a `: <reason>` trailer. Runs on every
 /// scanned file regardless of which families apply — CI fails on any
@@ -626,6 +702,7 @@ mod tests {
             determinism: true,
             seed_discipline: true,
             ledger_coverage: true,
+            atomic_persist: true,
             ..RuleSet::default()
         }
     }
@@ -783,6 +860,37 @@ impl C {
         let vs = scan_new_families(Path::new("crates/t/src/lib.rs"), src, all_rules(), &cfg());
         assert_eq!(vs.len(), 1, "{vs:?}");
         assert_eq!(vs[0].line, 5, "only the un-annotated statement fires");
+    }
+
+    #[test]
+    fn bare_persistence_writes_are_flagged_reads_are_not() {
+        let torn = "fn save(p: &Path, b: &[u8]) -> io::Result<()> { std::fs::write(p, b) }";
+        assert_eq!(kinds(torn), vec![ViolationKind::AtomicPersist]);
+        let create = "fn open(p: &Path) -> io::Result<File> { File::create(p) }";
+        assert_eq!(kinds(create), vec![ViolationKind::AtomicPersist]);
+        let clean = "\
+fn load(p: &Path) -> io::Result<Vec<u8>> { fs::read(p) }
+fn tidy(p: &Path) -> io::Result<()> { fs::remove_file(p) }
+fn buffered(w: &mut impl Write, b: &[u8]) -> io::Result<()> { w.write(b).map(|_| ()) }
+";
+        assert!(kinds(clean).is_empty(), "{:?}", kinds(clean));
+    }
+
+    #[test]
+    fn registered_atomic_helper_bodies_are_exempt() {
+        let src = "\
+fn write_atomic(p: &Path, b: &[u8]) -> io::Result<()> {
+    let tmp = p.with_extension(\"tmp\");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(b)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, p)
+}
+fn sneaky(p: &Path, b: &[u8]) -> io::Result<()> { fs::write(p, b) }
+";
+        let vs = scan_new_families(Path::new("crates/t/src/lib.rs"), src, all_rules(), &cfg());
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].line, 8, "only the write outside the helper fires");
     }
 
     #[test]

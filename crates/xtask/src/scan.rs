@@ -53,6 +53,16 @@ pub struct ScanConfig {
     /// side-channel accumulators (rule `ledger-coverage`). The `sim` crate
     /// is exempt by omission: it is where `SimBus`/`EnergyAudit` live.
     pub ledger_crates: Vec<String>,
+    /// Crates holding persistence code (checkpoints, durable snapshots):
+    /// their non-test library code may not call `fs::write`/`File::create`
+    /// outside a registered atomic-write helper (rule `atomic-persist`).
+    /// A crash mid-write would leave a torn file that resume has to treat
+    /// as corruption.
+    pub persist_crates: Vec<String>,
+    /// Sanctioned atomic-write helper functions; their bodies are exempt
+    /// from the atomic-persist rule (the bare syscalls have to live
+    /// *somewhere*, and this registry pins where).
+    pub atomic_write_fns: Vec<String>,
     /// Registered cycle-tag constants: the only names whose use in seed
     /// arithmetic (and as `derive_seed` cycle arguments) is sanctioned.
     /// Registering a tag here is the reviewed act that reserves its stream.
@@ -100,6 +110,10 @@ impl ScanConfig {
             // regression-bootstrap helpers that never share streams.
             seed_crates: to_vec(&["sim", "circuit", "mcu", "platform", "fleet", "nas"]),
             ledger_crates: to_vec(&["circuit", "mcu", "platform", "fleet"]),
+            // The crates that own checkpoint bytes: `trace` holds the codec
+            // + `write_atomic`, `fleet` holds the campaign snapshots.
+            persist_crates: to_vec(&["fleet", "trace"]),
+            atomic_write_fns: to_vec(&["write_atomic"]),
             seed_tags: to_vec(&[
                 "FLEET_SEED_CYCLE",
                 "FAULT_STREAM_TAG",
@@ -673,6 +687,8 @@ pub struct RuleSet {
     pub seed_discipline: bool,
     /// ledger-coverage
     pub ledger_coverage: bool,
+    /// atomic-persist
+    pub atomic_persist: bool,
     /// fault-path (unwrap/expect everywhere, no escapes)
     pub fault_path: bool,
 }
@@ -717,6 +733,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
         .chain(config.determinism_crates.iter())
         .chain(config.seed_crates.iter())
         .chain(config.ledger_crates.iter())
+        .chain(config.persist_crates.iter())
         .collect();
     crates.sort();
     crates.dedup();
@@ -730,6 +747,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
             determinism: has(&config.determinism_crates),
             seed_discipline: has(&config.seed_crates),
             ledger_coverage: has(&config.ledger_crates),
+            atomic_persist: has(&config.persist_crates),
             fault_path: false, // fault-path scoping is per file, below
         };
         let src_dir = root.join("crates").join(name).join("src");

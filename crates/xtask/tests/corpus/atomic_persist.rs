@@ -1,0 +1,56 @@
+// lint-rules: atomic-persist
+//
+// Bare filesystem writes in persistence code. A crash between
+// `File::create` and the final flush leaves a torn checkpoint that
+// recovery must then treat as corruption; durable bytes go through the
+// registered `write_atomic` helper (temp sibling + fsync + rename),
+// whose own body is the one sanctioned home for the raw syscalls.
+
+use std::fs;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+pub fn torn_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    fs::write(path, bytes) //~ ERROR atomic-persist
+}
+
+pub fn torn_full_path(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    std::fs::write(path, bytes) //~ ERROR atomic-persist
+}
+
+pub fn torn_create(path: &Path) -> io::Result<File> {
+    File::create(path) //~ ERROR atomic-persist
+}
+
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    fs::rename(&tmp, path)
+}
+
+pub fn reads_and_removals_are_fine(path: &Path) -> io::Result<Vec<u8>> {
+    let bytes = fs::read(path)?;
+    fs::remove_file(path)?;
+    Ok(bytes)
+}
+
+pub fn writer_trait_calls_are_fine(sink: &mut dyn Write, bytes: &[u8]) -> io::Result<()> {
+    sink.write_all(bytes)
+}
+
+pub fn annotated_scratch(path: &Path) -> io::Result<()> {
+    // physics-lint: allow(atomic-persist): scratch file outside the checkpoint protocol
+    fs::write(path, b"scratch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub fn fixtures_may_write_directly(path: &Path) -> io::Result<()> {
+        fs::write(path, b"test scaffolding")
+    }
+}
