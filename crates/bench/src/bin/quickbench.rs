@@ -22,10 +22,10 @@ use std::time::Instant;
 
 use rand::SeedableRng;
 use solarml::fleet::{
-    resume_campaign, run_campaign, run_campaign_durable, CampaignCheckpoints, CampaignConfig,
-    CampaignError, FleetReport,
+    resume_campaign, run_campaign, run_campaign_cached, run_campaign_durable, CampaignCheckpoints,
+    CampaignConfig, CampaignError, FleetReport, NodeDayStore, NodeDayTask, Task, FLEET_SEED_CYCLE,
 };
-use solarml::nas::parallel::available_workers;
+use solarml::nas::parallel::{available_workers, derive_seed};
 use solarml::nn::layers::Conv2d;
 use solarml::nn::reference;
 use solarml::nn::{Padding, Tensor, TrainConfig};
@@ -268,6 +268,66 @@ fn timed_stream(nodes: usize) -> (u128, f64, bool) {
     (elapsed_ns, node_days_per_sec, resume_identical)
 }
 
+struct SweepBench {
+    cold_ns: u128,
+    warm_ns: u128,
+    hits: u64,
+    misses: u64,
+    affected: usize,
+    warm_identical: bool,
+}
+
+/// The incremental-sweep stage: a campaign cold into a fresh node-day
+/// store, then a one-parameter warm sweep (`ladder-share` 0.70 → 0.705 — a
+/// spec edit whose resolved-config blast radius is a handful of nodes at
+/// most) against the same store, and a from-scratch recompute of the edited
+/// spec for the byte-identity gate. The affected-node count is derived
+/// exactly, by diffing every node's content key between the two specs, so
+/// the warm run's miss count has a ground truth to match.
+fn timed_sweep(nodes: usize, workers: usize) -> SweepBench {
+    let mut cfg = CampaignConfig::smoke(nodes, 0xF1EE7);
+    cfg.workers = workers;
+    let scratch = std::env::temp_dir().join(format!("solarml-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let store = NodeDayStore::open(&scratch).expect("bench store opens in temp dir");
+
+    let start = Instant::now();
+    let _cold = run_campaign_cached(&cfg, &store);
+    let cold_ns = start.elapsed().as_nanos();
+
+    let mut warm_cfg = cfg.clone();
+    warm_cfg
+        .population
+        .set_param("ladder-share", 0.705)
+        .expect("ladder-share is a known population parameter");
+    let affected = (0..nodes)
+        .filter(|&node| {
+            let seed = derive_seed(cfg.seed, FLEET_SEED_CYCLE, node);
+            NodeDayTask::resolve(&cfg.population, node, seed).content_key()
+                != NodeDayTask::resolve(&warm_cfg.population, node, seed).content_key()
+        })
+        .count();
+
+    store.reset_stats();
+    let start = Instant::now();
+    let warm = run_campaign_cached(&warm_cfg, &store);
+    let warm_ns = start.elapsed().as_nanos();
+    let stats = store.stats();
+
+    let from_scratch = run_campaign(&warm_cfg);
+    let warm_identical = warm.to_json() == from_scratch.to_json();
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    SweepBench {
+        cold_ns,
+        warm_ns,
+        hits: stats.hits,
+        misses: stats.misses,
+        affected,
+        warm_identical,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -359,6 +419,24 @@ fn main() {
     });
     let stream_peak_rss_kib = peak_rss_kib();
 
+    let sweep_nodes = 64;
+    eprintln!("quickbench: {sweep_nodes}-node cold campaign + warm one-parameter sweep…");
+    let sweep = timed_sweep(sweep_nodes, 4);
+    stages.push(Stage {
+        name: "fleet_sweep_cold",
+        median_ns: sweep.cold_ns,
+        iters: 1,
+    });
+    stages.push(Stage {
+        name: "fleet_sweep_warm",
+        median_ns: sweep.warm_ns,
+        iters: 1,
+    });
+    let sweep_cold_node_days_per_sec = sweep_nodes as f64 / (sweep.cold_ns as f64 / 1e9).max(1e-9);
+    let sweep_hit_rate = sweep.hits as f64 / ((sweep.hits + sweep.misses) as f64).max(1.0);
+    let sweep_warm_speedup = sweep.cold_ns as f64 / (sweep.warm_ns as f64).max(1.0);
+    let sweep_miss_matches_affected = sweep.misses as usize == sweep.affected;
+
     let histories_identical = serial_outcome == parallel_outcome;
     let ratio = |num: &str, den: &str| -> f64 {
         let get = |n: &str| {
@@ -439,7 +517,27 @@ fn main() {
         "    \"fleet_stream_peak_rss_kib\": {stream_peak_rss_kib},\n"
     ));
     json.push_str(&format!(
-        "    \"fleet_stream_resume_identical\": {stream_resume_identical}\n"
+        "    \"fleet_stream_resume_identical\": {stream_resume_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_sweep_cold_node_days_per_sec\": {sweep_cold_node_days_per_sec:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_sweep_hit_rate\": {sweep_hit_rate:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_sweep_warm_speedup\": {sweep_warm_speedup:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_sweep_affected_nodes\": {},\n",
+        sweep.affected
+    ));
+    json.push_str(&format!(
+        "    \"fleet_sweep_miss_count_matches_affected\": {sweep_miss_matches_affected},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fleet_sweep_warm_identical\": {}\n",
+        sweep.warm_identical
     ));
     json.push_str("  }\n}\n");
 
@@ -473,6 +571,25 @@ fn main() {
     }
     if !stream_resume_identical {
         eprintln!("quickbench: ERROR — killed-and-resumed streaming campaign diverges");
+        std::process::exit(1);
+    }
+    if !sweep.warm_identical {
+        eprintln!("quickbench: ERROR — warm sweep report diverges from from-scratch recompute");
+        std::process::exit(1);
+    }
+    if !sweep_miss_matches_affected {
+        eprintln!(
+            "quickbench: ERROR — warm sweep recomputed {} node-days but the spec edit \
+             moved {} content keys (stale or over-invalidated cache)",
+            sweep.misses, sweep.affected
+        );
+        std::process::exit(1);
+    }
+    if sweep_warm_speedup < 50.0 {
+        eprintln!(
+            "quickbench: ERROR — warm sweep only {sweep_warm_speedup:.1}x faster than cold \
+             (floor: 50x)"
+        );
         std::process::exit(1);
     }
 }

@@ -31,6 +31,19 @@ pub struct Options {
     pub resume: bool,
     /// `--full`
     pub full: bool,
+    /// `--store-dir <dir>`: content-addressed node-day outcome store.
+    pub store_dir: Option<String>,
+    /// `--store-max-entries <n>`: GC bound on cached node-days.
+    pub store_max_entries: Option<usize>,
+    /// `--store-max-bytes <n>`: GC bound on the store's on-disk size.
+    pub store_max_bytes: Option<u64>,
+    /// `--param <name>`: population parameter to edit (see
+    /// `PopulationSpec::set_param` for the names).
+    pub param: Option<String>,
+    /// `--value <f64>`: the edited parameter's value (`fleet`).
+    pub value: Option<f64>,
+    /// `--values <v1,v2,...>`: one sweep variant per value (`fleet sweep`).
+    pub values: Option<Vec<f64>>,
 }
 
 impl Options {
@@ -86,6 +99,39 @@ impl Options {
                     opts.checkpoint_every = Some(every);
                 }
                 "--resume" => opts.resume = true,
+                "--store-dir" => opts.store_dir = Some(take(&mut it, flag)?),
+                "--store-max-entries" => {
+                    let raw: String = take(&mut it, flag)?;
+                    opts.store_max_entries = Some(
+                        raw.parse()
+                            .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?,
+                    );
+                }
+                "--store-max-bytes" => {
+                    let raw: String = take(&mut it, flag)?;
+                    opts.store_max_bytes = Some(
+                        raw.parse()
+                            .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?,
+                    );
+                }
+                "--param" => opts.param = Some(take(&mut it, flag)?),
+                "--value" => opts.value = Some(take_num(&mut it, flag)?),
+                "--values" => {
+                    let raw: String = take(&mut it, flag)?;
+                    let parsed: Result<Vec<f64>, String> = raw
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse()
+                                .map_err(|e| format!("{flag}: invalid number `{v}` ({e})"))
+                        })
+                        .collect();
+                    let parsed = parsed?;
+                    if parsed.is_empty() {
+                        return Err(format!("{flag} needs at least one value"));
+                    }
+                    opts.values = Some(parsed);
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -94,6 +140,29 @@ impl Options {
         }
         if opts.checkpoint_every.is_some() && opts.checkpoint_dir.is_none() {
             return Err("--checkpoint-every requires --checkpoint-dir <dir>".to_string());
+        }
+        if (opts.store_max_entries.is_some() || opts.store_max_bytes.is_some())
+            && opts.store_dir.is_none()
+        {
+            return Err(
+                "--store-max-entries/--store-max-bytes require --store-dir <dir>".to_string(),
+            );
+        }
+        if opts.store_dir.is_some() && opts.checkpoint_dir.is_some() {
+            return Err(
+                "--store-dir and --checkpoint-dir are mutually exclusive (the store already \
+                 makes reruns cheap; checkpoints protect a single long run)"
+                    .to_string(),
+            );
+        }
+        if opts.value.is_some() && opts.param.is_none() {
+            return Err("--value requires --param <name>".to_string());
+        }
+        if opts.values.is_some() && opts.param.is_none() {
+            return Err("--values requires --param <name>".to_string());
+        }
+        if opts.value.is_some() && opts.values.is_some() {
+            return Err("--value and --values are mutually exclusive".to_string());
         }
         if let Some(task) = &opts.task {
             if task != "gesture" && task != "kws" {
@@ -198,6 +267,58 @@ mod tests {
         assert!(parse(&["--checkpoint-dir"]).is_err(), "needs a value");
         assert!(parse(&["--checkpoint-dir", "d", "--checkpoint-every", "0"]).is_err());
         assert!(parse(&["--checkpoint-dir", "d", "--checkpoint-every", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_store_and_sweep_flags() {
+        let opts = parse(&[
+            "--store-dir",
+            "cache",
+            "--store-max-entries",
+            "512",
+            "--store-max-bytes",
+            "65536",
+            "--param",
+            "office-peak-hi",
+            "--values",
+            "700, 800,900",
+        ])
+        .expect("valid");
+        assert_eq!(opts.store_dir.as_deref(), Some("cache"));
+        assert_eq!(opts.store_max_entries, Some(512));
+        assert_eq!(opts.store_max_bytes, Some(65536));
+        assert_eq!(opts.param.as_deref(), Some("office-peak-hi"));
+        assert_eq!(opts.values, Some(vec![700.0, 800.0, 900.0]));
+
+        let opts = parse(&[
+            "--store-dir",
+            "cache",
+            "--param",
+            "ladder-share",
+            "--value",
+            "0.5",
+        ])
+        .expect("valid");
+        assert_eq!(opts.value, Some(0.5));
+    }
+
+    #[test]
+    fn rejects_inconsistent_store_and_sweep_flags() {
+        let err = parse(&["--store-max-entries", "9"]).expect_err("needs a dir");
+        assert!(err.contains("--store-dir"), "{err}");
+        let err = parse(&["--store-max-bytes", "9"]).expect_err("needs a dir");
+        assert!(err.contains("--store-dir"), "{err}");
+        let err = parse(&["--store-dir", "s", "--checkpoint-dir", "c"])
+            .expect_err("store and checkpoints are exclusive");
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse(&["--value", "1.0"]).expect_err("value needs param");
+        assert!(err.contains("--param"), "{err}");
+        let err = parse(&["--values", "1,2"]).expect_err("values need param");
+        assert!(err.contains("--param"), "{err}");
+        assert!(parse(&["--param", "x", "--value", "1", "--values", "2"]).is_err());
+        assert!(parse(&["--param", "x", "--values", "1,oops"]).is_err());
+        assert!(parse(&["--param", "x", "--values", ""]).is_err());
+        assert!(parse(&["--store-max-entries", "none"]).is_err());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use solarml::dsp::{AudioFrontendParams, GestureSensingParams, Resolution};
 use solarml::fleet::{
-    resume_campaign_verbose, run_campaign, run_campaign_durable, CampaignCheckpoints,
-    CampaignConfig,
+    resume_campaign_verbose, run_campaign, run_campaign_cached, run_campaign_durable, run_sweep,
+    CacheStats, CampaignCheckpoints, CampaignConfig, NodeDayStore, StoreGc, SweepVariant,
 };
 use solarml::mcu::McuPowerModel;
 use solarml::nas::{run_enas, EnasConfig, TaskContext};
@@ -49,6 +49,15 @@ pub fn help() {
     println!("      --checkpoint-dir <d> crash-safe snapshots into <d>");
     println!("      --checkpoint-every <n> snapshot cadence, node-days [4096]");
     println!("      --resume            continue the campaign checkpointed in <d>");
+    println!("      --store-dir <d>     replay cached node-days from <d>, compute the rest");
+    println!("      --store-max-entries <n> / --store-max-bytes <n>  GC bounds on the store");
+    println!("      --param <p> --value <v>  edit one population parameter before running");
+    println!("  fleet sweep             N spec variants against one node-day store");
+    println!("      --store-dir <d>     required: shared outcome store");
+    println!("      --param <p>         population parameter to sweep");
+    println!("      --values <v1,v2,..> one campaign per value, warm after the first");
+    println!("      --nodes/--seed/--workers/--out as for fleet");
+    println!("      --out <file>        newline-delimited FleetReport JSON, variant order");
 }
 
 /// `solarml detector`.
@@ -228,12 +237,53 @@ pub fn day(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `solarml fleet`.
-pub fn fleet(opts: &Options) -> Result<(), String> {
+/// Builds the campaign config shared by `fleet` and `fleet sweep`,
+/// applying any `--param`/`--value` edit.
+fn fleet_config(opts: &Options) -> Result<CampaignConfig, String> {
     let mut cfg = CampaignConfig::new(opts.nodes.unwrap_or(64), opts.seed.unwrap_or(0xF1EE7));
     if let Some(workers) = opts.workers {
         cfg.workers = workers;
     }
+    if let Some(param) = &opts.param {
+        if let Some(value) = opts.value {
+            cfg.population
+                .set_param(param, value)
+                .map_err(|e| format!("--param: {e}"))?;
+        }
+    }
+    Ok(cfg)
+}
+
+/// Opens the `--store-dir` store with the requested GC bounds; store
+/// trouble (foreign version, corrupt meta, file in the way) surfaces as
+/// the typed error's message before any simulation starts.
+fn open_store(opts: &Options, dir: &str) -> Result<NodeDayStore, String> {
+    let gc = StoreGc {
+        max_entries: opts.store_max_entries.unwrap_or(usize::MAX),
+        max_bytes: opts.store_max_bytes.unwrap_or(u64::MAX),
+    };
+    NodeDayStore::open_with(dir, gc).map_err(|e| format!("fleet store: {e}"))
+}
+
+/// The cache-stats line, format-stable for scripts and CI:
+/// `  cache: H hits, M misses (C corrupt), E evictions, B bytes`.
+fn print_cache_stats(stats: &CacheStats) {
+    println!(
+        "  cache: {} hits, {} misses ({} corrupt), {} evictions, {} bytes",
+        stats.hits, stats.misses, stats.corrupt, stats.evictions, stats.bytes
+    );
+}
+
+/// `solarml fleet`.
+pub fn fleet(opts: &Options) -> Result<(), String> {
+    let cfg = fleet_config(opts)?;
+    if opts.param.is_some() && opts.value.is_none() {
+        return Err("fleet needs --value <v> with --param (use `fleet sweep` for --values)".into());
+    }
+    let store = match &opts.store_dir {
+        Some(dir) => Some(open_store(opts, dir)?),
+        None => None,
+    };
     let checkpoints = opts.checkpoint_dir.as_ref().map(|dir| {
         let mut ckpt = CampaignCheckpoints::new(dir);
         if let Some(every) = opts.checkpoint_every {
@@ -242,12 +292,13 @@ pub fn fleet(opts: &Options) -> Result<(), String> {
         ckpt
     });
     let start = std::time::Instant::now();
-    let report = match (&checkpoints, opts.resume) {
-        (None, _) => run_campaign(&cfg),
-        (Some(ckpt), false) => {
+    let report = match (&store, &checkpoints, opts.resume) {
+        (Some(store), _, _) => run_campaign_cached(&cfg, store),
+        (None, None, _) => run_campaign(&cfg),
+        (None, Some(ckpt), false) => {
             run_campaign_durable(&cfg, ckpt).map_err(|e| format!("fleet campaign: {e}"))?
         }
-        (Some(ckpt), true) => {
+        (None, Some(ckpt), true) => {
             let (report, resumed) =
                 resume_campaign_verbose(&cfg, ckpt).map_err(|e| format!("fleet resume: {e}"))?;
             println!(
@@ -306,6 +357,10 @@ pub fn fleet(opts: &Options) -> Result<(), String> {
         "  throughput: {:.1} nodes/sec ({elapsed:.2} s wall)",
         report.nodes as f64 / elapsed.max(1e-9)
     );
+    if let Some(store) = &store {
+        store.run_gc().map_err(|e| format!("fleet store gc: {e}"))?;
+        print_cache_stats(&store.stats());
+    }
 
     if let Some(path) = &opts.out {
         let json = report.to_json() + "\n";
@@ -313,4 +368,189 @@ pub fn fleet(opts: &Options) -> Result<(), String> {
         println!("  wrote {path}");
     }
     Ok(())
+}
+
+/// `solarml fleet sweep`: one campaign per `--values` entry, all sharing
+/// the `--store-dir` outcome store — the first variant pays cold, later
+/// variants recompute only the nodes their parameter edit actually
+/// reaches.
+pub fn fleet_sweep(opts: &Options) -> Result<(), String> {
+    let dir = opts
+        .store_dir
+        .as_ref()
+        .ok_or("fleet sweep requires --store-dir <dir>")?;
+    let param = opts
+        .param
+        .as_ref()
+        .ok_or("fleet sweep requires --param <name>")?;
+    let values = opts
+        .values
+        .as_ref()
+        .ok_or("fleet sweep requires --values <v1,v2,...>")?;
+
+    let cfg = fleet_config(opts)?;
+    let variants: Vec<SweepVariant> = values
+        .iter()
+        .map(|&value| {
+            let mut population = cfg.population.clone();
+            population
+                .set_param(param, value)
+                .map_err(|e| format!("--param: {e}"))?;
+            Ok(SweepVariant {
+                name: format!("{param}={value}"),
+                population,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    let store = open_store(opts, dir)?;
+
+    println!(
+        "fleet sweep: {} variants of {} over {} node-days (seed {:#x}, store {dir})",
+        variants.len(),
+        param,
+        cfg.nodes,
+        cfg.seed
+    );
+    let start = std::time::Instant::now();
+    let reports = run_sweep(&cfg, &variants, &store).map_err(|e| format!("fleet sweep: {e}"))?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut json = String::new();
+    for variant in &reports {
+        let a = &variant.report.aggregate;
+        println!(
+            "  {}: completion mean {:.3}, dead window mean {:.2} h, {} quarantined",
+            variant.name,
+            a.completion_rate_stat.mean(),
+            a.dead_window_s.mean() / 3600.0,
+            variant.report.failed.len()
+        );
+        print_cache_stats(&variant.stats);
+        json.push_str(&variant.report.to_json());
+        json.push('\n');
+    }
+    // Final line covers the whole sweep (evictions land after the last
+    // variant; the store gauge is the post-GC size).
+    print_cache_stats(&store.stats());
+    println!(
+        "  throughput: {:.1} node-days/sec ({elapsed:.2} s wall)",
+        (cfg.nodes * reports.len()) as f64 / elapsed.max(1e-9)
+    );
+
+    if let Some(path) = &opts.out {
+        std::fs::write(path, json).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("solarml-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    /// Options that would run a campaign if the error path under test
+    /// didn't fire first — tiny, so an accidental pass stays cheap.
+    fn fleet_opts(store_dir: &std::path::Path) -> Options {
+        Options {
+            nodes: Some(1),
+            store_dir: Some(store_dir.display().to_string()),
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn fleet_rejects_a_file_as_store_dir_with_a_typed_message() {
+        let path = tmp("file-store");
+        std::fs::write(&path, b"occupied").expect("write");
+        let err = fleet(&fleet_opts(&path)).expect_err("file as store dir");
+        assert!(err.contains("not a directory"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fleet_rejects_a_foreign_version_store_with_a_typed_message() {
+        let dir = tmp("foreign-store");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // A meta stamp from a hypothetical newer build: magic ok,
+        // version 999, checksum valid — so only the version check fires.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SLNDSTOR");
+        bytes.extend_from_slice(&999u32.to_le_bytes());
+        let checksum = solarml::trace::fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        std::fs::write(dir.join("store.meta"), &bytes).expect("write meta");
+        let err = fleet(&fleet_opts(&dir)).expect_err("foreign version");
+        assert!(err.contains("store format v999"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_rejects_a_corrupt_store_meta_with_a_typed_message() {
+        let dir = tmp("corrupt-meta");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("store.meta"), b"definitely not a meta stamp").expect("write meta");
+        let err = fleet(&fleet_opts(&dir)).expect_err("corrupt meta");
+        assert!(
+            err.contains("malformed") || err.contains("bad magic"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_rejects_unknown_population_parameters() {
+        let opts = Options {
+            nodes: Some(1),
+            param: Some("flux-capacitor".into()),
+            value: Some(1.21),
+            ..Options::default()
+        };
+        let err = fleet(&opts).expect_err("unknown parameter");
+        assert!(err.contains("unknown population parameter"), "{err}");
+        let err = fleet_sweep(&Options {
+            store_dir: Some(tmp("sweep-unknown").display().to_string()),
+            param: Some("flux-capacitor".into()),
+            values: Some(vec![1.21]),
+            nodes: Some(1),
+            ..Options::default()
+        })
+        .expect_err("unknown parameter");
+        assert!(err.contains("unknown population parameter"), "{err}");
+    }
+
+    #[test]
+    fn fleet_sweep_requires_its_flags() {
+        let err = fleet_sweep(&Options::default()).expect_err("no store");
+        assert!(err.contains("--store-dir"), "{err}");
+        let err = fleet_sweep(&Options {
+            store_dir: Some("somewhere".into()),
+            ..Options::default()
+        })
+        .expect_err("no param");
+        assert!(err.contains("--param"), "{err}");
+        let err = fleet_sweep(&Options {
+            store_dir: Some("somewhere".into()),
+            param: Some("ladder-share".into()),
+            ..Options::default()
+        })
+        .expect_err("no values");
+        assert!(err.contains("--values"), "{err}");
+    }
+
+    #[test]
+    fn fleet_with_param_but_no_value_points_at_sweep() {
+        let err = fleet(&Options {
+            param: Some("ladder-share".into()),
+            ..Options::default()
+        })
+        .expect_err("param without value");
+        assert!(err.contains("fleet sweep"), "{err}");
+    }
 }

@@ -8,7 +8,10 @@
 //! solarml harvest [--budget-uj E]       harvesting times at 250/500/1000 lux
 //! solarml day [--budget-mj E]           24-hour interaction simulation
 //! solarml fleet [--nodes N] [--seed S] [--workers W] [--out FILE]
+//!               [--store-dir D] [--param P --value V]
 //!                                       population campaign with aggregate report
+//! solarml fleet sweep --store-dir D --param P --values V1,V2,..
+//!                                       spec variants against one node-day store
 //! solarml help                          this text
 //! ```
 
@@ -23,6 +26,13 @@ fn main() -> ExitCode {
         commands::help();
         return ExitCode::SUCCESS;
     };
+    // `fleet sweep` is the one two-word command: shift the subcommand out
+    // of the flag list before parsing.
+    let (command, rest) = if command == "fleet" && rest.first().is_some_and(|w| w == "sweep") {
+        ("fleet sweep", &rest[1..])
+    } else {
+        (command.as_str(), rest)
+    };
     let opts = match args::Options::parse(rest) {
         Ok(opts) => opts,
         Err(msg) => {
@@ -32,13 +42,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match command.as_str() {
+    let result = match command {
         "detector" => commands::detector(),
         "trace" => commands::trace(&opts),
         "search" => commands::search(&opts),
         "harvest" => commands::harvest(&opts),
         "day" => commands::day(&opts),
         "fleet" => commands::fleet(&opts),
+        "fleet sweep" => commands::fleet_sweep(&opts),
         "help" | "--help" | "-h" => {
             commands::help();
             Ok(())

@@ -30,7 +30,7 @@
 //!   `abort_after_nodes` hook turns any node count into a deterministic
 //!   kill point for the fault harness.
 //! * **Quarantine.** Each node simulates under `catch_unwind`: a panic
-//!   inside [`simulate_faulted_day`] becomes a [`FailedNode`] entry in
+//!   inside [`solarml_platform::simulate_faulted_day`] becomes a [`FailedNode`] entry in
 //!   the report's `failed_nodes` section (message extracted with the same
 //!   [`panic_message`] reduction as [`solarml_nas::parallel::EvalPanic`])
 //!   and the campaign keeps going instead of dying at node 817,442.
@@ -39,7 +39,6 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
 use solarml_nas::parallel::{derive_seed, effective_workers, panic_message, parallel_map};
-use solarml_platform::simulate_faulted_day;
 
 use crate::aggregate::{FleetAggregate, MergeTree};
 use crate::checkpoint::{
@@ -48,6 +47,7 @@ use crate::checkpoint::{
 };
 use crate::population::PopulationSpec;
 use crate::report::FleetReport;
+use crate::task::{NodeDayTask, NonIncrementalContext, Task};
 
 /// Cycle tag reserved for fleet node-seed derivation, keeping fleet
 /// streams disjoint from NAS evaluation streams at the same base seed.
@@ -223,26 +223,15 @@ pub struct NodeSummary {
 }
 
 /// Simulates one node's day and collapses it to a summary.
+///
+/// Routed through the task layer: resolve the node into a
+/// [`NodeDayTask`], execute it under the always-recompute
+/// [`NonIncrementalContext`], and rehydrate the summary. The incremental
+/// engine ([`crate::store`]) differs only in the context it supplies.
 pub fn simulate_node(spec: &PopulationSpec, node: usize, seed: u64) -> NodeSummary {
-    let blueprint = spec.node_blueprint(seed);
-    let report = simulate_faulted_day(&blueprint.config);
-    NodeSummary {
-        node,
-        seed,
-        env_index: blueprint.env_index,
-        policy_index: blueprint.policy_index,
-        attempted: report.attempted,
-        completed: report.completed,
-        abandoned: report.abandoned,
-        degraded: report.degraded,
-        brownouts: report.brownouts,
-        dead_window_s: report.dead_window.as_seconds(),
-        harvested_j: report.harvested.as_joules(),
-        consumed_j: report.consumed.as_joules(),
-        wasted_j: report.wasted.as_joules(),
-        residual_j: report.audit.discrepancy.as_joules(),
-        mean_accuracy: report.mean_accuracy.get(),
-    }
+    let task = NodeDayTask::resolve(spec, node, seed);
+    let outcome = task.execute(&mut NonIncrementalContext);
+    task.summary(&outcome)
 }
 
 /// One chunk's outcome: its partial aggregate plus any quarantined nodes

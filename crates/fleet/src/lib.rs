@@ -23,14 +23,20 @@
 //!    fixed-point sums, `u64` histograms) folded through an O(log n)
 //!    [`MergeTree`], so parallel merge equals sequential fold bit for bit
 //!    at O(log nodes) memory;
-//! 5. [`checkpoint`] — versioned, checksummed, atomically-written
+//! 5. [`task`] — node-days as pure, content-keyed tasks: the
+//!    `Task`/`Context` seam the campaign engine executes through, so the
+//!    same fold runs always-recompute or incrementally;
+//! 6. [`store`] — the content-addressed on-disk outcome store behind
+//!    [`IncrementalContext`]: warm parameter sweeps replay unchanged
+//!    node-days and recompute only what a spec edit actually touched;
+//! 7. [`checkpoint`] — versioned, checksummed, atomically-written
 //!    snapshots of the fold, so a killed campaign resumes byte-identically;
-//! 6. [`report`] — the byte-stable JSON [`FleetReport`].
+//! 8. [`report`] — the byte-stable JSON [`FleetReport`].
 //!
 //! The headline invariant, pinned by `tests/determinism.rs` and
 //! `tests/crash_resume.rs`: a campaign's report is a pure function of
 //! `(nodes, seed, population)` — identical bytes at any worker count,
-//! chunk size, repetition, or crash/resume schedule.
+//! chunk size, repetition, crash/resume schedule, or cache hit pattern.
 
 pub mod aggregate;
 pub mod campaign;
@@ -39,6 +45,8 @@ pub mod env;
 pub mod population;
 pub mod report;
 mod rng;
+pub mod store;
+pub mod task;
 
 pub use aggregate::{FleetAggregate, Histogram, MergeTree, StreamStat, RESIDUAL_TOLERANCE_NJ};
 pub use campaign::{
@@ -53,3 +61,10 @@ pub use checkpoint::{
 pub use env::Environment;
 pub use population::{Dist, NodeBlueprint, PopulationSpec};
 pub use report::{FleetReport, FLEET_REPORT_SCHEMA};
+pub use store::{
+    run_campaign_cached, run_sweep, CacheStats, IncrementalContext, NodeDayStore, StoreError,
+    StoreGc, SweepVariant, SweepVariantReport, STORE_MAGIC, STORE_VERSION,
+};
+pub use task::{
+    Context, NodeDayOutcome, NodeDayTask, NonIncrementalContext, Task, SIM_FINGERPRINT,
+};

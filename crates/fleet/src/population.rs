@@ -162,6 +162,73 @@ impl PopulationSpec {
         }
     }
 
+    /// Edits one named parameter in place — the CLI's sweep surface.
+    ///
+    /// Share and scalar parameters replace the field; `<dist>-lo` /
+    /// `<dist>-hi` edit one bound of a distribution field, leaving the
+    /// other bound and the variant untouched (a `Constant` becomes a
+    /// `Uniform` over the implied range). Unknown names return `Err` with
+    /// the full parameter list, so the CLI error is self-documenting.
+    pub fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        fn set_lo(d: &mut Dist, value: f64) {
+            *d = match *d {
+                Dist::Constant(v) => Dist::Uniform { lo: value, hi: v },
+                Dist::Uniform { hi, .. } => Dist::Uniform { lo: value, hi },
+                Dist::LogUniform { hi, .. } => Dist::LogUniform { lo: value, hi },
+            };
+        }
+        fn set_hi(d: &mut Dist, value: f64) {
+            *d = match *d {
+                Dist::Constant(v) => Dist::Uniform { lo: v, hi: value },
+                Dist::Uniform { lo, .. } => Dist::Uniform { lo, hi: value },
+                Dist::LogUniform { lo, .. } => Dist::LogUniform { lo, hi: value },
+            };
+        }
+        match name {
+            "outdoor-share" => self.outdoor_share = value,
+            "office-share" => self.office_share = value,
+            "home-share" => self.home_share = value,
+            "retained-share" => self.retained_share = value,
+            "volatile-share" => self.volatile_share = value,
+            "none-share" => self.none_share = value,
+            "ladder-share" => self.ladder_share = value,
+            "day-of-year" => self.day_of_year = value.max(0.0) as u32,
+            "latitude-lo" => set_lo(&mut self.latitude_deg, value),
+            "latitude-hi" => set_hi(&mut self.latitude_deg, value),
+            "office-peak-lo" => set_lo(&mut self.office_peak_lux, value),
+            "office-peak-hi" => set_hi(&mut self.office_peak_lux, value),
+            "home-peak-lo" => set_lo(&mut self.home_peak_lux, value),
+            "home-peak-hi" => set_hi(&mut self.home_peak_lux, value),
+            "panel-scale-lo" => set_lo(&mut self.panel_scale, value),
+            "panel-scale-hi" => set_hi(&mut self.panel_scale, value),
+            "capacitance-lo" => set_lo(&mut self.capacitance_f, value),
+            "capacitance-hi" => set_hi(&mut self.capacitance_f, value),
+            "initial-voltage-lo" => set_lo(&mut self.initial_voltage_v, value),
+            "initial-voltage-hi" => set_hi(&mut self.initial_voltage_v, value),
+            "capacity-factor-lo" => set_lo(&mut self.capacity_factor, value),
+            "capacity-factor-hi" => set_hi(&mut self.capacity_factor, value),
+            "esr-scale-lo" => set_lo(&mut self.esr_scale, value),
+            "esr-scale-hi" => set_hi(&mut self.esr_scale, value),
+            "interactions-lo" => set_lo(&mut self.interaction_count, value),
+            "interactions-hi" => set_hi(&mut self.interaction_count, value),
+            "clouds-lo" => set_lo(&mut self.cloud_count, value),
+            "clouds-hi" => set_hi(&mut self.cloud_count, value),
+            "outages-lo" => set_lo(&mut self.outage_count, value),
+            "outages-hi" => set_hi(&mut self.outage_count, value),
+            unknown => {
+                return Err(format!(
+                    "unknown population parameter `{unknown}`; known: \
+                     outdoor-share, office-share, home-share, retained-share, \
+                     volatile-share, none-share, ladder-share, day-of-year, \
+                     and the -lo/-hi bounds of latitude, office-peak, \
+                     home-peak, panel-scale, capacitance, initial-voltage, \
+                     capacity-factor, esr-scale, interactions, clouds, outages"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Collapses one node's configuration from its per-node seed. See
     /// [`Self::node_blueprint`] for the determinism contract.
     pub fn node_config(&self, node_seed: u64) -> IntermittentConfig {
@@ -364,6 +431,33 @@ mod tests {
                 "seed {seed}: interactions must be sorted"
             );
         }
+    }
+
+    #[test]
+    fn set_param_edits_exactly_one_field() {
+        let base = PopulationSpec::representative();
+        let mut edited = base.clone();
+        edited.set_param("office-peak-hi", 900.0).expect("known");
+        assert_eq!(
+            edited.office_peak_lux,
+            Dist::Uniform {
+                lo: 250.0,
+                hi: 900.0
+            }
+        );
+        // Everything else untouched.
+        edited.office_peak_lux = base.office_peak_lux;
+        assert_eq!(edited, base);
+
+        let mut shares = base.clone();
+        shares.set_param("ladder-share", 0.5).expect("known");
+        assert!((shares.ladder_share - 0.5).abs() < 1e-12);
+
+        let err = base
+            .clone()
+            .set_param("flux-capacitor", 1.21)
+            .expect_err("unknown");
+        assert!(err.contains("flux-capacitor") && err.contains("office-peak"));
     }
 
     #[test]

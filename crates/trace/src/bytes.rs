@@ -40,6 +40,59 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The workspace's *registered stable hasher*: streaming FNV-1a 64-bit.
+///
+/// Content keys that reach disk (the fleet's node-day store, checkpoint
+/// fingerprints) must hash identically across processes, platforms, and
+/// std releases, so `std::hash`'s `DefaultHasher`/`RandomState` — whose
+/// output is salted per process and explicitly unspecified across versions
+/// — are banned in store-key code by the `stable-store-key` lint
+/// (`cargo xtask lint`). This type is the sanctioned alternative: same
+/// function as [`fnv1a64`], incremental, so key material can be folded in
+/// field by field without buffering an intermediate encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnvHasher {
+    state: u64,
+}
+
+impl FnvHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub const fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one little-endian `u64` in.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds one `f64` in by IEEE-754 bit pattern — `-0.0` and `0.0` hash
+    /// differently, NaN payloads are preserved, no epsilon ambiguity.
+    pub fn write_f64_bits(&mut self, bits: u64) {
+        self.write(&bits.to_le_bytes());
+    }
+
+    /// The current hash value. Does not consume the hasher; writing more
+    /// bytes afterwards continues from this state.
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A decode failure: what was expected and where the cursor stood.
 ///
 /// Every variant is a *data* problem, not a programming error — corrupted
@@ -314,6 +367,35 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_hasher_matches_one_shot_fnv() {
+        let payload = b"solarml-node-day/v1 \x00\xff tail";
+        let mut h = FnvHasher::new();
+        h.write(payload);
+        assert_eq!(h.finish(), fnv1a64(payload));
+        // Split writes are the same stream: chunking must not matter.
+        let mut split = FnvHasher::new();
+        for chunk in payload.chunks(3) {
+            split.write(chunk);
+        }
+        assert_eq!(split.finish(), h.finish());
+    }
+
+    #[test]
+    fn streaming_hasher_field_helpers_are_little_endian() {
+        let mut a = FnvHasher::new();
+        a.write_u64(0x0123_4567_89AB_CDEF);
+        a.write_f64_bits((-0.0f64).to_bits());
+        let mut b = FnvHasher::new();
+        b.write(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        b.write(&(-0.0f64).to_bits().to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+        // Signed zeros are distinct key material.
+        let mut pos = FnvHasher::new();
+        pos.write_f64_bits(0.0f64.to_bits());
+        assert_ne!(a.finish(), pos.finish());
+    }
 
     #[test]
     fn round_trip_is_byte_exact() {

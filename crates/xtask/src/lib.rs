@@ -88,6 +88,13 @@ pub enum ViolationKind {
     /// distinguish from corruption; all durable bytes go through
     /// `write_atomic` (temp sibling + fsync + rename).
     AtomicPersist,
+    /// A randomized/unstable std hasher (`DefaultHasher`, `RandomState`,
+    /// `SipHasher…`) in store-key code. SipHash keys are seeded per process,
+    /// so a content key minted by one run would never be found by the next —
+    /// every node-day store entry would silently miss forever. Store keys go
+    /// through the registered stable hasher (`solarml_trace::FnvHasher`,
+    /// FNV-1a, byte-identical across processes, builds, and platforms).
+    StableStoreKey,
     /// A `physics-lint: allow(…)` escape with no `: reason` trailer, or
     /// naming a rule that does not exist. Escapes are reviewed decisions;
     /// an unexplained one is indistinguishable from a stale one.
@@ -113,6 +120,7 @@ impl ViolationKind {
             ViolationKind::SeedDiscipline => "seed-discipline",
             ViolationKind::LedgerCoverage => "ledger-coverage",
             ViolationKind::AtomicPersist => "atomic-persist",
+            ViolationKind::StableStoreKey => "stable-store-key",
             ViolationKind::AllowWithoutReason => "allow-without-reason",
             ViolationKind::MissingLintsTable => "missing-lints-table",
             ViolationKind::MissingWorkspaceLints => "missing-workspace-lints",

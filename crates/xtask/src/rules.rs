@@ -22,7 +22,12 @@
 //!   `File::create` in the persistence crates outside a registered
 //!   atomic-write helper (a crash mid-write leaves a torn checkpoint;
 //!   durable bytes go through `write_atomic`'s temp-sibling + fsync +
-//!   rename protocol).
+//!   rename protocol);
+//! * [`stable-store-key`](ViolationKind::StableStoreKey) — randomized std
+//!   hashers (`DefaultHasher`/`RandomState`/`SipHasher…`) in store-key
+//!   code. SipHash is seeded per process, so a content key minted by one
+//!   run would never be found by the next; keys go through the registered
+//!   stable hasher (`solarml_trace::FnvHasher`).
 //!
 //! All three are lexical like the rest of the lint: they reason over the
 //! token stream from [`crate::lexer`], so a `HashMap` in a doc comment or a
@@ -52,6 +57,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "seed-discipline",
     "ledger-coverage",
     "atomic-persist",
+    "stable-store-key",
 ];
 
 /// Methods whose receiver order is the hasher's iteration order.
@@ -90,7 +96,8 @@ pub fn scan_new_families(
     if !(rules.determinism
         || rules.seed_discipline
         || rules.ledger_coverage
-        || rules.atomic_persist)
+        || rules.atomic_persist
+        || rules.stable_store_key)
     {
         return out;
     }
@@ -109,6 +116,9 @@ pub fn scan_new_families(
     }
     if rules.atomic_persist {
         scan_atomic_persist(rel, src, &tokens, &code, &tests, config, &mut out);
+    }
+    if rules.stable_store_key {
+        scan_stable_store_key(rel, src, &tokens, &code, &tests, &mut out);
     }
     out.sort_by_key(|v| v.line);
     out
@@ -630,6 +640,56 @@ fn scan_atomic_persist(
     }
 }
 
+/// Std hasher types whose output is salted per process (`RandomState`) or
+/// whose algorithm std does not guarantee across releases (`DefaultHasher`,
+/// the deprecated `SipHasher` family). Exact ident matches — the lexer
+/// yields whole identifiers, so `BuildHasherDefault` never matches.
+const UNSTABLE_HASHERS: &[&str] = &["DefaultHasher", "RandomState", "SipHasher", "SipHasher13"];
+
+/// The stable-store-key rule: any mention of a randomized/unstable std
+/// hasher in non-test store-key code. Content-addressed store entries are
+/// looked up by recomputing the key in a *different* process than the one
+/// that wrote them; a per-process-seeded hash turns every lookup into a
+/// silent permanent miss (the cache "works" but never hits), and an
+/// algorithm std may change re-keys the whole store on a toolchain bump.
+/// Keys go through the registered stable hasher
+/// (`solarml_trace::FnvHasher`, FNV-1a). Flagging the *type name* rather
+/// than a call shape is deliberate: the `use` line, the construction, and
+/// a type ascription are each independently a finding, so the import alone
+/// fails fast.
+fn scan_stable_store_key(
+    rel: &Path,
+    src: &str,
+    tokens: &[Token],
+    code: &[Token],
+    tests: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let allowed = lexer::allow_spans(src, tokens, "stable-store-key");
+    for t in code {
+        let Some(name) = ident_text(src, Some(t)) else {
+            continue;
+        };
+        if !UNSTABLE_HASHERS.contains(&name) {
+            continue;
+        }
+        if in_regions(tests, t.start) || lexer::in_spans(&allowed, t.start) {
+            continue;
+        }
+        out.push(Violation {
+            file: rel.to_path_buf(),
+            line: t.line,
+            kind: ViolationKind::StableStoreKey,
+            detail: format!(
+                "`{name}` is seeded per process / unstable across std releases — \
+                 a content key minted with it is unfindable by the next run; use \
+                 the registered stable hasher `solarml_trace::FnvHasher`, or add \
+                 `// physics-lint: allow(stable-store-key): <reason>`"
+            ),
+        });
+    }
+}
+
 /// The allow-hygiene check: every `physics-lint: allow(<rule>)` escape must
 /// name a known rule and carry a `: <reason>` trailer. Runs on every
 /// scanned file regardless of which families apply — CI fails on any
@@ -703,6 +763,7 @@ mod tests {
             seed_discipline: true,
             ledger_coverage: true,
             atomic_persist: true,
+            stable_store_key: true,
             ..RuleSet::default()
         }
     }
@@ -891,6 +952,56 @@ fn sneaky(p: &Path, b: &[u8]) -> io::Result<()> { fs::write(p, b) }
         let vs = scan_new_families(Path::new("crates/t/src/lib.rs"), src, all_rules(), &cfg());
         assert_eq!(vs.len(), 1, "{vs:?}");
         assert_eq!(vs[0].line, 8, "only the write outside the helper fires");
+    }
+
+    #[test]
+    fn unstable_hashers_are_flagged_fnv_is_not() {
+        let import = "use std::collections::hash_map::DefaultHasher;";
+        assert_eq!(kinds(import), vec![ViolationKind::StableStoreKey]);
+        let construct = "\
+fn key(node: u64) -> u64 {
+    let state = RandomState::new();
+    let mut h = state.build_hasher();
+    h.write_u64(node);
+    h.finish()
+}
+";
+        assert_eq!(kinds(construct), vec![ViolationKind::StableStoreKey]);
+        let stable = "\
+fn key(node: u64) -> u64 {
+    let mut h = FnvHasher::new();
+    h.write_u64(node);
+    h.finish()
+}
+";
+        assert!(kinds(stable).is_empty(), "{:?}", kinds(stable));
+    }
+
+    #[test]
+    fn build_hasher_default_and_comments_do_not_trip_store_key_rule() {
+        let src = "\
+/// Never key a store with `DefaultHasher` — `RandomState` salts it.
+fn f() -> BuildHasherDefault<FnvHasher> { BuildHasherDefault::default() }
+";
+        assert!(kinds(src).is_empty(), "{:?}", kinds(src));
+    }
+
+    #[test]
+    fn store_key_rule_honors_tests_and_statement_allows() {
+        let src = "\
+fn scratch() -> u64 {
+    // physics-lint: allow(stable-store-key): in-memory dedup, never persisted
+    let mut h = DefaultHasher::new();
+    h.finish()
+}
+#[cfg(test)]
+mod tests {
+    fn t() -> u64 { DefaultHasher::new().finish() }
+}
+";
+        assert!(kinds(src).is_empty(), "{:?}", kinds(src));
+        let unannotated = "fn k() -> u64 { DefaultHasher::new().finish() }";
+        assert_eq!(kinds(unannotated), vec![ViolationKind::StableStoreKey]);
     }
 
     #[test]

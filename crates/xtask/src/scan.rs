@@ -59,6 +59,13 @@ pub struct ScanConfig {
     /// A crash mid-write would leave a torn file that resume has to treat
     /// as corruption.
     pub persist_crates: Vec<String>,
+    /// Crates that mint or look up content-addressed store keys: their
+    /// non-test library code may not mention a randomized/unstable std
+    /// hasher (`DefaultHasher`/`RandomState`/`SipHasher…`, rule
+    /// `stable-store-key`). A per-process-salted hash makes every cache
+    /// lookup a silent permanent miss; keys go through the registered
+    /// stable hasher (`solarml_trace::FnvHasher`).
+    pub store_key_crates: Vec<String>,
     /// Sanctioned atomic-write helper functions; their bodies are exempt
     /// from the atomic-persist rule (the bare syscalls have to live
     /// *somewhere*, and this registry pins where).
@@ -113,6 +120,9 @@ impl ScanConfig {
             // The crates that own checkpoint bytes: `trace` holds the codec
             // + `write_atomic`, `fleet` holds the campaign snapshots.
             persist_crates: to_vec(&["fleet", "trace"]),
+            // The crates that derive node-day store keys: `fleet` owns the
+            // task/key layer, `trace` owns the FNV codec the keys hash with.
+            store_key_crates: to_vec(&["fleet", "trace"]),
             atomic_write_fns: to_vec(&["write_atomic"]),
             seed_tags: to_vec(&[
                 "FLEET_SEED_CYCLE",
@@ -689,6 +699,8 @@ pub struct RuleSet {
     pub ledger_coverage: bool,
     /// atomic-persist
     pub atomic_persist: bool,
+    /// stable-store-key
+    pub stable_store_key: bool,
     /// fault-path (unwrap/expect everywhere, no escapes)
     pub fault_path: bool,
 }
@@ -734,6 +746,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
         .chain(config.seed_crates.iter())
         .chain(config.ledger_crates.iter())
         .chain(config.persist_crates.iter())
+        .chain(config.store_key_crates.iter())
         .collect();
     crates.sort();
     crates.dedup();
@@ -748,6 +761,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
             seed_discipline: has(&config.seed_crates),
             ledger_coverage: has(&config.ledger_crates),
             atomic_persist: has(&config.persist_crates),
+            stable_store_key: has(&config.store_key_crates),
             fault_path: false, // fault-path scoping is per file, below
         };
         let src_dir = root.join("crates").join(name).join("src");
