@@ -30,6 +30,7 @@ use solarml::nn::layers::Conv2d;
 use solarml::nn::reference;
 use solarml::nn::{Padding, Tensor, TrainConfig};
 use solarml::platform::{simulate_day_with, DayReport, DaySimConfig};
+use solarml::scenario::{registry, Scenario};
 use solarml::sim::DtPolicy;
 use solarml::units::Seconds;
 use solarml::{run_enas, EnasConfig, Energy, TaskContext};
@@ -328,6 +329,27 @@ fn timed_sweep(nodes: usize, workers: usize) -> SweepBench {
     }
 }
 
+/// The scenario-language stage: times one full parse + unit-check + eval
+/// round trip of the registry's most randomized shipped script (the shape
+/// a campaign pays once per node-day resolution), and gates on the
+/// language's determinism contract: two independent parse/eval passes over
+/// *every* shipped scenario must agree bit-for-bit, at more than one seed.
+fn timed_scenario(reps: usize, iters: usize) -> (u128, bool) {
+    let entry = registry::find("monsoon_season").expect("shipped scenario");
+    let ns = time_stage(reps, iters, || {
+        let scenario = Scenario::parse(entry.source).expect("shipped script parses");
+        std::hint::black_box(scenario.eval(42));
+    });
+    let identical = registry::all().iter().all(|e| {
+        [7u64, 0xDEAD_BEEF].iter().all(|&seed| {
+            let a = Scenario::parse(e.source).expect("shipped script parses");
+            let b = Scenario::parse(e.source).expect("shipped script parses");
+            a.eval(seed) == b.eval(seed)
+        })
+    });
+    (ns, identical)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -418,6 +440,16 @@ fn main() {
         iters: 1,
     });
     let stream_peak_rss_kib = peak_rss_kib();
+
+    eprintln!(
+        "quickbench: scenario parse + eval round trip ({kernel_reps} reps × {kernel_iters} iters)…"
+    );
+    let (scenario_ns, scenario_identical) = timed_scenario(kernel_reps, kernel_iters);
+    stages.push(Stage {
+        name: "scenario_parse_eval",
+        median_ns: scenario_ns,
+        iters: kernel_iters,
+    });
 
     let sweep_nodes = 64;
     eprintln!("quickbench: {sweep_nodes}-node cold campaign + warm one-parameter sweep…");
@@ -536,8 +568,11 @@ fn main() {
         "    \"fleet_sweep_miss_count_matches_affected\": {sweep_miss_matches_affected},\n"
     ));
     json.push_str(&format!(
-        "    \"fleet_sweep_warm_identical\": {}\n",
+        "    \"fleet_sweep_warm_identical\": {},\n",
         sweep.warm_identical
+    ));
+    json.push_str(&format!(
+        "    \"scenario_eval_identical\": {scenario_identical}\n"
     ));
     json.push_str("  }\n}\n");
 
@@ -590,6 +625,10 @@ fn main() {
             "quickbench: ERROR — warm sweep only {sweep_warm_speedup:.1}x faster than cold \
              (floor: 50x)"
         );
+        std::process::exit(1);
+    }
+    if !scenario_identical {
+        eprintln!("quickbench: ERROR — repeated scenario parse+eval passes diverge");
         std::process::exit(1);
     }
 }

@@ -37,6 +37,10 @@ pub struct Options {
     pub store_max_entries: Option<usize>,
     /// `--store-max-bytes <n>`: GC bound on the store's on-disk size.
     pub store_max_bytes: Option<u64>,
+    /// `--scenario <name|path>`: drive the campaign's environment, fault
+    /// and workload conditions from a named registry scenario or a `.scn`
+    /// script file (`fleet`, `scenario run`).
+    pub scenario: Option<String>,
     /// `--param <name>`: population parameter to edit (see
     /// `PopulationSpec::set_param` for the names).
     pub param: Option<String>,
@@ -114,6 +118,7 @@ impl Options {
                             .map_err(|e| format!("{flag}: invalid integer `{raw}` ({e})"))?,
                     );
                 }
+                "--scenario" => opts.scenario = Some(take(&mut it, flag)?),
                 "--param" => opts.param = Some(take(&mut it, flag)?),
                 "--value" => opts.value = Some(take_num(&mut it, flag)?),
                 "--values" => {

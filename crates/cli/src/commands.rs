@@ -13,6 +13,7 @@ use solarml::platform::{
     harvesting_time, simulate_day, solarml_detector_spec, DaySimConfig, HarvestScenario,
     REFERENCE_DETECTORS,
 };
+use solarml::scenario::{registry, Scenario};
 use solarml::units::Frequency;
 use solarml::{Energy, Seconds};
 
@@ -52,12 +53,16 @@ pub fn help() {
     println!("      --store-dir <d>     replay cached node-days from <d>, compute the rest");
     println!("      --store-max-entries <n> / --store-max-bytes <n>  GC bounds on the store");
     println!("      --param <p> --value <v>  edit one population parameter before running");
+    println!("      --scenario <s>      conditions from a named scenario or .scn path");
     println!("  fleet sweep             N spec variants against one node-day store");
     println!("      --store-dir <d>     required: shared outcome store");
     println!("      --param <p>         population parameter to sweep");
     println!("      --values <v1,v2,..> one campaign per value, warm after the first");
     println!("      --nodes/--seed/--workers/--out as for fleet");
     println!("      --out <file>        newline-delimited FleetReport JSON, variant order");
+    println!("  scenario list           shipped scenario scripts (name + description)");
+    println!("  scenario show <s>       a scenario's source and canonical form");
+    println!("  scenario run <s>        fleet campaign under the scenario (fleet flags apply)");
 }
 
 /// `solarml detector`.
@@ -237,12 +242,68 @@ pub fn day(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds the campaign config shared by `fleet` and `fleet sweep`,
-/// applying any `--param`/`--value` edit.
+/// Population parameters a scenario script owns wholesale: the script
+/// replaces the sampled environment, fault and workload conditions, so
+/// editing their distributions alongside `--scenario` is a contradiction,
+/// not a merge. Policy and hardware parameters (`retained-share`,
+/// `panel-scale-*`, …) still apply under a script and stay editable.
+const SCENARIO_OWNED_PARAMS: &[&str] = &[
+    "outdoor-share",
+    "office-share",
+    "home-share",
+    "day-of-year",
+    "latitude-lo",
+    "latitude-hi",
+    "office-peak-lo",
+    "office-peak-hi",
+    "home-peak-lo",
+    "home-peak-hi",
+    "clouds-lo",
+    "clouds-hi",
+    "outages-lo",
+    "outages-hi",
+    "interactions-lo",
+    "interactions-hi",
+];
+
+/// Resolves `--scenario <name|path>`: registry names first, then `.scn`
+/// files. Parse failures carry the file's line and column.
+fn resolve_scenario(spec: &str) -> Result<Scenario, String> {
+    if let Some(entry) = registry::find(spec) {
+        return Ok(entry.scenario.clone());
+    }
+    let looks_like_path = spec.contains('/') || spec.contains('\\') || spec.ends_with(".scn");
+    if !looks_like_path {
+        return Err(format!(
+            "unknown scenario `{spec}` (shipped: {}; or pass a path to a .scn file)",
+            registry::names().join(", ")
+        ));
+    }
+    let src = std::fs::read_to_string(spec)
+        .map_err(|e| format!("--scenario: cannot read {spec}: {e}"))?;
+    Scenario::parse(&src)
+        .map_err(|e| format!("--scenario: {spec}:{}:{}: {}", e.line, e.col, e.message))
+}
+
+/// Builds the campaign config shared by `fleet`, `fleet sweep` and
+/// `scenario run`, applying any `--scenario` script and `--param`/`--value`
+/// edit.
 fn fleet_config(opts: &Options) -> Result<CampaignConfig, String> {
     let mut cfg = CampaignConfig::new(opts.nodes.unwrap_or(64), opts.seed.unwrap_or(0xF1EE7));
     if let Some(workers) = opts.workers {
         cfg.workers = workers;
+    }
+    if let Some(spec) = &opts.scenario {
+        if let Some(param) = opts.param.as_deref() {
+            if SCENARIO_OWNED_PARAMS.contains(&param) {
+                return Err(format!(
+                    "--scenario conflicts with --param {param}: the script owns the \
+                     environment, fault and workload conditions (policy parameters \
+                     such as `retained-share` remain editable)"
+                ));
+            }
+        }
+        cfg.population.scenario = Some(resolve_scenario(spec)?);
     }
     if let Some(param) = &opts.param {
         if let Some(value) = opts.value {
@@ -444,6 +505,45 @@ pub fn fleet_sweep(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `solarml scenario list`: one format-stable line per shipped scenario,
+/// name first — CI diffs the name column against `scenarios/*.scn`.
+pub fn scenario_list() -> Result<(), String> {
+    for entry in registry::all() {
+        println!("{:<22} {}", entry.name, entry.description);
+    }
+    Ok(())
+}
+
+/// `solarml scenario show <name|path>`.
+pub fn scenario_show(opts: &Options) -> Result<(), String> {
+    let spec = opts
+        .scenario
+        .as_ref()
+        .ok_or("scenario show needs a <name|path> (see `solarml scenario list`)")?;
+    let scenario = resolve_scenario(spec)?;
+    if let Some(entry) = registry::find(spec) {
+        print!("{}", entry.source);
+        if !entry.source.ends_with('\n') {
+            println!();
+        }
+    }
+    println!("canonical: {}", scenario.render());
+    println!(
+        "light bucket: {}",
+        ["outdoor-window", "office", "home"][scenario.env_bucket().min(2)]
+    );
+    Ok(())
+}
+
+/// `solarml scenario run <name|path>`: a fleet campaign whose conditions
+/// come from the script; all `fleet` flags apply.
+pub fn scenario_run(opts: &Options) -> Result<(), String> {
+    if opts.scenario.is_none() {
+        return Err("scenario run needs a <name|path> (see `solarml scenario list`)".into());
+    }
+    fleet(opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +642,117 @@ mod tests {
         })
         .expect_err("no values");
         assert!(err.contains("--values"), "{err}");
+    }
+
+    #[test]
+    fn fleet_rejects_an_unknown_scenario_name_listing_the_shipped_ones() {
+        let err = fleet(&Options {
+            nodes: Some(1),
+            scenario: Some("nonesuch".into()),
+            ..Options::default()
+        })
+        .expect_err("unknown scenario");
+        assert!(err.contains("unknown scenario `nonesuch`"), "{err}");
+        assert!(err.contains("office_reference"), "lists shipped: {err}");
+    }
+
+    #[test]
+    fn fleet_rejects_an_unreadable_scenario_path_with_a_typed_message() {
+        let path = tmp("missing-scn").join("nope.scn");
+        let err = fleet(&Options {
+            nodes: Some(1),
+            scenario: Some(path.display().to_string()),
+            ..Options::default()
+        })
+        .expect_err("unreadable path");
+        assert!(err.contains("cannot read"), "{err}");
+        assert!(err.contains("nope.scn"), "{err}");
+    }
+
+    #[test]
+    fn fleet_reports_scenario_parse_errors_with_file_line_and_column() {
+        let dir = tmp("bad-scn");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("bad.scn");
+        // A lux quantity where a probability is expected, on line 2.
+        std::fs::write(
+            &path,
+            "# bad: a type error on purpose\nmarkov_clouds(p: 800 lux)\n",
+        )
+        .expect("write");
+        let err = fleet(&Options {
+            nodes: Some(1),
+            scenario: Some(path.display().to_string()),
+            ..Options::default()
+        })
+        .expect_err("type error");
+        assert!(err.contains("bad.scn:2:"), "file:line:col prefix: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_rejects_scenario_combined_with_environment_param_edits() {
+        let err = fleet(&Options {
+            nodes: Some(1),
+            scenario: Some("office_reference".into()),
+            param: Some("office-peak-hi".into()),
+            value: Some(900.0),
+            ..Options::default()
+        })
+        .expect_err("scenario owns the environment");
+        assert!(err.contains("--scenario conflicts with --param"), "{err}");
+        // The same gate guards sweeps over scenario-owned parameters.
+        let err = fleet_sweep(&Options {
+            nodes: Some(1),
+            store_dir: Some(tmp("sweep-conflict").display().to_string()),
+            scenario: Some("office_reference".into()),
+            param: Some("clouds-hi".into()),
+            values: Some(vec![4.0]),
+            ..Options::default()
+        })
+        .expect_err("scenario owns the fault load");
+        assert!(err.contains("--scenario conflicts with --param"), "{err}");
+    }
+
+    #[test]
+    fn policy_params_stay_editable_under_a_scenario() {
+        let cfg = fleet_config(&Options {
+            nodes: Some(1),
+            scenario: Some("office_reference".into()),
+            param: Some("retained-share".into()),
+            value: Some(1.0),
+            ..Options::default()
+        })
+        .expect("policy edits merge with a script");
+        assert!(cfg.population.scenario.is_some());
+        assert!((cfg.population.retained_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_show_and_run_need_a_target() {
+        let err = scenario_show(&Options::default()).expect_err("no target");
+        assert!(err.contains("scenario list"), "{err}");
+        let err = scenario_run(&Options::default()).expect_err("no target");
+        assert!(err.contains("scenario list"), "{err}");
+    }
+
+    #[test]
+    fn scenario_show_accepts_names_and_paths() {
+        scenario_show(&Options {
+            scenario: Some("cloudy_day".into()),
+            ..Options::default()
+        })
+        .expect("shipped name");
+        let dir = tmp("show-scn");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("mine.scn");
+        std::fs::write(&path, "office(peak: 640 lux)\n").expect("write");
+        scenario_show(&Options {
+            scenario: Some(path.display().to_string()),
+            ..Options::default()
+        })
+        .expect("script path");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

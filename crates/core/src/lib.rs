@@ -23,7 +23,7 @@
 //!
 //! The layer crates are re-exported under their domain names: [`units`],
 //! [`trace`], [`sim`], [`circuit`], [`mcu`], [`dsp`], [`nn`], [`datasets`],
-//! [`energy`], [`nas`], [`platform`], [`fleet`].
+//! [`energy`], [`nas`], [`platform`], [`fleet`], [`scenario`].
 
 pub use solarml_circuit as circuit;
 pub use solarml_datasets as datasets;
@@ -34,6 +34,7 @@ pub use solarml_mcu as mcu;
 pub use solarml_nas as nas;
 pub use solarml_nn as nn;
 pub use solarml_platform as platform;
+pub use solarml_scenario as scenario;
 pub use solarml_sim as sim;
 pub use solarml_trace as trace;
 pub use solarml_units as units;

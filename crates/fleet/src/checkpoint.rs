@@ -362,6 +362,14 @@ pub fn campaign_fingerprint(cfg: &CampaignConfig) -> u64 {
     push_dist(&mut w, &p.interaction_count);
     push_dist(&mut w, &p.cloud_count);
     push_dist(&mut w, &p.outage_count);
+    // Appended only when a scenario is set, so every legacy (unscripted)
+    // fingerprint — and with it every existing snapshot — stays valid.
+    // The canonical rendering is hashed, not the raw script text, so
+    // whitespace and comment edits never invalidate a resume.
+    if let Some(scenario) = &p.scenario {
+        w.push_str("scenario:");
+        w.push_str(&scenario.render());
+    }
     fnv1a64(w.as_slice())
 }
 

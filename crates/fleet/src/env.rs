@@ -1,58 +1,25 @@
 //! Parametric light environments producing [`DayProfile`]-compatible input.
 //!
 //! Three deployment settings cover the regimes the paper's bench cannot:
+//! outdoor window desks (clear-sky geometry × Markov weather), offices
+//! (lit-hours schedule with placement jitter), and homes (morning/evening
+//! occupancy bumps). Since the scenario language landed, this module is a
+//! thin veneer: each variant renders its **canonical scenario script**
+//! (`sky_markov(...)`, `office(...)`, `home(...)`) and evaluates it
+//! through `solarml-scenario`, which owns the actual generators. The
+//! script path walks the same [`ENV_STREAM_TAG`] stream in the same draw
+//! order the enums always did, so profiles stay bit-identical — pinned by
+//! the parity tests below.
 //!
-//! * **Outdoor window desk** — clear-sky solar geometry (solar declination
-//!   from day-of-year, elevation from latitude and hour angle) gives the
-//!   physical illuminance ceiling; a seeded hourly Markov weather chain
-//!   (clear / partly cloudy / overcast) attenuates it; a fixed
-//!   glazing-plus-desk transfer factor maps outdoor illuminance to what the
-//!   harvesting array actually sees.
-//! * **Office** — the paper's lit-hours schedule rescaled to a per-node
-//!   peak, with seeded per-hour jitter standing in for desk placement and
-//!   blind positions.
-//! * **Home** — morning and evening occupancy bumps around a dim daytime,
-//!   the hard case for overnight energy budgeting.
-//!
-//! Everything is a pure function of `(environment, seed)`: the weather
-//! chain and jitter draw from a private SplitMix64 stream in fixed order,
-//! so identical inputs yield bit-identical profiles on every platform and
-//! at any worker count.
+//! Everything remains a pure function of `(environment, seed)`: identical
+//! inputs yield bit-identical profiles on every platform and at any
+//! worker count.
 
 use solarml_platform::DayProfile;
+use solarml_scenario::Scenario;
 use solarml_units::Lux;
 
-use crate::rng::{pick_weighted, uniform};
-
-/// Domain-separation tag for day-profile generation: XORed into the
-/// caller's seed so weather draws never replay another consumer of the
-/// same seed. Registered with the seed-discipline lint.
-pub const ENV_STREAM_TAG: u64 = 0xF1EE_7DAE_11F0_0D5E;
-
-/// Peak direct solar illuminance at normal incidence (lux). The standard
-/// full-sun figure; scaled by the sine of the solar elevation.
-const DIRECT_SOLAR_LUX: f64 = 130_000.0;
-
-/// Diffuse-sky illuminance scale (lux); grows with the square root of the
-/// elevation sine, the usual clear-sky approximation shape.
-const DIFFUSE_SKY_LUX: f64 = 12_000.0;
-
-/// Fraction of outdoor illuminance reaching a harvesting array lying flat
-/// on a desk near a window: glazing transmission × solid-angle of sky the
-/// desk sees. Chosen so summer midday at mid-latitudes lands in the few
-/// hundred lux the paper measures indoors near windows.
-const WINDOW_DESK_TRANSFER: f64 = 0.005;
-
-/// Hourly Markov sky states with their illuminance retention factors.
-const SKY_FACTORS: [f64; 3] = [1.0, 0.55, 0.25]; // clear, partly, overcast
-
-/// Row-stochastic hourly transition matrix between sky states. Rows are the
-/// current state (clear/partly/overcast); persistence dominates so cloud
-/// cover arrives in multi-hour spells rather than white noise.
-const SKY_TRANSITIONS: [[f64; 3]; 3] = [[0.80, 0.15, 0.05], [0.25, 0.55, 0.20], [0.08, 0.32, 0.60]];
-
-/// Initial sky-state weights (≈ the chain's stationary distribution).
-const SKY_INITIAL: [f64; 3] = [0.45, 0.35, 0.20];
+pub use solarml_scenario::ENV_STREAM_TAG;
 
 /// One deployment's lighting setting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,85 +44,41 @@ pub enum Environment {
 }
 
 impl Environment {
-    /// Generates this environment's 24-hour profile from `seed`.
-    /// Deterministic: the same `(self, seed)` yields bit-identical output.
-    pub fn day_profile(&self, seed: u64) -> DayProfile {
-        let mut state = seed ^ ENV_STREAM_TAG;
-        let mut lux = [0.0_f64; 24];
+    /// The canonical scenario script this environment is sugar for.
+    /// Latitudes are clamped to the language's checked ±90° range (the
+    /// solar formula is meaningless beyond the poles anyway).
+    pub fn canonical_script(&self) -> String {
         match *self {
             Environment::OutdoorWindow {
                 latitude_deg,
                 day_of_year,
-            } => {
-                let mut sky = pick_weighted(&mut state, &SKY_INITIAL);
-                for (h, v) in lux.iter_mut().enumerate() {
-                    // Advance the weather chain every hour, including dark
-                    // ones, so the same seed carries the same weather
-                    // regardless of latitude-dependent day length.
-                    sky = pick_weighted(&mut state, &SKY_TRANSITIONS[sky]);
-                    let clear = clear_sky_desk_lux(latitude_deg, day_of_year, h as f64 + 0.5);
-                    *v = (clear * SKY_FACTORS[sky]).max(0.05);
-                }
-            }
-            Environment::Office { peak } => {
-                let base = DayProfile::office();
-                let scale = peak.as_lux() / 800.0;
-                for (h, v) in lux.iter_mut().enumerate() {
-                    let jitter = uniform(&mut state, 0.85, 1.15);
-                    let nominal = base.lux_by_hour[h];
-                    *v = if nominal > 1.0 {
-                        nominal * scale * jitter
-                    } else {
-                        nominal
-                    };
-                }
-            }
-            Environment::Home { peak } => {
-                let p = peak.as_lux();
-                for (h, v) in lux.iter_mut().enumerate() {
-                    let jitter = uniform(&mut state, 0.85, 1.15);
-                    let nominal = match h {
-                        7..=8 => 0.6 * p,
-                        9..=16 => 0.15 * p,
-                        17 => 0.5 * p,
-                        18..=21 => p,
-                        22 => 0.4 * p,
-                        _ => 1.0,
-                    };
-                    *v = if nominal > 1.0 {
-                        nominal * jitter
-                    } else {
-                        nominal
-                    };
-                }
-            }
+            } => format!(
+                "sky_markov(lat: {} deg, doy: {})",
+                latitude_deg.clamp(-90.0, 90.0),
+                day_of_year
+            ),
+            Environment::Office { peak } => format!("office(peak: {} lux)", peak.as_lux()),
+            Environment::Home { peak } => format!("home(peak: {} lux)", peak.as_lux()),
         }
-        DayProfile { lux_by_hour: lux }
     }
-}
 
-/// Clear-sky illuminance at the window desk for solar-time `hour`
-/// (fractional, 0–24) at `latitude_deg` on `day_of_year`: direct component
-/// proportional to the solar-elevation sine plus a diffuse term, through
-/// the window/desk transfer. Zero when the sun is below the horizon.
-fn clear_sky_desk_lux(latitude_deg: f64, day_of_year: u32, hour: f64) -> f64 {
-    let phi = latitude_deg.to_radians();
-    // Cooper's declination approximation, in phase with the solstices.
-    let declination = (-23.44_f64).to_radians()
-        * (std::f64::consts::TAU * (day_of_year as f64 + 10.0) / 365.0).cos();
-    let hour_angle = (15.0 * (hour - 12.0)).to_radians();
-    let sin_elevation =
-        phi.sin() * declination.sin() + phi.cos() * declination.cos() * hour_angle.cos();
-    if sin_elevation <= 0.0 {
-        return 0.0;
+    /// Generates this environment's 24-hour profile from `seed`.
+    /// Deterministic: the same `(self, seed)` yields bit-identical output.
+    pub fn day_profile(&self, seed: u64) -> DayProfile {
+        let script = self.canonical_script();
+        match Scenario::parse(&script) {
+            Ok(s) => s.eval(seed).profile,
+            // Unreachable: canonical scripts are well-typed by
+            // construction and pinned by the parity tests below.
+            Err(e) => panic!("canonical environment script `{script}` failed to parse: {e}"),
+        }
     }
-    let outdoor = DIRECT_SOLAR_LUX * sin_elevation + DIFFUSE_SKY_LUX * sin_elevation.sqrt();
-    outdoor * WINDOW_DESK_TRANSFER
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use solarml_scenario::clear_sky_desk_lux;
     use solarml_units::Seconds;
 
     #[test]
@@ -229,5 +152,21 @@ mod tests {
         // table entry.
         let at_noon = p.lux_at(Seconds::new(12.0 * 3600.0)).as_lux();
         assert!((at_noon - p.lux_by_hour[12]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_scripts_round_trip_their_parameters() {
+        // The exact f64 drawn by population sampling must survive the
+        // render→parse trip: shortest-round-trip Display guarantees it.
+        let lat = 47.637_281_934_729_5_f64;
+        let env = Environment::OutdoorWindow {
+            latitude_deg: lat,
+            day_of_year: 203,
+        };
+        let sc = Scenario::parse(&env.canonical_script()).expect("canonical script parses");
+        assert_eq!(
+            env.day_profile(9).lux_by_hour,
+            sc.eval(9).profile.lux_by_hour
+        );
     }
 }

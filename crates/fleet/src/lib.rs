@@ -11,7 +11,10 @@
 //!
 //! 1. [`env`] — parametric environments (clear-sky solar geometry with a
 //!    Markov weather layer, office and home lux schedules) producing
-//!    [`solarml_platform::DayProfile`]-compatible input;
+//!    [`solarml_platform::DayProfile`]-compatible input — since the
+//!    scenario language landed, thin sugar over `solarml-scenario`
+//!    canonical scripts (set [`PopulationSpec::scenario`] to drive a
+//!    whole campaign from one script);
 //! 2. [`population`] — declared distributions over node parameters,
 //!    collapsed into per-node [`solarml_platform::IntermittentConfig`]s
 //!    from split seeds;

@@ -15,6 +15,7 @@ use solarml_circuit::{CloudTransient, FaultPlan, OutageWindow, SupercapDegradati
 use solarml_platform::{
     CheckpointPolicy, DaySimConfig, DegradationLadder, IntermittentConfig, PhasePlan,
 };
+use solarml_scenario::Scenario;
 use solarml_sim::DtPolicy;
 use solarml_units::{Energy, Farads, Lux, Power, Ratio, Seconds, Volts};
 
@@ -114,6 +115,13 @@ pub struct PopulationSpec {
     /// Number of harvester disconnect windows (rounded down, any
     /// environment — loose wiring does not care about the weather).
     pub outage_count: Dist,
+    /// Scripted conditions overriding the sampled ones: when set, every
+    /// node's profile/faults/workload come from this scenario (evaluated
+    /// on the node's own profile seed) instead of the environment mix
+    /// above. The full draw program still runs identically, so fields the
+    /// script does not declare keep their sampled values. `None` is the
+    /// legacy fully-sampled fleet.
+    pub scenario: Option<Scenario>,
 }
 
 impl PopulationSpec {
@@ -148,6 +156,7 @@ impl PopulationSpec {
             interaction_count: Dist::Uniform { lo: 20.0, hi: 61.0 },
             cloud_count: Dist::Uniform { lo: 4.0, hi: 13.0 },
             outage_count: Dist::Uniform { lo: 0.0, hi: 2.5 },
+            scenario: None,
         }
     }
 
@@ -244,6 +253,24 @@ impl PopulationSpec {
     /// consumes the same prefix of its stream regardless of which
     /// environment or policy it lands in.
     pub fn node_blueprint(&self, node_seed: u64) -> NodeBlueprint {
+        self.node_blueprint_with(node_seed, self.scenario.as_ref())
+    }
+
+    /// [`Self::node_blueprint`] with an optional scenario override.
+    ///
+    /// The full legacy draw program runs **unconditionally and
+    /// identically** whether or not a scenario is supplied — the scenario
+    /// replaces *values* (profile, faults, workload, capacitance) after
+    /// the draws, never the draws themselves. That keeps every other
+    /// per-node quantity (panel scale, voltage, policy, ladder) on the
+    /// same stream positions, so switching a campaign between scripted
+    /// and sampled conditions perturbs exactly the fields the script
+    /// declares.
+    pub fn node_blueprint_with(
+        &self,
+        node_seed: u64,
+        scenario: Option<&Scenario>,
+    ) -> NodeBlueprint {
         let mut state = node_seed ^ POPULATION_STREAM_TAG;
 
         // Fixed draw program: every node consumes these in this order.
@@ -269,19 +296,28 @@ impl PopulationSpec {
         let has_ladder = uniform(&mut state, 0.0, 1.0) < self.ladder_share;
         let profile_seed = splitmix64(&mut state);
 
-        let environment = match env_pick {
-            0 => Environment::OutdoorWindow {
-                latitude_deg: latitude,
-                day_of_year: self.day_of_year,
-            },
-            1 => Environment::Office {
-                peak: Lux::new(office_peak),
-            },
-            _ => Environment::Home {
-                peak: Lux::new(home_peak),
-            },
+        // The scenario (when present) is evaluated on the same profile
+        // seed the sampled environment would have used, then hardware
+        // diversity (panel scale) applies on top either way.
+        let day = scenario.map(|s| s.eval(profile_seed));
+        let mut profile = match &day {
+            Some(day) => day.profile.clone(),
+            None => {
+                let environment = match env_pick {
+                    0 => Environment::OutdoorWindow {
+                        latitude_deg: latitude,
+                        day_of_year: self.day_of_year,
+                    },
+                    1 => Environment::Office {
+                        peak: Lux::new(office_peak),
+                    },
+                    _ => Environment::Home {
+                        peak: Lux::new(home_peak),
+                    },
+                };
+                environment.day_profile(profile_seed)
+            }
         };
-        let mut profile = environment.day_profile(profile_seed);
         for lux in &mut profile.lux_by_hour {
             *lux *= panel_scale;
         }
@@ -323,7 +359,7 @@ impl PopulationSpec {
                 }
             })
             .collect();
-        let faults = FaultPlan {
+        let sampled_faults = FaultPlan {
             clouds,
             outages,
             degradation: SupercapDegradation {
@@ -331,12 +367,33 @@ impl PopulationSpec {
                 esr_scale: Ratio::new(esr_scale),
             },
         };
+        // Scenario overrides land here, after every draw has happened:
+        // declared fault combinators replace the sampled plan (falling
+        // back to the sampled aging when the script declares none), a
+        // declared workload replaces the sampled interaction times, and a
+        // declared supercap replaces the sampled capacitance.
+        let faults = match &day {
+            Some(day) => day.fault_plan(&sampled_faults),
+            None => sampled_faults,
+        };
+        let interactions = match day.as_ref().and_then(|d| d.interactions.clone()) {
+            Some(times) => times,
+            None => interactions,
+        };
+        let capacitance = day
+            .as_ref()
+            .and_then(|d| d.capacitance)
+            .unwrap_or(Farads::new(capacitance));
+        let env_index = match (&day, scenario) {
+            (Some(_), Some(s)) => s.env_bucket(),
+            _ => env_pick,
+        };
 
         let base = DaySimConfig {
             profile,
             budget_per_inference: Energy::from_milli_joules(30.0),
             interactions,
-            capacitance: Farads::new(capacitance),
+            capacitance,
             initial_voltage: Volts::new(initial_voltage),
             inference_threshold: Volts::new(2.2),
             standby_power: Power::from_micro_watts(2.4),
@@ -359,7 +416,7 @@ impl PopulationSpec {
         // trapezoidal ledger flows hold the ≤ 1 nJ residual at any dt.
         cfg.dt_policy = DtPolicy::adaptive(Seconds::from_millis(50.0), Seconds::new(3600.0));
         NodeBlueprint {
-            env_index: env_pick,
+            env_index,
             policy_index: policy_pick,
             config: cfg,
         }

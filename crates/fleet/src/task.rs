@@ -115,6 +115,15 @@ impl NodeDayTask {
         }
     }
 
+    /// The content key this node-day is stored under: a pure function of
+    /// the resolved simulation inputs. Two specs that resolve a node to
+    /// identical inputs (a scenario edit that misses this node, say)
+    /// share the key — which is exactly what lets the incremental store
+    /// replay unaffected node-days across spec edits.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
     /// Rehydrates a full [`NodeSummary`] from a (cached or fresh) outcome
     /// plus the task's own identity fields.
     pub fn summary(&self, outcome: &NodeDayOutcome) -> NodeSummary {

@@ -1,0 +1,262 @@
+//! Tokenizer for the scenario expression syntax.
+//!
+//! The surface is deliberately tiny: identifiers, decimal numbers,
+//! `HH:MM` times of day, and the punctuation `(` `)` `,` `:` `..`.
+//! Comment lines start with `#` and run to end of line (the registry's
+//! `# name: description` header is one of these). Every token carries its
+//! 1-based line and column so parse- and type-stage errors point at the
+//! offending character, not just the script.
+
+use crate::ScenarioError;
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A combinator or parameter name, or a unit suffix (`deg`, `lux`…).
+    Ident(String),
+    /// A decimal number, parsed to its exact `f64`.
+    Number(f64),
+    /// A time of day `HH:MM`, stored as (hour, minute).
+    Time(u32, u32),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `:` separating a parameter name from its value.
+    Colon,
+    /// `..` between the endpoints of a time span.
+    DotDot,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Tokenizes `src`, skipping whitespace and `#` comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, ScenarioError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                    col,
+                });
+                i += 1;
+                col += 1;
+            }
+            b')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                    col,
+                });
+                i += 1;
+                col += 1;
+            }
+            b',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                    col,
+                });
+                i += 1;
+                col += 1;
+            }
+            b':' => {
+                out.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                    col,
+                });
+                i += 1;
+                col += 1;
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token {
+                        kind: TokenKind::DotDot,
+                        line,
+                        col,
+                    });
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(ScenarioError::at(line, col, "stray `.`".to_string()));
+                }
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                let start_col = col;
+                if b == b'-' {
+                    i += 1;
+                    col += 1;
+                    if !bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                        return Err(ScenarioError::at(
+                            line,
+                            start_col,
+                            "`-` must start a number".to_string(),
+                        ));
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                // `12:00` — an integer followed by `:` and exactly two
+                // digits is a time of day, not a number before a named-arg
+                // colon (parameter names are identifiers, never digits).
+                let int_digits = i - start;
+                if b != b'-'
+                    && int_digits <= 2
+                    && bytes.get(i) == Some(&b':')
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
+                    && !bytes.get(i + 3).is_some_and(u8::is_ascii_digit)
+                {
+                    let hour: u32 = parse_or_zero(&src[start..i]);
+                    let minute: u32 = parse_or_zero(&src[i + 1..i + 3]);
+                    if hour > 24 || minute > 59 {
+                        return Err(ScenarioError::at(
+                            line,
+                            start_col,
+                            format!("invalid time of day `{hour:02}:{minute:02}`"),
+                        ));
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Time(hour, minute),
+                        line,
+                        col: start_col,
+                    });
+                    i += 3;
+                    col += 3;
+                    continue;
+                }
+                // Fractional part: one `.` followed by digits — but never
+                // consume the first dot of a `..` span operator.
+                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                    col += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                let text = &src[start..i];
+                match text.parse::<f64>() {
+                    Ok(value) => out.push(Token {
+                        kind: TokenKind::Number(value),
+                        line,
+                        col: start_col,
+                    }),
+                    Err(_) => {
+                        return Err(ScenarioError::at(
+                            line,
+                            start_col,
+                            format!("invalid number `{text}`"),
+                        ));
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                let start_col = col;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                    col += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line,
+                    col: start_col,
+                });
+            }
+            other => {
+                return Err(ScenarioError::at(
+                    line,
+                    col,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a digit run that the lexer already validated; the fallback is
+/// unreachable but keeps this module panic-free.
+fn parse_or_zero(digits: &str) -> u32 {
+    digits.parse().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_issue_example() {
+        let toks =
+            lex("overlay(clear_sky(lat: 47.6 deg), markov_clouds(p: 0.3), outage(12:00..13:00))")
+                .expect("lexes");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("overlay".to_string())));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Number(47.6)));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Time(12, 0)));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::DotDot));
+    }
+
+    #[test]
+    fn times_and_named_args_disambiguate() {
+        let toks = lex("from: 08:00, p: 0.3").expect("lexes");
+        assert_eq!(toks[0].kind, TokenKind::Ident("from".to_string()));
+        assert_eq!(toks[1].kind, TokenKind::Colon);
+        assert_eq!(toks[2].kind, TokenKind::Time(8, 0));
+        assert_eq!(toks[5].kind, TokenKind::Colon);
+        assert_eq!(toks[6].kind, TokenKind::Number(0.3));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_positions_tracked() {
+        let toks = lex("# header line\n  office(peak: 800 lux)\n").expect("lexes");
+        assert_eq!(toks[0].kind, TokenKind::Ident("office".to_string()));
+        assert_eq!((toks[0].line, toks[0].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_characters_carry_positions() {
+        let err = lex("office(peak: $)").expect_err("rejects");
+        assert_eq!((err.line, err.col), (1, 14));
+        let err = lex("outage(25:00..26:00)").expect_err("rejects");
+        assert!(err.message.contains("invalid time"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Recursive-descent parser: tokens → [`Call`] AST.
+//!
+//! Syntax: `script := call`, `call := IDENT '(' args? ')'`,
+//! `arg := (IDENT ':')? value`, `value := NUMBER unit? | TIME ('..' TIME)?
+//! | call`. A trailing comma before `)` is accepted (multi-line scripts
+//! read better with one), but the canonical rendering never emits it.
+
+use crate::ast::{Arg, Call, TimeOfDay, UnitSuffix, Value};
+use crate::lexer::{Token, TokenKind};
+use crate::ScenarioError;
+
+/// Parses a whole script: exactly one top-level call.
+pub fn parse(tokens: &[Token]) -> Result<Call, ScenarioError> {
+    let mut p = Parser { tokens, at: 0 };
+    let call = p.call()?;
+    if let Some(t) = p.peek() {
+        return Err(ScenarioError::at(
+            t.line,
+            t.col,
+            "expected end of script after the top-level expression".to_string(),
+        ));
+    }
+    Ok(call)
+}
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.at)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.at);
+        self.at += 1;
+        t
+    }
+
+    fn eof_error(&self, expected: &str) -> ScenarioError {
+        let (line, col) = self
+            .tokens
+            .last()
+            .map(|t| (t.line, t.col + 1))
+            .unwrap_or((1, 1));
+        ScenarioError::at(
+            line,
+            col,
+            format!("unexpected end of script, expected {expected}"),
+        )
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(usize, usize), ScenarioError> {
+        match self.bump() {
+            Some(t) if t.kind == *kind => Ok((t.line, t.col)),
+            Some(t) => Err(ScenarioError::at(
+                t.line,
+                t.col,
+                format!("expected {what}, found {}", describe(&t.kind)),
+            )),
+            None => Err(self.eof_error(what)),
+        }
+    }
+
+    fn call(&mut self) -> Result<Call, ScenarioError> {
+        let (name, pos) = match self.bump() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                line,
+                col,
+            }) => (name.clone(), (*line, *col)),
+            Some(t) => {
+                return Err(ScenarioError::at(
+                    t.line,
+                    t.col,
+                    format!("expected a combinator name, found {}", describe(&t.kind)),
+                ));
+            }
+            None => return Err(self.eof_error("a combinator name")),
+        };
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        loop {
+            match self.peek() {
+                Some(t) if t.kind == TokenKind::RParen => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    args.push(self.arg()?);
+                    match self.peek() {
+                        Some(t) if t.kind == TokenKind::Comma => {
+                            self.bump();
+                        }
+                        Some(t) if t.kind == TokenKind::RParen => {}
+                        Some(t) => {
+                            return Err(ScenarioError::at(
+                                t.line,
+                                t.col,
+                                format!(
+                                    "expected `,` or `)` after an argument, found {}",
+                                    describe(&t.kind)
+                                ),
+                            ));
+                        }
+                        None => return Err(self.eof_error("`,` or `)`")),
+                    }
+                }
+                None => return Err(self.eof_error("an argument or `)`")),
+            }
+        }
+        Ok(Call { name, args, pos })
+    }
+
+    fn arg(&mut self) -> Result<Arg, ScenarioError> {
+        // `name: value` — an identifier followed by a colon is a named
+        // argument unless the identifier opens a nested call.
+        let name = match (self.peek(), self.tokens.get(self.at + 1)) {
+            (
+                Some(Token {
+                    kind: TokenKind::Ident(n),
+                    ..
+                }),
+                Some(Token {
+                    kind: TokenKind::Colon,
+                    ..
+                }),
+            ) => {
+                let n = n.clone();
+                self.at += 2;
+                Some(n)
+            }
+            _ => None,
+        };
+        let (value, pos) = self.value()?;
+        Ok(Arg { name, value, pos })
+    }
+
+    fn value(&mut self) -> Result<(Value, (usize, usize)), ScenarioError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Number(n),
+                line,
+                col,
+            }) => {
+                let (n, pos) = (*n, (*line, *col));
+                self.bump();
+                // Optional unit suffix: a known suffix identifier not
+                // followed by `(` (which would make it a call — no current
+                // suffix collides with a combinator name, but the guard
+                // keeps the grammar honest).
+                if let Some(Token {
+                    kind: TokenKind::Ident(word),
+                    line,
+                    col,
+                }) = self.peek()
+                {
+                    let (line, col) = (*line, *col);
+                    match UnitSuffix::from_text(word) {
+                        Some(unit) => {
+                            self.bump();
+                            return Ok((Value::Quantity(n, unit), pos));
+                        }
+                        None => {
+                            return Err(ScenarioError::at(
+                                line,
+                                col,
+                                format!(
+                                    "unknown unit suffix `{word}` (known: deg, lux, s, min, F)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Ok((Value::Num(n), pos))
+            }
+            Some(Token {
+                kind: TokenKind::Time(h, m),
+                line,
+                col,
+            }) => {
+                let (from, pos) = (
+                    TimeOfDay {
+                        hour: *h,
+                        minute: *m,
+                    },
+                    (*line, *col),
+                );
+                self.bump();
+                if matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: TokenKind::DotDot,
+                        ..
+                    })
+                ) {
+                    self.bump();
+                    match self.bump() {
+                        Some(Token {
+                            kind: TokenKind::Time(h2, m2),
+                            ..
+                        }) => {
+                            let to = TimeOfDay {
+                                hour: *h2,
+                                minute: *m2,
+                            };
+                            return Ok((Value::Span(from, to), pos));
+                        }
+                        Some(t) => {
+                            return Err(ScenarioError::at(
+                                t.line,
+                                t.col,
+                                format!(
+                                    "expected the end time of a span after `..`, found {}",
+                                    describe(&t.kind)
+                                ),
+                            ));
+                        }
+                        None => return Err(self.eof_error("the end time of a span")),
+                    }
+                }
+                Ok((Value::Time(from), pos))
+            }
+            Some(Token {
+                kind: TokenKind::Ident(_),
+                line,
+                col,
+            }) => {
+                let pos = (*line, *col);
+                let call = self.call()?;
+                Ok((Value::Call(call), pos))
+            }
+            Some(t) => Err(ScenarioError::at(
+                t.line,
+                t.col,
+                format!("expected a value, found {}", describe(&t.kind)),
+            )),
+            None => Err(self.eof_error("a value")),
+        }
+    }
+}
+
+fn describe(kind: &TokenKind) -> String {
+    match kind {
+        TokenKind::Ident(name) => format!("`{name}`"),
+        TokenKind::Number(n) => format!("number `{n}`"),
+        TokenKind::Time(h, m) => format!("time `{h:02}:{m:02}`"),
+        TokenKind::LParen => "`(`".to_string(),
+        TokenKind::RParen => "`)`".to_string(),
+        TokenKind::Comma => "`,`".to_string(),
+        TokenKind::Colon => "`:`".to_string(),
+        TokenKind::DotDot => "`..`".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_str(src: &str) -> Result<Call, ScenarioError> {
+        parse(&lex(src)?)
+    }
+
+    #[test]
+    fn nested_calls_and_spans_parse() {
+        let ast =
+            parse_str("overlay(office(peak: 800 lux), outage(12:00..13:00))").expect("parses");
+        assert_eq!(ast.name, "overlay");
+        assert_eq!(ast.args.len(), 2);
+        let Value::Call(inner) = &ast.args[0].value else {
+            panic!("member must be a call");
+        };
+        assert_eq!(inner.args[0].name.as_deref(), Some("peak"));
+        assert_eq!(inner.args[0].value, Value::Quantity(800.0, UnitSuffix::Lux));
+    }
+
+    #[test]
+    fn trailing_commas_are_accepted() {
+        parse_str("overlay(\n  office(peak: 800 lux),\n)").expect("parses");
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err =
+            parse_str("overlay(office(peak: 800 lux)\n  home(peak: 1 lux))").expect_err("rejects");
+        assert_eq!(err.line, 2, "{err}");
+        assert!(err.message.contains("expected `,` or `)`"), "{err}");
+
+        let err = parse_str("office(peak: 800 parsecs)").expect_err("rejects");
+        assert!(err.message.contains("unknown unit suffix"), "{err}");
+    }
+
+    #[test]
+    fn truncated_scripts_report_eof() {
+        let err = parse_str("overlay(office(peak: 800 lux)").expect_err("rejects");
+        assert!(err.message.contains("unexpected end of script"), "{err}");
+    }
+}

@@ -1,0 +1,620 @@
+//! Combinator signatures and the load-time type checker.
+//!
+//! Every combinator is declared once here — its kind (light source,
+//! profile modifier, fault, workload, hardware override, or `overlay`) and
+//! its parameter list with the unit newtype each parameter must carry.
+//! [`check`] validates a parsed AST against this table, so a lux value
+//! where a latitude is expected (or a missing required parameter, a
+//! duplicate, an out-of-range ratio, an overlay with two light sources) is
+//! a [`ScenarioError`] at load time, never a runtime surprise. [`bind`]
+//! performs the same name/position matching for the evaluator, which can
+//! therefore assume a well-typed call.
+
+use crate::ast::{Call, UnitSuffix, Value};
+use crate::ScenarioError;
+
+/// What role a combinator plays in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Produces the base 24-hour illuminance profile. Exactly one per
+    /// scenario.
+    Light,
+    /// Transforms the profile produced by the light source.
+    Modifier,
+    /// Contributes cloud transients, outage windows, or supercap aging.
+    Fault,
+    /// Declares the day's interaction schedule. At most one per scenario.
+    Workload,
+    /// Overrides a hardware parameter of the node. At most one per
+    /// scenario.
+    Hardware,
+    /// The composition operator.
+    Overlay,
+}
+
+/// The unit-newtype class a parameter accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Geographic latitude: `47.6 deg`, in `[-90, 90]`.
+    Latitude,
+    /// Illuminance: `800 lux`, non-negative.
+    LuxVal,
+    /// Probability or fraction: bare number in `[0, 1]`.
+    RatioVal,
+    /// Positive scale factor: bare number `> 0`.
+    Factor,
+    /// Non-negative integer count: bare whole number.
+    Count,
+    /// Duration: `600 s` or `10 min`, positive.
+    Duration,
+    /// Time of day: `08:00`.
+    Time,
+    /// Time span: `12:00..13:00`, start strictly before end.
+    Span,
+    /// Capacitance: `0.047 F`, positive.
+    FaradVal,
+}
+
+impl Ty {
+    fn describe(self) -> &'static str {
+        match self {
+            Ty::Latitude => "a latitude in degrees (e.g. `47.6 deg`)",
+            Ty::LuxVal => "an illuminance (e.g. `800 lux`)",
+            Ty::RatioVal => "a ratio between 0 and 1 (e.g. `0.3`)",
+            Ty::Factor => "a positive scale factor (e.g. `1.5`)",
+            Ty::Count => "a non-negative whole number (e.g. `12`)",
+            Ty::Duration => "a duration (e.g. `600 s` or `10 min`)",
+            Ty::Time => "a time of day (e.g. `08:00`)",
+            Ty::Span => "a time span (e.g. `12:00..13:00`)",
+            Ty::FaradVal => "a capacitance (e.g. `0.047 F`)",
+        }
+    }
+}
+
+/// One declared parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct Param {
+    /// Parameter name as written in scripts.
+    pub name: &'static str,
+    /// Required unit class.
+    pub ty: Ty,
+    /// Whether the script must supply it (defaults live in the
+    /// evaluator).
+    pub required: bool,
+}
+
+/// One combinator's signature.
+#[derive(Debug, Clone, Copy)]
+pub struct PrimSpec {
+    /// Combinator name.
+    pub name: &'static str,
+    /// Role.
+    pub kind: Kind,
+    /// Fixed parameters, in positional order.
+    pub params: &'static [Param],
+    /// Type of extra positional arguments, for variadic combinators.
+    pub variadic: Option<Ty>,
+    /// Minimum number of variadic arguments.
+    pub variadic_min: usize,
+}
+
+const fn req(name: &'static str, ty: Ty) -> Param {
+    Param {
+        name,
+        ty,
+        required: true,
+    }
+}
+
+const fn opt(name: &'static str, ty: Ty) -> Param {
+    Param {
+        name,
+        ty,
+        required: false,
+    }
+}
+
+const fn fixed(name: &'static str, kind: Kind, params: &'static [Param]) -> PrimSpec {
+    PrimSpec {
+        name,
+        kind,
+        params,
+        variadic: None,
+        variadic_min: 0,
+    }
+}
+
+const fn spans(name: &'static str, kind: Kind, min: usize) -> PrimSpec {
+    PrimSpec {
+        name,
+        kind,
+        params: &[],
+        variadic: Some(Ty::Span),
+        variadic_min: min,
+    }
+}
+
+/// The combinator table. Adding a combinator means adding a row here and
+/// an arm in `eval` — the checker, binder, renderer, and CLI all read
+/// this.
+pub const PRIMS: &[PrimSpec] = &[
+    // Light sources.
+    fixed(
+        "clear_sky",
+        Kind::Light,
+        &[req("lat", Ty::Latitude), opt("doy", Ty::Count)],
+    ),
+    fixed(
+        "sky_markov",
+        Kind::Light,
+        &[req("lat", Ty::Latitude), opt("doy", Ty::Count)],
+    ),
+    fixed("office", Kind::Light, &[req("peak", Ty::LuxVal)]),
+    fixed("office_table", Kind::Light, &[req("peak", Ty::LuxVal)]),
+    fixed("home", Kind::Light, &[req("peak", Ty::LuxVal)]),
+    fixed("constant", Kind::Light, &[req("level", Ty::LuxVal)]),
+    // Profile modifiers.
+    fixed("markov_clouds", Kind::Modifier, &[req("p", Ty::RatioVal)]),
+    fixed("scale", Kind::Modifier, &[req("by", Ty::Factor)]),
+    fixed(
+        "blinds",
+        Kind::Modifier,
+        &[req("open", Ty::Span), req("transmit", Ty::RatioVal)],
+    ),
+    spans("windows", Kind::Modifier, 1),
+    // Faults.
+    spans("outage", Kind::Fault, 1),
+    fixed(
+        "random_outages",
+        Kind::Fault,
+        &[req("n", Ty::Count), opt("window", Ty::Span)],
+    ),
+    fixed(
+        "random_clouds",
+        Kind::Fault,
+        &[
+            req("n", Ty::Count),
+            opt("depth_lo", Ty::RatioVal),
+            opt("depth_hi", Ty::RatioVal),
+        ],
+    ),
+    fixed("flaky_harvester", Kind::Fault, &[req("n", Ty::Count)]),
+    fixed("seeded_cloudy_day", Kind::Fault, &[]),
+    fixed(
+        "aging",
+        Kind::Fault,
+        &[req("capacity", Ty::RatioVal), req("esr", Ty::Factor)],
+    ),
+    // Workloads.
+    fixed(
+        "interactions_every",
+        Kind::Workload,
+        &[
+            req("period", Ty::Duration),
+            req("count", Ty::Count),
+            opt("from", Ty::Time),
+        ],
+    ),
+    fixed(
+        "random_interactions",
+        Kind::Workload,
+        &[req("n", Ty::Count), opt("window", Ty::Span)],
+    ),
+    // Hardware overrides.
+    fixed(
+        "supercap",
+        Kind::Hardware,
+        &[req("capacitance", Ty::FaradVal)],
+    ),
+    // Composition.
+    PrimSpec {
+        name: "overlay",
+        kind: Kind::Overlay,
+        params: &[],
+        variadic: None,
+        variadic_min: 0,
+    },
+];
+
+/// Looks up a combinator by name.
+pub fn spec(name: &str) -> Option<&'static PrimSpec> {
+    PRIMS.iter().find(|p| p.name == name)
+}
+
+/// A resolved argument binding: fixed parameters by name plus the
+/// variadic tail, after name/position matching.
+#[derive(Default)]
+pub struct Binding<'a> {
+    named: Vec<(&'static str, &'a Value)>,
+    variadic: Vec<&'a Value>,
+}
+
+impl<'a> Binding<'a> {
+    /// The value bound to a fixed parameter, if supplied.
+    pub fn get(&self, name: &str) -> Option<&'a Value> {
+        self.named.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// The variadic tail, in source order.
+    pub fn variadic(&self) -> &[&'a Value] {
+        &self.variadic
+    }
+}
+
+/// Matches a call's arguments to its signature: named arguments bind by
+/// name, positional arguments fill the declared parameters in order and
+/// then the variadic tail. Fails on unknown combinators, unknown or
+/// duplicate parameter names, and arity overflow — the *types* of the
+/// bound values are [`check`]'s job.
+pub fn bind<'a>(call: &'a Call) -> Result<(&'static PrimSpec, Binding<'a>), ScenarioError> {
+    let (line, col) = call.pos;
+    let Some(spec) = spec(&call.name) else {
+        let known: Vec<&str> = PRIMS.iter().map(|p| p.name).collect();
+        return Err(ScenarioError::at(
+            line,
+            col,
+            format!(
+                "unknown combinator `{}`; known: {}",
+                call.name,
+                known.join(", ")
+            ),
+        ));
+    };
+    let mut b = Binding::default();
+    let mut next_positional = 0usize;
+    for arg in &call.args {
+        let (aline, acol) = arg.pos;
+        match &arg.name {
+            Some(name) => {
+                let Some(param) = spec.params.iter().find(|p| p.name == name.as_str()) else {
+                    let known: Vec<&str> = spec.params.iter().map(|p| p.name).collect();
+                    return Err(ScenarioError::at(
+                        aline,
+                        acol,
+                        format!(
+                            "`{}` has no parameter `{name}`; known: {}",
+                            call.name,
+                            if known.is_empty() {
+                                "(none)".to_string()
+                            } else {
+                                known.join(", ")
+                            }
+                        ),
+                    ));
+                };
+                if b.get(param.name).is_some() {
+                    return Err(ScenarioError::at(
+                        aline,
+                        acol,
+                        format!("duplicate parameter `{name}` in `{}`", call.name),
+                    ));
+                }
+                b.named.push((param.name, &arg.value));
+            }
+            None => {
+                if next_positional < spec.params.len() {
+                    let param = &spec.params[next_positional];
+                    next_positional += 1;
+                    if b.get(param.name).is_some() {
+                        return Err(ScenarioError::at(
+                            aline,
+                            acol,
+                            format!(
+                                "positional argument collides with named `{}` in `{}`",
+                                param.name, call.name
+                            ),
+                        ));
+                    }
+                    b.named.push((param.name, &arg.value));
+                } else if spec.variadic.is_some() || spec.kind == Kind::Overlay {
+                    // An overlay's positional arguments are its member
+                    // combinators; [`check`] validates their shape.
+                    b.variadic.push(&arg.value);
+                } else {
+                    return Err(ScenarioError::at(
+                        aline,
+                        acol,
+                        format!(
+                            "`{}` takes at most {} argument(s)",
+                            call.name,
+                            spec.params.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok((spec, b))
+}
+
+/// Type-checks a whole scenario AST. The top level must be a light
+/// source or an `overlay`; an overlay's members must be combinator
+/// calls with exactly one light source, at most one workload, and at
+/// most one hardware override.
+pub fn check(root: &Call) -> Result<(), ScenarioError> {
+    let (line, col) = root.pos;
+    let (spec, _) = bind(root)?;
+    match spec.kind {
+        Kind::Overlay => {
+            let mut lights = 0usize;
+            let mut workloads = 0usize;
+            let mut hardware = 0usize;
+            for arg in &root.args {
+                let (aline, acol) = arg.pos;
+                if let Some(name) = &arg.name {
+                    return Err(ScenarioError::at(
+                        aline,
+                        acol,
+                        format!("overlay members are positional, not named (`{name}:`)"),
+                    ));
+                }
+                let Value::Call(member) = &arg.value else {
+                    return Err(ScenarioError::at(
+                        aline,
+                        acol,
+                        "overlay members must be combinator calls".to_string(),
+                    ));
+                };
+                let member_spec = check_call(member)?;
+                match member_spec.kind {
+                    Kind::Light => lights += 1,
+                    Kind::Workload => workloads += 1,
+                    Kind::Hardware => hardware += 1,
+                    Kind::Modifier | Kind::Fault => {}
+                    Kind::Overlay => {
+                        return Err(ScenarioError::at(
+                            member.pos.0,
+                            member.pos.1,
+                            "overlays do not nest".to_string(),
+                        ));
+                    }
+                }
+            }
+            if lights != 1 {
+                return Err(ScenarioError::at(
+                    line,
+                    col,
+                    format!(
+                        "an overlay needs exactly one light source \
+                         (clear_sky, sky_markov, office, office_table, home, constant); found {lights}"
+                    ),
+                ));
+            }
+            if workloads > 1 {
+                return Err(ScenarioError::at(
+                    line,
+                    col,
+                    format!("at most one workload combinator per scenario; found {workloads}"),
+                ));
+            }
+            if hardware > 1 {
+                return Err(ScenarioError::at(
+                    line,
+                    col,
+                    format!("at most one hardware override per scenario; found {hardware}"),
+                ));
+            }
+            Ok(())
+        }
+        Kind::Light => {
+            check_call(root)?;
+            Ok(())
+        }
+        _ => Err(ScenarioError::at(
+            line,
+            col,
+            format!(
+                "a scenario's top level must be a light source or an overlay, not `{}`",
+                root.name
+            ),
+        )),
+    }
+}
+
+/// Checks one (non-overlay) call: binding, arity, and value types.
+fn check_call(call: &Call) -> Result<&'static PrimSpec, ScenarioError> {
+    let (spec, b) = bind(call)?;
+    let (line, col) = call.pos;
+    for param in spec.params {
+        match b.get(param.name) {
+            Some(value) => {
+                let pos = arg_pos(call, value);
+                check_value(param.ty, value, &call.name, param.name, pos)?;
+            }
+            None if param.required => {
+                return Err(ScenarioError::at(
+                    line,
+                    col,
+                    format!(
+                        "`{}` requires `{}: {}`",
+                        call.name,
+                        param.name,
+                        param.ty.describe()
+                    ),
+                ));
+            }
+            None => {}
+        }
+    }
+    if let Some(ty) = spec.variadic {
+        if b.variadic().len() < spec.variadic_min {
+            return Err(ScenarioError::at(
+                line,
+                col,
+                format!(
+                    "`{}` needs at least {} {} argument(s)",
+                    call.name,
+                    spec.variadic_min,
+                    ty.describe()
+                ),
+            ));
+        }
+        for value in b.variadic() {
+            let pos = arg_pos(call, value);
+            check_value(ty, value, &call.name, "(variadic)", pos)?;
+        }
+    }
+    Ok(spec)
+}
+
+/// Finds the source position of `value` among the call's arguments.
+fn arg_pos(call: &Call, value: &Value) -> (usize, usize) {
+    call.args
+        .iter()
+        .find(|a| std::ptr::eq(&a.value, value))
+        .map(|a| a.pos)
+        .unwrap_or(call.pos)
+}
+
+fn check_value(
+    ty: Ty,
+    value: &Value,
+    call: &str,
+    param: &str,
+    pos: (usize, usize),
+) -> Result<(), ScenarioError> {
+    let (line, col) = pos;
+    let fail = |got: &str| {
+        Err(ScenarioError::at(
+            line,
+            col,
+            format!("`{call}.{param}` expects {}, got {got}", ty.describe()),
+        ))
+    };
+    match (ty, value) {
+        (Ty::Latitude, Value::Quantity(v, UnitSuffix::Deg)) => {
+            if !(-90.0..=90.0).contains(v) {
+                return fail(&format!("`{v} deg` (outside [-90, 90])"));
+            }
+            Ok(())
+        }
+        (Ty::LuxVal, Value::Quantity(v, UnitSuffix::Lux)) => {
+            if *v < 0.0 {
+                return fail("a negative illuminance");
+            }
+            Ok(())
+        }
+        (Ty::FaradVal, Value::Quantity(v, UnitSuffix::Farad)) => {
+            if *v <= 0.0 {
+                return fail("a non-positive capacitance");
+            }
+            Ok(())
+        }
+        (Ty::Duration, Value::Quantity(v, UnitSuffix::Sec | UnitSuffix::Min)) => {
+            if *v <= 0.0 {
+                return fail("a non-positive duration");
+            }
+            Ok(())
+        }
+        (Ty::RatioVal, Value::Num(v)) => {
+            if !(0.0..=1.0).contains(v) {
+                return fail(&format!("`{v}` (outside [0, 1])"));
+            }
+            Ok(())
+        }
+        (Ty::Factor, Value::Num(v)) => {
+            if *v <= 0.0 || !v.is_finite() {
+                return fail(&format!("`{v}`"));
+            }
+            Ok(())
+        }
+        (Ty::Count, Value::Num(v)) => {
+            if *v < 0.0 || v.fract() != 0.0 {
+                return fail(&format!("`{v}`"));
+            }
+            Ok(())
+        }
+        (Ty::Time, Value::Time(_)) => Ok(()),
+        (Ty::Span, Value::Span(from, to)) => {
+            if from.as_seconds() >= to.as_seconds() {
+                return fail(&format!("an empty span `{from}..{to}`"));
+            }
+            Ok(())
+        }
+        (_, got) => fail(&describe_value(got)),
+    }
+}
+
+fn describe_value(value: &Value) -> String {
+    match value {
+        Value::Num(n) => format!("the bare number `{n}`"),
+        Value::Quantity(n, u) => format!("a {} quantity (`{n} {}`)", unit_noun(*u), u.text()),
+        Value::Time(t) => format!("the time `{t}`"),
+        Value::Span(a, b) => format!("the span `{a}..{b}`"),
+        Value::Call(c) => format!("a `{}(...)` call", c.name),
+    }
+}
+
+fn unit_noun(unit: UnitSuffix) -> &'static str {
+    match unit {
+        UnitSuffix::Deg => "degree",
+        UnitSuffix::Lux => "lux",
+        UnitSuffix::Sec | UnitSuffix::Min => "duration",
+        UnitSuffix::Farad => "farad",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn checked(src: &str) -> Result<(), ScenarioError> {
+        check(&parse(&lex(src).expect("lexes")).expect("parses"))
+    }
+
+    #[test]
+    fn well_typed_scripts_pass() {
+        checked("overlay(clear_sky(lat: 47.6 deg), markov_clouds(p: 0.3), outage(12:00..13:00))")
+            .expect("checks");
+        checked("office(peak: 800 lux)").expect("checks");
+        checked(
+            "overlay(office_table(peak: 800 lux), \
+             interactions_every(period: 600 s, count: 60, from: 08:00), \
+             supercap(capacitance: 0.047 F))",
+        )
+        .expect("checks");
+    }
+
+    #[test]
+    fn unit_mismatches_are_rejected_with_both_sides_named() {
+        let err = checked("clear_sky(lat: 800 lux)").expect_err("rejects");
+        assert!(err.message.contains("latitude"), "{err}");
+        assert!(err.message.contains("lux"), "{err}");
+        let err = checked("office(peak: 47.6 deg)").expect_err("rejects");
+        assert!(err.message.contains("illuminance"), "{err}");
+    }
+
+    #[test]
+    fn structural_rules_hold() {
+        let err = checked("overlay(markov_clouds(p: 0.3))").expect_err("no light");
+        assert!(err.message.contains("exactly one light source"), "{err}");
+        let err =
+            checked("overlay(office(peak: 1 lux), home(peak: 1 lux))").expect_err("two lights");
+        assert!(err.message.contains("found 2"), "{err}");
+        let err = checked("markov_clouds(p: 0.3)").expect_err("top level");
+        assert!(err.message.contains("top level"), "{err}");
+        let err = checked("overlay(office(peak: 1 lux), overlay(home(peak: 1 lux)))")
+            .expect_err("nested");
+        assert!(err.message.contains("do not nest"), "{err}");
+    }
+
+    #[test]
+    fn ranges_and_counts_are_validated() {
+        assert!(checked("overlay(office(peak: 1 lux), markov_clouds(p: 1.5))").is_err());
+        assert!(checked("overlay(office(peak: 1 lux), random_outages(n: 2.5))").is_err());
+        assert!(checked("overlay(office(peak: 1 lux), outage(13:00..12:00))").is_err());
+        assert!(checked("clear_sky(lat: 95 deg)").is_err());
+    }
+
+    #[test]
+    fn unknown_names_and_duplicates_are_rejected() {
+        let err = checked("disco(peak: 1 lux)").expect_err("unknown");
+        assert!(err.message.contains("unknown combinator"), "{err}");
+        let err = checked("office(peak: 1 lux, peak: 2 lux)").expect_err("dup");
+        assert!(err.message.contains("duplicate"), "{err}");
+        let err = checked("office(brightness: 1 lux)").expect_err("param");
+        assert!(err.message.contains("no parameter"), "{err}");
+    }
+}

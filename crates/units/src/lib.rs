@@ -25,8 +25,8 @@ mod quantities;
 pub use display::SiValue;
 pub use error::UnitError;
 pub use quantities::{
-    Amps, Capacitance, Charge, Cycles, Energy, Farads, Frequency, Hertz, Joules, Lux, Ohms, Power,
-    Ratio, Resistance, Seconds, Volts, Watts,
+    Amps, Capacitance, Charge, Cycles, Degrees, Energy, Farads, Frequency, Hertz, Joules, Lux,
+    Ohms, Power, Ratio, Resistance, Seconds, Volts, Watts,
 };
 
 #[cfg(test)]

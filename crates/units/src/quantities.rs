@@ -261,6 +261,12 @@ quantity!(
     /// Physically non-negative.
     Cycles, "cy", from_cycles, as_cycles, nonneg
 );
+quantity!(
+    /// A geographic angle, stored in degrees (latitude: positive north).
+    /// Carried as its own quantity so the scenario language can reject a
+    /// lux value where a latitude is expected at load time.
+    Degrees, "deg", from_degrees, as_degrees
+);
 
 /// A dimensionless ratio: shading factors, efficiencies, duty cycles,
 /// energy fractions.

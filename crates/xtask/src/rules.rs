@@ -27,7 +27,12 @@
 //!   hashers (`DefaultHasher`/`RandomState`/`SipHasher…`) in store-key
 //!   code. SipHash is seeded per process, so a content key minted by one
 //!   run would never be found by the next; keys go through the registered
-//!   stable hasher (`solarml_trace::FnvHasher`).
+//!   stable hasher (`solarml_trace::FnvHasher`);
+//! * [`scenario-hygiene`](ViolationKind::ScenarioHygiene) — the
+//!   determinism and seed-discipline checks applied to the scenario
+//!   language under one scenario-scoped name (evaluation must be a pure
+//!   function of `(script, seed)`), plus the shipped-`.scn` registry audit
+//!   in [`crate::scan::scan_scenario_scripts`].
 //!
 //! All three are lexical like the rest of the lint: they reason over the
 //! token stream from [`crate::lexer`], so a `HashMap` in a doc comment or a
@@ -58,6 +63,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "ledger-coverage",
     "atomic-persist",
     "stable-store-key",
+    "scenario-hygiene",
 ];
 
 /// Methods whose receiver order is the hasher's iteration order.
@@ -97,7 +103,8 @@ pub fn scan_new_families(
         || rules.seed_discipline
         || rules.ledger_coverage
         || rules.atomic_persist
-        || rules.stable_store_key)
+        || rules.stable_store_key
+        || rules.scenario_hygiene)
     {
         return out;
     }
@@ -120,8 +127,45 @@ pub fn scan_new_families(
     if rules.stable_store_key {
         scan_stable_store_key(rel, src, &tokens, &code, &tests, &mut out);
     }
+    if rules.scenario_hygiene {
+        scan_scenario_hygiene(rel, src, &tokens, &code, &tests, config, &mut out);
+    }
     out.sort_by_key(|v| v.line);
     out
+}
+
+/// The scenario-hygiene rule: scenario evaluation must be a pure function
+/// of `(script, seed)` — the node-day store and every golden FleetReport
+/// replay it under that assumption — so the determinism and
+/// seed-discipline checks both apply to scenario code, surfaced under one
+/// scenario-scoped rule name. A `physics-lint:
+/// allow(scenario-hygiene): <reason>` escape suppresses the composite on
+/// its statement (the underlying per-family escapes keep working too,
+/// since the inner scans honor them).
+fn scan_scenario_hygiene(
+    rel: &Path,
+    src: &str,
+    tokens: &[Token],
+    code: &[Token],
+    tests: &[(usize, usize)],
+    config: &ScanConfig,
+    out: &mut Vec<Violation>,
+) {
+    let allowed = lexer::allow_spans(src, tokens, "scenario-hygiene");
+    let allowed_lines: HashSet<usize> = allowed
+        .iter()
+        .flat_map(|&(a, b)| line_of(src, a)..=line_of(src, b.min(src.len())))
+        .collect();
+    let mut found = Vec::new();
+    scan_determinism(rel, src, tokens, code, tests, &mut found);
+    scan_seed_discipline(rel, src, tokens, code, tests, config, &mut found);
+    for mut v in found {
+        if allowed_lines.contains(&v.line) {
+            continue;
+        }
+        v.kind = ViolationKind::ScenarioHygiene;
+        out.push(v);
+    }
 }
 
 fn text<'s>(src: &'s str, t: &Token) -> &'s str {
@@ -1002,6 +1046,43 @@ mod tests {
         assert!(kinds(src).is_empty(), "{:?}", kinds(src));
         let unannotated = "fn k() -> u64 { DefaultHasher::new().finish() }";
         assert_eq!(kinds(unannotated), vec![ViolationKind::StableStoreKey]);
+    }
+
+    #[test]
+    fn scenario_hygiene_relabels_both_families_and_honors_its_own_escape() {
+        let rules = RuleSet {
+            scenario_hygiene: true,
+            ..RuleSet::default()
+        };
+        let src = "\
+fn eval(seed: u64, i: u64) -> u64 {
+    let t = Instant::now();
+    drop(t);
+    seed + i
+}
+fn stream(seed: u64, n: usize) -> u64 {
+    derive_seed(seed, SCENARIO_STREAM_TAG, n)
+}
+fn folded(seed: u64) -> u64 {
+    // physics-lint: allow(scenario-hygiene): legacy parity fold, documented
+    seed ^ 0x9E37_79B9
+}
+";
+        let vs = scan_new_families(Path::new("crates/scenario/src/eval.rs"), src, rules, &cfg());
+        let kinds: Vec<ViolationKind> = vs.iter().map(|v| v.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ViolationKind::ScenarioHygiene,
+                ViolationKind::ScenarioHygiene
+            ],
+            "{vs:?}"
+        );
+        assert_eq!(vs[0].line, 2, "the clock read fires under the composite");
+        assert_eq!(
+            vs[1].line, 4,
+            "raw seed arithmetic fires under the composite"
+        );
     }
 
     #[test]

@@ -66,6 +66,15 @@ pub struct ScanConfig {
     /// lookup a silent permanent miss; keys go through the registered
     /// stable hasher (`solarml_trace::FnvHasher`).
     pub store_key_crates: Vec<String>,
+    /// Crates holding the scenario language (rule `scenario-hygiene`):
+    /// their non-test library code gets the determinism *and*
+    /// seed-discipline checks under one scenario-scoped rule name, because
+    /// a clock read or an ad-hoc seed stream in the evaluator silently
+    /// invalidates every golden FleetReport keyed on a script's resolved
+    /// content. [`scan_workspace`] additionally audits the shipped `.scn`
+    /// registry under `crates/scenario/scenarios/` (headers, unique names,
+    /// registration).
+    pub scenario_crates: Vec<String>,
     /// Sanctioned atomic-write helper functions; their bodies are exempt
     /// from the atomic-persist rule (the bare syscalls have to live
     /// *somewhere*, and this registry pins where).
@@ -123,12 +132,16 @@ impl ScanConfig {
             // The crates that derive node-day store keys: `fleet` owns the
             // task/key layer, `trace` owns the FNV codec the keys hash with.
             store_key_crates: to_vec(&["fleet", "trace"]),
+            // The scenario evaluator: everything it computes is replayed
+            // from `(script, seed)` by cache lookups and golden reports.
+            scenario_crates: to_vec(&["scenario"]),
             atomic_write_fns: to_vec(&["write_atomic"]),
             seed_tags: to_vec(&[
                 "FLEET_SEED_CYCLE",
                 "FAULT_STREAM_TAG",
                 "POPULATION_STREAM_TAG",
                 "ENV_STREAM_TAG",
+                "SCENARIO_STREAM_TAG",
             ]),
             seed_mixer_fns: to_vec(&["derive_seed", "mix64", "splitmix64"]),
             allow,
@@ -701,6 +714,9 @@ pub struct RuleSet {
     pub atomic_persist: bool,
     /// stable-store-key
     pub stable_store_key: bool,
+    /// scenario-hygiene (determinism + seed-discipline under one
+    /// scenario-scoped rule name)
+    pub scenario_hygiene: bool,
     /// fault-path (unwrap/expect everywhere, no escapes)
     pub fault_path: bool,
 }
@@ -747,6 +763,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
         .chain(config.ledger_crates.iter())
         .chain(config.persist_crates.iter())
         .chain(config.store_key_crates.iter())
+        .chain(config.scenario_crates.iter())
         .collect();
     crates.sort();
     crates.dedup();
@@ -762,6 +779,7 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
             ledger_coverage: has(&config.ledger_crates),
             atomic_persist: has(&config.persist_crates),
             stable_store_key: has(&config.store_key_crates),
+            scenario_hygiene: has(&config.scenario_crates),
             fault_path: false, // fault-path scoping is per file, below
         };
         let src_dir = root.join("crates").join(name).join("src");
@@ -779,7 +797,96 @@ pub fn scan_workspace(root: &Path, config: &ScanConfig) -> std::io::Result<Vec<V
         let text = std::fs::read_to_string(&path)?;
         out.extend(scan_fault_path(rel, &text));
     }
+    if !config.scenario_crates.is_empty() {
+        out.extend(scan_scenario_scripts(root)?);
+    }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+/// The registry half of the scenario-hygiene rule: audits the shipped
+/// `.scn` scripts under `crates/scenario/scenarios/`. Each script must
+/// open with a `# <name>: <description>` header whose name equals the file
+/// stem (the registry resolves scripts by that name, and `scenario show`
+/// prints the header as documentation), names must be unique across the
+/// directory, and every script must actually be included by `registry.rs`
+/// — a script on disk that the registry does not ship is a silently dead
+/// scenario the CLI can no longer find by name.
+pub fn scan_scenario_scripts(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let dir = root.join("crates/scenario/scenarios");
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    let registry_src =
+        std::fs::read_to_string(root.join("crates/scenario/src/registry.rs")).unwrap_or_default();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<Vec<_>>>()?;
+    files.retain(|p| p.extension().is_some_and(|e| e == "scn"));
+    files.sort();
+    let mut seen: HashSet<String> = HashSet::new();
+    for file in &files {
+        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+        let stem = file
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = std::fs::read_to_string(file)?;
+        let header_name = text.lines().next().and_then(|l| {
+            let body = l.strip_prefix('#')?.trim_start();
+            let (name, desc) = body.split_once(':')?;
+            (!desc.trim().is_empty()).then(|| name.trim().to_string())
+        });
+        match header_name {
+            None => out.push(Violation {
+                file: rel.clone(),
+                line: 1,
+                kind: ViolationKind::ScenarioHygiene,
+                detail: "shipped script must open with a `# <name>: <description>` \
+                         header — `scenario show` prints it as the scenario's \
+                         documentation"
+                    .to_string(),
+            }),
+            Some(name) => {
+                if name != stem {
+                    out.push(Violation {
+                        file: rel.clone(),
+                        line: 1,
+                        kind: ViolationKind::ScenarioHygiene,
+                        detail: format!(
+                            "header names `{name}` but the file stem is `{stem}` — \
+                             the registry resolves scripts by stem, so the two must \
+                             agree"
+                        ),
+                    });
+                }
+                if !seen.insert(name.clone()) {
+                    out.push(Violation {
+                        file: rel.clone(),
+                        line: 1,
+                        kind: ViolationKind::ScenarioHygiene,
+                        detail: format!(
+                            "scenario name `{name}` is declared by more than one \
+                             shipped script — registry names must be unique"
+                        ),
+                    });
+                }
+            }
+        }
+        if !registry_src.contains(&format!("{stem}.scn")) {
+            out.push(Violation {
+                file: rel,
+                line: 1,
+                kind: ViolationKind::ScenarioHygiene,
+                detail: format!(
+                    "`{stem}.scn` is not included by `registry.rs` — a script on \
+                     disk the registry does not ship is a dead scenario the CLI \
+                     cannot find by name"
+                ),
+            });
+        }
+    }
     Ok(out)
 }
 
